@@ -1,0 +1,172 @@
+//! One Criterion group per paper table/figure.
+//!
+//! Each group times the *kernel* of the experiment that regenerates the
+//! corresponding table or figure (full sweeps live in the `exp` binary:
+//! `cargo run --release -p cellfi-sim --bin exp -- all`). Benching the
+//! kernels keeps `cargo bench` minutes-long while still covering every
+//! table and figure's code path and tracking regressions in each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cellfi_sim::experiments::{self, ExpConfig};
+use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi_sim::topology::{Scenario, ScenarioConfig};
+use cellfi_sim::wifi_engine::WifiEngine;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+use cellfi_wifi::sim::WifiConfig;
+
+fn quick() -> ExpConfig {
+    ExpConfig {
+        seed: 1,
+        quick: true,
+    }
+}
+
+/// Table 1: regenerated from implementation constants.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::table1::run(quick())))
+    });
+}
+
+/// Fig 1: one drive-test location (2 s link-level simulation).
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_range", |b| {
+        b.iter(|| black_box(experiments::fig1::drive_test(quick())))
+    });
+}
+
+/// Fig 2: one second of the outdoor 802.11af CSMA simulation.
+fn bench_fig2(c: &mut Criterion) {
+    let mut cfg = ScenarioConfig::paper_default(4, 3);
+    cfg.shadowing_sigma = 0.0;
+    let scenario = Scenario::generate(cfg, SeedSeq::new(3));
+    c.bench_function("fig2_wifi_mac", |b| {
+        b.iter(|| {
+            let mut e = WifiEngine::new(&scenario, WifiConfig::af_default(), SeedSeq::new(4));
+            e.backlog_all(1 << 30);
+            e.run_until(Instant::from_millis(1_000));
+            black_box(e.delivered_bytes().to_vec())
+        })
+    });
+}
+
+/// Fig 6: the full database vacate/reacquire timeline.
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_vacate", |b| {
+        b.iter(|| black_box(experiments::fig6::timeline()))
+    });
+}
+
+/// Fig 7: the two-cell interference walk.
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_interference", |b| {
+        b.iter(|| black_box(experiments::fig7::walk(quick())))
+    });
+}
+
+/// Fig 8: the CQI-detector ON/OFF timeline (5 s at 2 ms samples).
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_cqi_detector", |b| {
+        b.iter(|| black_box(experiments::fig8::run_timeline(quick())))
+    });
+}
+
+/// §6.3.3 PRACH: one full detection at −10 dB.
+fn bench_prach_experiment(c: &mut Criterion) {
+    c.bench_function("prach_experiment", |b| {
+        b.iter(|| {
+            black_box(experiments::prach::detection_probability(
+                cellfi_types::units::Db(-10.0),
+                3,
+                7,
+            ))
+        })
+    });
+}
+
+/// Fig 9(a)/(b) kernel: one second of the LTE system engine per mode at
+/// the densest setting.
+fn bench_fig9_engine(c: &mut Criterion) {
+    let scenario = Scenario::generate(ScenarioConfig::paper_default(14, 6), SeedSeq::new(9));
+    let mut g = c.benchmark_group("fig9_engine_second");
+    for (name, mode) in [
+        ("fig9a_coverage/plain", ImMode::PlainLte),
+        ("fig9a_coverage/cellfi", ImMode::CellFi),
+        ("fig9b_throughput/oracle", ImMode::Oracle),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = LteEngine::new(
+                    scenario.clone(),
+                    LteEngineConfig::paper_default(mode),
+                    SeedSeq::new(11),
+                );
+                e.backlog_all(u64::MAX / 4);
+                e.run_until(Instant::from_secs(1));
+                black_box(e.delivered_bits().to_vec())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9(c) kernel: 5 s of the web workload over the CellFi engine.
+fn bench_fig9c(c: &mut Criterion) {
+    use cellfi_sim::workload::{WebWorkload, WebWorkloadConfig};
+    let mut cfg = ScenarioConfig::paper_default(3, 3);
+    cfg.shadowing_sigma = 0.0;
+    let scenario = Scenario::generate(cfg, SeedSeq::new(13));
+    c.bench_function("fig9c_pageload", |b| {
+        b.iter(|| {
+            let mut e = LteEngine::new(
+                scenario.clone(),
+                LteEngineConfig::paper_default(ImMode::CellFi),
+                SeedSeq::new(15),
+            );
+            let mut web =
+                WebWorkload::new(WebWorkloadConfig::default(), scenario.n_ues(), SeedSeq::new(16));
+            while e.now() < Instant::from_secs(5) {
+                for (u, bytes) in web.poll(e.now()) {
+                    e.enqueue(u, bytes * 8);
+                }
+                for (u, bits) in e.step_subframe() {
+                    web.delivered(u, bits / 8, e.now());
+                }
+            }
+            black_box(web.completed.len())
+        })
+    });
+}
+
+/// §6.3.4 signalling overhead: pure accounting.
+fn bench_overhead(c: &mut Criterion) {
+    c.bench_function("overhead", |b| {
+        b.iter(|| black_box(experiments::overhead::run(quick())))
+    });
+}
+
+/// Theorem 1: one convergence run on a 16-ring.
+fn bench_theorem1(c: &mut Criterion) {
+    use cellfi_core::theory::HoppingProcess;
+    use cellfi_core::ConflictGraph;
+    let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
+    c.bench_function("theorem1_convergence", |b| {
+        b.iter(|| {
+            let g = ConflictGraph::from_edges(16, &edges);
+            let mut p = HoppingProcess::new(g, vec![3; 16], 13, 0.1, 21);
+            black_box(p.run(100_000))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig1, bench_fig2, bench_fig6, bench_fig7,
+        bench_fig8, bench_prach_experiment, bench_fig9_engine, bench_fig9c,
+        bench_overhead, bench_theorem1
+}
+criterion_main!(figures);

@@ -1,0 +1,65 @@
+//! Hopping convergence (Theorem 1, §5.5).
+//!
+//! Times the abstract hopping process to convergence across network
+//! sizes and fading probabilities — the empirical side of the
+//! `O(M·log n/((1−p)·γ))` bound. Wall-clock here tracks rounds (work per
+//! round is O(n·M)), so a superlogarithmic blow-up in rounds would show
+//! as a regression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cellfi_core::theory::HoppingProcess;
+use cellfi_core::ConflictGraph;
+
+fn ring(n: u32) -> ConflictGraph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    ConflictGraph::from_edges(n as usize, &edges)
+}
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hopping_convergence/n");
+    for n in [8u32, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = HoppingProcess::new(ring(n), vec![3; n as usize], 13, 0.0, 5);
+                black_box(p.run(100_000).expect("slack instance converges"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_in_fading(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hopping_convergence/p");
+    for p_fading in [0.0f64, 0.3, 0.6] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p_fading:.1}")),
+            &p_fading,
+            |b, &p_fading| {
+                b.iter(|| {
+                    let mut p = HoppingProcess::new(ring(16), vec![3; 16], 13, p_fading, 7);
+                    black_box(p.run(100_000).expect("converges"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_round(c: &mut Criterion) {
+    c.bench_function("hopping_convergence/single_round_64", |b| {
+        let mut p = HoppingProcess::new(ring(64), vec![3; 64], 13, 0.2, 9);
+        b.iter(|| {
+            p.step();
+            black_box(p.rounds())
+        })
+    });
+}
+
+criterion_group! {
+    name = hopping;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling_in_n, bench_scaling_in_fading, bench_single_round
+}
+criterion_main!(hopping);

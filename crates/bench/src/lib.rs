@@ -1,0 +1,8 @@
+//! # cellfi-bench
+//!
+//! Criterion benchmark harness for the CellFi reproduction. The library
+//! itself only hosts shared bench helpers; the targets live in
+//! `benches/`, one per paper table/figure (see DESIGN.md §4 for the
+//! index).
+
+#![forbid(unsafe_code)]

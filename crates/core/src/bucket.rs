@@ -1,0 +1,166 @@
+//! Exponential bucket values (§5.3 "Bucket Updates").
+//!
+//! Every subchannel an AP occupies carries a bucket value drawn from an
+//! exponential distribution with mean λ (the paper found λ = 10 to work
+//! well). Each epoch, for every client scheduled on the subchannel that
+//! observed it as *bad*, the bucket drains by `frac_j` — the fraction of
+//! time that client was scheduled on it. When the bucket reaches zero,
+//! the AP gives the subchannel up and hops.
+//!
+//! Why exponential and why drain-by-usage: the memoryless draw randomizes
+//! which of two colliding APs backs down first (symmetry breaking), and
+//! "the bucket update mechanism makes sure that a new AP is able to win
+//! a subchannel irrespective of how long the previous AP has been
+//! operating on it" — seniority confers no advantage because the drained
+//! amount depends only on current interference, and a fresh draw is
+//! bounded in expectation.
+
+use rand::Rng;
+
+/// Mean of the exponential bucket distribution; "we found λ = 10 to be a
+/// good choice experimentally" (§5.3).
+pub const DEFAULT_LAMBDA: f64 = 10.0;
+
+/// The bucket of one occupied subchannel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    value: f64,
+}
+
+impl Bucket {
+    /// Draw a fresh bucket: `Exp(mean = lambda)`.
+    pub fn draw<R: Rng>(lambda: f64, rng: &mut R) -> Bucket {
+        assert!(lambda > 0.0, "lambda must be positive");
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        Bucket {
+            value: -lambda * u.ln(),
+        }
+    }
+
+    /// A bucket with an explicit value (tests and resume paths).
+    pub fn with_value(value: f64) -> Bucket {
+        Bucket {
+            value: value.max(0.0),
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Drain by a client's scheduled fraction after a bad observation:
+    /// `b(t+1) = b(t) − frac_j`. Returns `true` when the bucket is now
+    /// empty and the subchannel must be given up.
+    pub fn drain(&mut self, frac: f64) -> bool {
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&frac),
+            "scheduled fraction must be in [0,1], got {frac}"
+        );
+        self.value = (self.value - frac).max(0.0);
+        self.is_empty()
+    }
+
+    /// Whether the bucket has reached zero.
+    pub fn is_empty(&self) -> bool {
+        self.value <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn draw_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let b = Bucket::draw(DEFAULT_LAMBDA, &mut r);
+            assert!(b.value() > 0.0);
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn draw_mean_matches_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| Bucket::draw(DEFAULT_LAMBDA, &mut r).value())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn drain_subtracts_and_clamps() {
+        let mut b = Bucket::with_value(1.0);
+        assert!(!b.drain(0.4));
+        assert!((b.value() - 0.6).abs() < 1e-12);
+        assert!(b.drain(0.7)); // clamps at zero and reports empty
+        assert_eq!(b.value(), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn full_time_bad_client_empties_in_about_lambda_epochs() {
+        // A client scheduled 100 % of the time on an interfered subchannel
+        // drains 1.0 per epoch: the bucket survives ≈ λ epochs — the time
+        // scale of contention resolution.
+        let mut r = rng();
+        let mut epochs = Vec::new();
+        for _ in 0..500 {
+            let mut b = Bucket::draw(DEFAULT_LAMBDA, &mut r);
+            let mut n = 0u32;
+            while !b.drain(1.0) {
+                n += 1;
+            }
+            epochs.push(f64::from(n) + 1.0);
+        }
+        let mean = epochs.iter().sum::<f64>() / epochs.len() as f64;
+        assert!((mean - 10.0).abs() < 1.0, "mean epochs {mean}");
+    }
+
+    #[test]
+    fn lightly_scheduled_client_drains_slowly() {
+        // frac = 0.1 → 10× the survival time of a fully scheduled client:
+        // interference that barely affects service barely costs spectrum.
+        let mut b = Bucket::with_value(1.0);
+        for _ in 0..9 {
+            assert!(!b.drain(0.1));
+        }
+        assert!(b.drain(0.11));
+    }
+
+    #[test]
+    fn seniority_is_irrelevant() {
+        // Two buckets with the same value drain identically regardless of
+        // how long each has been held — the "new AP can win" property.
+        let mut old = Bucket::with_value(3.0);
+        let mut new = Bucket::with_value(3.0);
+        for _ in 0..2 {
+            old.drain(1.0);
+            new.drain(1.0);
+        }
+        assert_eq!(old.value(), new.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn bad_fraction_panics() {
+        let mut b = Bucket::with_value(1.0);
+        let _ = b.drain(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn bad_lambda_panics() {
+        let mut r = rng();
+        let _ = Bucket::draw(0.0, &mut r);
+    }
+}

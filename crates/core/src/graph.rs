@@ -1,0 +1,180 @@
+//! The interference conflict graph (§5.5).
+//!
+//! "We abstract the given setting as an undirected graph G = (V, E),
+//! where each vertex v_i corresponds to an AP i. Two vertices are
+//! connected by an edge if v_i may interfere with one of v_j's clients,
+//! or vice-versa." The oracle allocator colours this graph; the theory
+//! harness runs the hopping process on it; the simulator builds it from
+//! ground-truth SINR to evaluate how well distributed sensing
+//! approximates it.
+
+use cellfi_types::ApId;
+use std::collections::BTreeSet;
+
+/// An undirected conflict graph over access points `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    adj: Vec<BTreeSet<u32>>,
+}
+
+impl ConflictGraph {
+    /// An edgeless graph over `n` vertices.
+    pub fn new(n: usize) -> ConflictGraph {
+        ConflictGraph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> ConflictGraph {
+        let mut g = ConflictGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(ApId::new(a), ApId::new(b));
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add an undirected edge. Self-loops are rejected (an AP does not
+    /// conflict with itself in this model).
+    pub fn add_edge(&mut self, a: ApId, b: ApId) {
+        assert_ne!(a, b, "self-loop on {a}");
+        assert!(a.index() < self.len() && b.index() < self.len(), "vertex out of range");
+        self.adj[a.index()].insert(b.0);
+        self.adj[b.index()].insert(a.0);
+    }
+
+    /// Whether `a` and `b` conflict.
+    pub fn has_edge(&self, a: ApId, b: ApId) -> bool {
+        self.adj[a.index()].contains(&b.0)
+    }
+
+    /// Open neighbourhood `N(v)`.
+    pub fn neighbors(&self, v: ApId) -> impl Iterator<Item = ApId> + '_ {
+        self.adj[v.index()].iter().map(|&i| ApId::new(i))
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: ApId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Sum of `weights` over the *closed* neighbourhood `N(v) ∪ {v}` —
+    /// the local demand load that must fit into the channel.
+    pub fn closed_neighborhood_weight(&self, v: ApId, weights: &[u32]) -> u32 {
+        assert_eq!(weights.len(), self.len(), "one weight per vertex");
+        weights[v.index()]
+            + self
+                .neighbors(v)
+                .map(|u| weights[u.index()])
+                .sum::<u32>()
+    }
+
+    /// The maximum closed-neighbourhood weight over all vertices: the
+    /// graph's effective channel requirement.
+    pub fn max_neighborhood_weight(&self, weights: &[u32]) -> u32 {
+        (0..self.len() as u32)
+            .map(|v| self.closed_neighborhood_weight(ApId::new(v), weights))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verify that an assignment of subchannel sets is conflict-free:
+    /// adjacent vertices use disjoint sets.
+    pub fn is_conflict_free(&self, assignment: &[Vec<u32>]) -> bool {
+        assert_eq!(assignment.len(), self.len());
+        for v in 0..self.len() {
+            for u in self.adj[v].iter().map(|&i| i as usize) {
+                if u <= v {
+                    continue;
+                }
+                let a: BTreeSet<u32> = assignment[v].iter().copied().collect();
+                if assignment[u].iter().any(|s| a.contains(s)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> ConflictGraph {
+        // 0 — 1 — 2
+        ConflictGraph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let g = path3();
+        assert!(g.has_edge(ApId::new(0), ApId::new(1)));
+        assert!(g.has_edge(ApId::new(1), ApId::new(0)));
+        assert!(!g.has_edge(ApId::new(0), ApId::new(2)));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path3();
+        assert_eq!(g.degree(ApId::new(1)), 2);
+        assert_eq!(g.degree(ApId::new(0)), 1);
+        let n: Vec<ApId> = g.neighbors(ApId::new(1)).collect();
+        assert_eq!(n, vec![ApId::new(0), ApId::new(2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = ConflictGraph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = ConflictGraph::new(2);
+        g.add_edge(ApId::new(1), ApId::new(1));
+    }
+
+    #[test]
+    fn closed_neighborhood_weight_includes_self() {
+        let g = path3();
+        let w = [5, 3, 2];
+        assert_eq!(g.closed_neighborhood_weight(ApId::new(0), &w), 8);
+        assert_eq!(g.closed_neighborhood_weight(ApId::new(1), &w), 10);
+        assert_eq!(g.max_neighborhood_weight(&w), 10);
+    }
+
+    #[test]
+    fn conflict_free_checks_adjacent_only() {
+        let g = path3();
+        // 0 and 2 may share (not adjacent); 1 must avoid both.
+        let ok = vec![vec![0, 1], vec![2, 3], vec![0, 1]];
+        assert!(g.is_conflict_free(&ok));
+        let bad = vec![vec![0, 1], vec![1, 3], vec![5]];
+        assert!(!g.is_conflict_free(&bad));
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = ConflictGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_neighborhood_weight(&[]), 0);
+    }
+}

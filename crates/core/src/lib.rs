@@ -1,0 +1,51 @@
+//! # cellfi-core
+//!
+//! The paper's primary contribution: **fully decentralized interference
+//! management for unplanned LTE deployments** (§4.3, §5). Each access
+//! point, with no communication to any other, decides every second which
+//! subchannels it will reserve, based purely on what its radio can sense:
+//!
+//! 1. **Sensing** ([`sensing`]) — count contending clients by overhearing
+//!    PRACH preambles (expiring each estimate after 1 s), and detect
+//!    per-subchannel interference from drops in sub-band CQI reports
+//!    (max-in-window reference, 60 % threshold, 10 consecutive samples;
+//!    measured 2 % false positives and 80 % detection, which the
+//!    imperfect-sensing model reproduces).
+//! 2. **Distributed share calculation** ([`share`]) — reserve
+//!    `S_i = N_i · S / NP_i` subchannels (own active clients × per-client
+//!    fair share of the neighbourhood).
+//! 3. **Distributed subchannel selection** ([`hopping`], [`bucket`]) —
+//!    randomized hopping: each owned subchannel carries an exponential
+//!    bucket (mean λ = 10) that drains by the fraction of scheduled time
+//!    a client saw it as bad; at zero, hop to the maximum-utility
+//!    subchannel.
+//! 4. **Channel re-use packing** ([`reuse`]) — drift to the lowest-index
+//!    subchannel observed free so that interference-free clients across
+//!    networks stack onto the same spectrum (up to 2× gain for exposed
+//!    clients).
+//!
+//! [`manager::InterferenceManager`] composes these into the per-epoch
+//! component of Fig 3; [`oracle`] provides the centralized FERMI-style
+//! upper-bound allocator the paper compares against; [`graph`] carries
+//! the conflict-graph abstraction; [`theory`] implements the §5.5
+//! analytical model and verifies Theorem 1's
+//! `O(M log n / ((1 − p)·γ))` convergence bound empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod graph;
+pub mod hopping;
+pub mod manager;
+pub mod oracle;
+pub mod reuse;
+pub mod sensing;
+pub mod share;
+pub mod theory;
+
+pub use graph::ConflictGraph;
+pub use manager::{ClientEpochStats, EpochDecision, EpochInput, InterferenceManager, ManagerConfig};
+pub use oracle::OracleAllocator;
+pub use sensing::{CqiInterferenceDetector, ImperfectSensing, NeighborClientEstimator};
+pub use share::fair_share;

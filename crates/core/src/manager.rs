@@ -1,0 +1,493 @@
+//! The per-AP interference-management component (Fig 3's white block).
+//!
+//! [`InterferenceManager`] runs once per 1 s epoch (§4.3) and composes
+//! the pieces:
+//!
+//! 1. share calculation from PRACH counts ([`crate::share`]);
+//! 2. grow/shrink of the occupied set plus bucket-driven hopping
+//!    ([`crate::hopping`]);
+//! 3. channel re-use packing ([`crate::reuse`]);
+//! 4. emission of the scheduler mask through the standard interface
+//!    (`Cell::set_allowed_mask` on the LTE side).
+//!
+//! The manager is deliberately decoupled from the radio: the engine feeds
+//! it an [`EpochInput`] of sensing results (already passed through the
+//! imperfect-sensing model where applicable) and reads back an
+//! [`EpochDecision`]. That keeps the algorithm testable in isolation and
+//! reusable by both the system simulator and the theory harness.
+
+use crate::hopping::{ClientObservation, Hop, Hopper, SubchannelFeedback};
+use crate::reuse::{packing_moves, PackingMove};
+use crate::share::fair_share;
+use cellfi_types::{SubchannelId, UeId};
+
+/// Configuration of the interference manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerConfig {
+    /// Exponential bucket mean (paper: λ = 10).
+    pub lambda: f64,
+    /// Enable the channel re-use packing heuristic.
+    pub enable_reuse: bool,
+    /// Contiguous free epochs required before packing moves (the "certain
+    /// contiguous period of time" of §5.3).
+    pub reuse_free_epochs: u32,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            lambda: crate::bucket::DEFAULT_LAMBDA,
+            enable_reuse: true,
+            reuse_free_epochs: 3,
+        }
+    }
+}
+
+/// Per-client sensing results for one epoch, all vectors indexed by
+/// subchannel.
+#[derive(Debug, Clone)]
+pub struct ClientEpochStats {
+    /// The client.
+    pub ue: UeId,
+    /// Fraction of the epoch the client was scheduled on each subchannel.
+    pub frac_scheduled: Vec<f64>,
+    /// Interference-detector verdict per subchannel (after the imperfect-
+    /// sensing model).
+    pub interfered: Vec<bool>,
+    /// Throughput achievable per subchannel as estimated from the latest
+    /// CQI report (bits per epoch).
+    pub est_throughput: Vec<f64>,
+    /// Consecutive epochs the client has observed each subchannel as free
+    /// (input to the re-use packing heuristic).
+    pub free_streak: Vec<u32>,
+}
+
+/// Sensing input to one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochInput {
+    /// `N_i`: the AP's own active (backlogged) clients.
+    pub own_active: u32,
+    /// `NP_i`: all active clients heard via the PRACH detector, including
+    /// the AP's own.
+    pub heard_active: u32,
+    /// Per-client sensing detail.
+    pub clients: Vec<ClientEpochStats>,
+}
+
+/// What the manager decided this epoch.
+#[derive(Debug, Clone)]
+pub struct EpochDecision {
+    /// The computed share `S_i`.
+    pub share: u32,
+    /// Scheduler mask (true = subchannel usable).
+    pub mask: Vec<bool>,
+    /// Hops taken by the bucket mechanism.
+    pub hops: Vec<Hop>,
+    /// Moves taken by the re-use packing heuristic.
+    pub packing: Vec<PackingMove>,
+}
+
+/// The interference-management component of one CellFi access point.
+#[derive(Debug, Clone)]
+pub struct InterferenceManager {
+    n_subchannels: u32,
+    config: ManagerConfig,
+    hopper: Hopper,
+    epochs_run: u64,
+}
+
+impl InterferenceManager {
+    /// Manager over `n_subchannels` (13 for the paper's 5 MHz channel),
+    /// seeded deterministically.
+    pub fn new(n_subchannels: u32, config: ManagerConfig, seed: u64) -> InterferenceManager {
+        InterferenceManager {
+            n_subchannels,
+            hopper: Hopper::new(n_subchannels, config.lambda, seed),
+            config,
+            epochs_run: 0,
+        }
+    }
+
+    /// Current scheduler mask.
+    pub fn mask(&self) -> Vec<bool> {
+        self.hopper.mask()
+    }
+
+    /// Occupied subchannels.
+    pub fn owned(&self) -> Vec<SubchannelId> {
+        self.hopper.owned()
+    }
+
+    /// Total hops taken since creation (convergence diagnostics).
+    pub fn total_hops(&self) -> u64 {
+        self.hopper.total_hops
+    }
+
+    /// Epochs processed.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Run one 1 s epoch.
+    pub fn epoch(&mut self, input: &EpochInput) -> EpochDecision {
+        self.epochs_run += 1;
+        // An idle cell transmits nothing, so it interferes with nobody;
+        // it *retains* its reservation rather than releasing it, so a
+        // flow arriving mid-epoch starts at full share instead of dead
+        // air. Neighbours stop counting its (inactive) clients within a
+        // second (§5.1's PRACH expiry), grow their own shares, and their
+        // re-use packing stacks onto the quiet subchannels — the system
+        // self-corrects through the standard hopping path when the cell
+        // wakes up again.
+        if input.own_active == 0 {
+            return EpochDecision {
+                share: self.hopper.owned_count(),
+                mask: self.hopper.mask(),
+                hops: Vec::new(),
+                packing: Vec::new(),
+            };
+        }
+        let share = fair_share(self.n_subchannels, input.own_active, input.heard_active);
+
+        // Utility of a candidate subchannel: Σ over clients of the
+        // throughput achievable there (per their CQI), weighted by how
+        // much service each client has been receiving (its total
+        // scheduled fraction) — the §5.3 definition generalized over all
+        // clients, since hops and growth serve the whole cell.
+        let clients = input.clients.clone();
+        let utility = move |s: SubchannelId| -> f64 {
+            clients
+                .iter()
+                .map(|c| {
+                    let weight: f64 = c.frac_scheduled.iter().sum();
+                    let tput = c.est_throughput.get(s.index()).copied().unwrap_or(0.0);
+                    tput * weight.max(0.05) // floor keeps idle cells able to rank
+                })
+                .sum()
+        };
+
+        // 1. Track the computed share.
+        self.hopper.adjust_to_share(share, &utility);
+
+        // 2. Bucket updates + hopping from per-subchannel feedback.
+        let feedback: Vec<SubchannelFeedback> = self
+            .hopper
+            .owned()
+            .into_iter()
+            .map(|s| SubchannelFeedback {
+                subchannel: s,
+                clients: input
+                    .clients
+                    .iter()
+                    .filter(|c| c.frac_scheduled.get(s.index()).copied().unwrap_or(0.0) > 0.0)
+                    .map(|c| ClientObservation {
+                        frac_scheduled: c.frac_scheduled[s.index()],
+                        bad: c.interfered.get(s.index()).copied().unwrap_or(false),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let hops = self.hopper.apply_feedback(&feedback, &utility);
+
+        // 3. Channel re-use packing.
+        let packing = if self.config.enable_reuse {
+            let owned = self.hopper.owned();
+            let input_clients = &input.clients;
+            let min_free_streak = |k: SubchannelId, cand: SubchannelId| -> u32 {
+                input_clients
+                    .iter()
+                    .filter(|c| c.frac_scheduled.get(k.index()).copied().unwrap_or(0.0) > 0.0)
+                    .map(|c| c.free_streak.get(cand.index()).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0) // no recent users ⇒ no evidence ⇒ stay
+            };
+            let moves = packing_moves(
+                &owned,
+                self.n_subchannels,
+                &min_free_streak,
+                self.config.reuse_free_epochs,
+            );
+            for m in &moves {
+                self.hopper.relocate(m.from, m.to);
+            }
+            moves
+        } else {
+            Vec::new()
+        };
+
+        EpochDecision {
+            share,
+            mask: self.hopper.mask(),
+            hops,
+            packing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ue: u32, n: usize) -> ClientEpochStats {
+        ClientEpochStats {
+            ue: UeId::new(ue),
+            frac_scheduled: vec![0.0; n],
+            interfered: vec![false; n],
+            est_throughput: vec![1000.0; n],
+            free_streak: vec![0; n],
+        }
+    }
+
+    fn manager() -> InterferenceManager {
+        InterferenceManager::new(13, ManagerConfig::default(), 77)
+    }
+
+    #[test]
+    fn lone_cell_claims_whole_channel() {
+        let mut m = manager();
+        let input = EpochInput {
+            own_active: 6,
+            heard_active: 6,
+            clients: (0..6).map(|u| stats(u, 13)).collect(),
+        };
+        let d = m.epoch(&input);
+        assert_eq!(d.share, 13);
+        assert_eq!(d.mask.iter().filter(|&&b| b).count(), 13);
+    }
+
+    #[test]
+    fn contended_cell_takes_fair_share() {
+        let mut m = manager();
+        let input = EpochInput {
+            own_active: 6,
+            heard_active: 12,
+            clients: (0..6).map(|u| stats(u, 13)).collect(),
+        };
+        let d = m.epoch(&input);
+        assert_eq!(d.share, 6);
+        assert_eq!(d.mask.iter().filter(|&&b| b).count(), 6);
+    }
+
+    #[test]
+    fn idle_cell_retains_reservation() {
+        // An idle cell radiates no data, so holding the reservation costs
+        // nothing; releasing it would add up to one epoch of dead air
+        // when traffic returns.
+        let mut m = manager();
+        let busy = EpochInput {
+            own_active: 4,
+            heard_active: 4,
+            clients: (0..4).map(|u| stats(u, 13)).collect(),
+        };
+        m.epoch(&busy);
+        assert_eq!(m.owned().len(), 13);
+        let idle = EpochInput {
+            own_active: 0,
+            heard_active: 3,
+            clients: vec![],
+        };
+        let d = m.epoch(&idle);
+        assert_eq!(d.share, 13, "reservation retained across idle epochs");
+        assert_eq!(m.owned().len(), 13);
+        // When traffic resumes in a now-busier neighbourhood, the share
+        // shrinks to the recomputed fair value.
+        let resumed = EpochInput {
+            own_active: 2,
+            heard_active: 13,
+            clients: (0..2).map(|u| stats(u, 13)).collect(),
+        };
+        let d = m.epoch(&resumed);
+        assert_eq!(d.share, 2);
+        assert_eq!(m.owned().len(), 2);
+    }
+
+    #[test]
+    fn interference_on_scheduled_subchannel_eventually_hops() {
+        let mut m = InterferenceManager::new(
+            13,
+            ManagerConfig {
+                enable_reuse: false,
+                ..ManagerConfig::default()
+            },
+            3,
+        );
+        // One client, share 1 of 13; its subchannel is always interfered.
+        let mut hop_seen = false;
+        for _ in 0..200 {
+            let owned = m.owned();
+            let mut st = stats(0, 13);
+            if let Some(&s) = owned.first() {
+                st.frac_scheduled[s.index()] = 1.0;
+                st.interfered[s.index()] = true;
+            }
+            let d = m.epoch(&EpochInput {
+                own_active: 1,
+                heard_active: 13,
+                clients: vec![st],
+            });
+            if !d.hops.is_empty() {
+                hop_seen = true;
+                break;
+            }
+        }
+        assert!(hop_seen, "persistent interference must trigger a hop");
+    }
+
+    #[test]
+    fn clean_channel_is_stable_after_convergence() {
+        let mut m = InterferenceManager::new(
+            13,
+            ManagerConfig {
+                enable_reuse: false,
+                ..ManagerConfig::default()
+            },
+            5,
+        );
+        let mut input = EpochInput {
+            own_active: 3,
+            heard_active: 6,
+            clients: (0..3).map(|u| stats(u, 13)).collect(),
+        };
+        let first = m.epoch(&input);
+        assert_eq!(first.share, 6);
+        let owned_after = m.owned();
+        // Serve clients on owned subchannels, all clean.
+        for c in input.clients.iter_mut() {
+            for &s in &owned_after {
+                c.frac_scheduled[s.index()] = 1.0 / owned_after.len() as f64;
+            }
+        }
+        for _ in 0..50 {
+            let d = m.epoch(&input);
+            assert!(d.hops.is_empty());
+            assert!(d.packing.is_empty());
+        }
+        assert_eq!(m.owned(), owned_after);
+        assert_eq!(m.total_hops(), 0);
+    }
+
+    #[test]
+    fn reuse_packs_toward_low_indices() {
+        let mut m = manager();
+        // Single client cell with full free streaks everywhere: whatever
+        // it owns should compact to the lowest indices.
+        let mut st = stats(0, 13);
+        st.free_streak = vec![10; 13];
+        let input = EpochInput {
+            own_active: 1,
+            heard_active: 6,
+            clients: vec![st.clone()],
+        };
+        let d1 = m.epoch(&input);
+        assert_eq!(d1.share, 2);
+        // Mark the client as scheduled on owned so packing has "recent
+        // users" evidence.
+        let mut st2 = st.clone();
+        for &s in &m.owned() {
+            st2.frac_scheduled[s.index()] = 0.5;
+        }
+        let input2 = EpochInput {
+            own_active: 1,
+            heard_active: 6,
+            clients: vec![st2],
+        };
+        let _ = m.epoch(&input2);
+        let owned = m.owned();
+        assert_eq!(owned[0], SubchannelId::new(0), "packed to lowest: {owned:?}");
+    }
+
+    #[test]
+    fn reuse_disabled_never_packs() {
+        let mut m = InterferenceManager::new(
+            13,
+            ManagerConfig {
+                enable_reuse: false,
+                ..ManagerConfig::default()
+            },
+            11,
+        );
+        let mut st = stats(0, 13);
+        st.free_streak = vec![100; 13];
+        for &s in &[3u32, 9] {
+            st.frac_scheduled[s as usize] = 0.5;
+        }
+        let d = m.epoch(&EpochInput {
+            own_active: 1,
+            heard_active: 2,
+            clients: vec![st],
+        });
+        assert!(d.packing.is_empty());
+    }
+
+    #[test]
+    fn mask_length_matches_subchannel_count() {
+        let mut m = manager();
+        let d = m.epoch(&EpochInput {
+            own_active: 1,
+            heard_active: 1,
+            clients: vec![stats(0, 13)],
+        });
+        assert_eq!(d.mask.len(), 13);
+    }
+
+    #[test]
+    fn epochs_are_counted() {
+        let mut m = manager();
+        let input = EpochInput {
+            own_active: 1,
+            heard_active: 1,
+            clients: vec![stats(0, 13)],
+        };
+        for _ in 0..5 {
+            m.epoch(&input);
+        }
+        assert_eq!(m.epochs_run(), 5);
+    }
+
+    #[test]
+    fn two_managers_converge_to_disjoint_shares() {
+        // The core co-existence property on a clean 2-AP topology: both
+        // cells hear all 12 clients, take 6 subchannels each, and — with
+        // mutual interference feedback — end up disjoint.
+        let cfg = ManagerConfig {
+            enable_reuse: false,
+            ..ManagerConfig::default()
+        };
+        let mut a = InterferenceManager::new(13, cfg, 100);
+        let mut b = InterferenceManager::new(13, cfg, 200);
+        let mut last_overlap = 13;
+        for _ in 0..300 {
+            let owned_a = a.owned();
+            let owned_b = b.owned();
+            let overlap: Vec<SubchannelId> = owned_a
+                .iter()
+                .copied()
+                .filter(|s| owned_b.contains(s))
+                .collect();
+            last_overlap = overlap.len();
+            let build = |owned: &[SubchannelId], n_clients: u32| -> EpochInput {
+                let mut clients = Vec::new();
+                for u in 0..n_clients {
+                    let mut st = stats(u, 13);
+                    for &s in owned {
+                        st.frac_scheduled[s.index()] = 1.0 / owned.len().max(1) as f64;
+                        st.interfered[s.index()] = overlap.contains(&s);
+                    }
+                    clients.push(st);
+                }
+                EpochInput {
+                    own_active: n_clients,
+                    heard_active: 12,
+                    clients,
+                }
+            };
+            let ia = build(&owned_a, 6);
+            let ib = build(&owned_b, 6);
+            a.epoch(&ia);
+            b.epoch(&ib);
+        }
+        assert_eq!(last_overlap, 0, "managers still colliding after 300 epochs");
+        assert_eq!(a.owned().len(), 6);
+        assert_eq!(b.owned().len(), 6);
+    }
+}

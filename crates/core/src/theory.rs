@@ -1,0 +1,322 @@
+//! The §5.5 analytical model and Theorem 1.
+//!
+//! The paper abstracts hopping as a process on the conflict graph: each
+//! node `v_i` has integer demand `d_i`; nodes hop onto subchannels not
+//! occupied by neighbours; a freshly chosen subchannel is unusable
+//! (faded) with independent probability `p`. Under the **demand
+//! assumption** — there exists `γ ∈ (1/M, 1]` with
+//! `Σ_{ℓ∈N(v_i)} d_ℓ ≤ (1−γ)·M` for every node — Theorem 1 states the
+//! process converges with probability 1, in
+//! `O(M·log n / ((1−p)·γ))` rounds in expectation and w.h.p.
+//!
+//! This module provides:
+//!
+//! * [`demand_gamma`] — the largest γ the instance satisfies (or `None`);
+//! * [`convergence_bound_rounds`] — the theorem's bound (up to the
+//!   constant);
+//! * [`HoppingProcess`] — a faithful simulator of the abstract process,
+//!   used by tests, `exp -- theorem1` and the convergence bench to check
+//!   the bound empirically.
+
+use crate::graph::ConflictGraph;
+use cellfi_types::ApId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// The largest `γ` such that every *open* neighbourhood's demand satisfies
+/// `Σ_{ℓ∈N(v_i)} d_ℓ ≤ (1−γ)·M`, as in the paper's statement. Returns
+/// `None` when some neighbourhood violates even `γ = 1/M` (no slack), in
+/// which case the theorem gives no guarantee.
+pub fn demand_gamma(graph: &ConflictGraph, demands: &[u32], m: u32) -> Option<f64> {
+    assert_eq!(demands.len(), graph.len());
+    assert!(m > 0);
+    let worst = (0..graph.len() as u32)
+        .map(|v| {
+            graph
+                .neighbors(ApId::new(v))
+                .map(|u| demands[u.index()])
+                .sum::<u32>()
+        })
+        .max()
+        .unwrap_or(0);
+    let gamma = 1.0 - f64::from(worst) / f64::from(m);
+    (gamma > 1.0 / f64::from(m)).then_some(gamma)
+}
+
+/// Theorem 1's convergence bound in rounds: `M·log n / ((1−p)·γ)`.
+/// (The theorem hides a constant; empirical runs land well under this.)
+pub fn convergence_bound_rounds(m: u32, n: usize, p_fading: f64, gamma: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p_fading), "p must be in [0,1)");
+    assert!(gamma > 0.0 && gamma <= 1.0);
+    let n = n.max(2) as f64;
+    f64::from(m) * n.ln() / ((1.0 - p_fading) * gamma)
+}
+
+/// The abstract synchronous hopping process of §5.5.
+///
+/// ```
+/// use cellfi_core::theory::HoppingProcess;
+/// use cellfi_core::ConflictGraph;
+/// // Two conflicting nodes wanting 4 subchannels each of 13: converges
+/// // fast and conflict-free.
+/// let g = ConflictGraph::from_edges(2, &[(0, 1)]);
+/// let mut p = HoppingProcess::new(g, vec![4, 4], 13, 0.0, 7);
+/// let rounds = p.run(1_000).expect("slack instance converges");
+/// assert!(rounds <= 20);
+/// assert!(p.conflict_free());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HoppingProcess {
+    graph: ConflictGraph,
+    demands: Vec<u32>,
+    m: u32,
+    p_fading: f64,
+    /// `holdings[v]` = subchannels currently held by node `v`.
+    holdings: Vec<BTreeSet<u32>>,
+    rng: StdRng,
+    rounds: u32,
+}
+
+impl HoppingProcess {
+    /// New process instance.
+    pub fn new(
+        graph: ConflictGraph,
+        demands: Vec<u32>,
+        m: u32,
+        p_fading: f64,
+        seed: u64,
+    ) -> HoppingProcess {
+        assert_eq!(demands.len(), graph.len());
+        assert!((0.0..1.0).contains(&p_fading));
+        let n = graph.len();
+        HoppingProcess {
+            graph,
+            demands,
+            m,
+            p_fading,
+            holdings: vec![BTreeSet::new(); n],
+            rng: StdRng::seed_from_u64(seed),
+            rounds: 0,
+        }
+    }
+
+    /// Whether every node has satisfied its demand.
+    pub fn converged(&self) -> bool {
+        self.holdings
+            .iter()
+            .zip(&self.demands)
+            .all(|(h, &d)| h.len() as u32 >= d)
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Current holdings (for invariant checks).
+    pub fn holdings(&self) -> &[BTreeSet<u32>] {
+        &self.holdings
+    }
+
+    /// Verify the standing invariant: no two neighbours hold the same
+    /// subchannel.
+    pub fn conflict_free(&self) -> bool {
+        let raw: Vec<Vec<u32>> = self
+            .holdings
+            .iter()
+            .map(|h| h.iter().copied().collect())
+            .collect();
+        self.graph.is_conflict_free(&raw)
+    }
+
+    /// Run one synchronous round: every unsatisfied node makes one hopping
+    /// attempt on a uniformly random subchannel it senses free (not held
+    /// by itself or any neighbour). The attempt fails on a *clash* (a
+    /// neighbour picked the same subchannel this round) or on *fading*
+    /// (probability `p`, independent).
+    pub fn step(&mut self) {
+        self.rounds += 1;
+        let n = self.graph.len();
+        // Each unsatisfied node picks its attempt based on the state at
+        // the start of the round (synchronous model).
+        let mut picks: Vec<Option<u32>> = vec![None; n];
+        for v in 0..n {
+            if self.holdings[v].len() as u32 >= self.demands[v] {
+                continue;
+            }
+            let mut free: Vec<u32> = (0..self.m)
+                .filter(|s| {
+                    !self.holdings[v].contains(s)
+                        && !self
+                            .graph
+                            .neighbors(ApId::new(v as u32))
+                            .any(|u| self.holdings[u.index()].contains(s))
+                })
+                .collect();
+            if free.is_empty() {
+                continue;
+            }
+            free.shuffle(&mut self.rng);
+            picks[v] = Some(free[0]);
+        }
+        // Resolve clashes and fading.
+        for v in 0..n {
+            let Some(s) = picks[v] else { continue };
+            let clash = self
+                .graph
+                .neighbors(ApId::new(v as u32))
+                .any(|u| picks[u.index()] == Some(s));
+            if clash {
+                continue;
+            }
+            if self.rng.gen::<f64>() < self.p_fading {
+                continue; // faded: the subchannel turned out unusable
+            }
+            self.holdings[v].insert(s);
+        }
+    }
+
+    /// Run until convergence or `max_rounds`; returns the round count on
+    /// convergence, `None` on timeout.
+    pub fn run(&mut self, max_rounds: u32) -> Option<u32> {
+        for _ in 0..max_rounds {
+            if self.converged() {
+                return Some(self.rounds);
+            }
+            self.step();
+        }
+        self.converged().then_some(self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of n nodes (cycle graph).
+    fn ring(n: u32) -> ConflictGraph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        ConflictGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn gamma_for_slack_instance() {
+        // Ring of 6, demand 3 each, M = 13: open-neighbourhood demand 6,
+        // γ = 1 − 6/13 ≈ 0.538.
+        let g = ring(6);
+        let gamma = demand_gamma(&g, &[3; 6], 13).unwrap();
+        assert!((gamma - (1.0 - 6.0 / 13.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_none_when_overloaded() {
+        let g = ring(4);
+        assert!(demand_gamma(&g, &[7, 7, 7, 7], 13).is_none());
+    }
+
+    #[test]
+    fn bound_formula() {
+        let b = convergence_bound_rounds(13, 10, 0.0, 0.5);
+        assert!((b - 13.0 * (10f64).ln() / 0.5).abs() < 1e-9);
+        // Fading slows convergence by 1/(1−p).
+        let bf = convergence_bound_rounds(13, 10, 0.5, 0.5);
+        assert!((bf / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn process_converges_on_slack_ring() {
+        let g = ring(8);
+        let demands = vec![3u32; 8];
+        let gamma = demand_gamma(&g, &demands, 13).unwrap();
+        let bound = convergence_bound_rounds(13, 8, 0.0, gamma);
+        let mut p = HoppingProcess::new(g, demands, 13, 0.0, 1);
+        let rounds = p.run(5_000).expect("must converge");
+        assert!(p.conflict_free());
+        // Theorem hides a constant; allow 3× the bound.
+        assert!(
+            f64::from(rounds) <= 3.0 * bound,
+            "rounds {rounds} vs bound {bound}"
+        );
+    }
+
+    #[test]
+    fn holdings_never_conflict_during_run() {
+        let g = ring(6);
+        let mut p = HoppingProcess::new(g, vec![4; 6], 13, 0.1, 3);
+        for _ in 0..200 {
+            p.step();
+            assert!(p.conflict_free(), "conflict at round {}", p.rounds());
+        }
+    }
+
+    #[test]
+    fn fading_slows_but_does_not_stop_convergence() {
+        let g = ring(8);
+        let demands = vec![3u32; 8];
+        let mut clean_total = 0u32;
+        let mut faded_total = 0u32;
+        for seed in 0..10 {
+            let mut clean = HoppingProcess::new(g.clone(), demands.clone(), 13, 0.0, seed);
+            let mut faded = HoppingProcess::new(g.clone(), demands.clone(), 13, 0.6, seed + 100);
+            clean_total += clean.run(10_000).expect("clean converges");
+            faded_total += faded.run(10_000).expect("faded converges");
+        }
+        assert!(
+            faded_total > clean_total,
+            "fading should slow convergence: {faded_total} vs {clean_total}"
+        );
+    }
+
+    #[test]
+    fn converged_instance_stops_hopping() {
+        let g = ConflictGraph::new(2);
+        let mut p = HoppingProcess::new(g, vec![1, 1], 4, 0.0, 7);
+        let r = p.run(100).unwrap();
+        let holdings_before: Vec<_> = p.holdings().to_vec();
+        for _ in 0..10 {
+            p.step();
+        }
+        assert_eq!(p.holdings(), &holdings_before[..], "stable after convergence");
+        assert!(r <= 5);
+    }
+
+    #[test]
+    fn convergence_scales_logarithmically_in_n() {
+        // Median rounds over seeds for n and n² nodes: the ratio should be
+        // far below linear (n), consistent with the log n bound.
+        let run_median = |n: u32| -> f64 {
+            let mut results: Vec<u32> = (0..9)
+                .map(|seed| {
+                    let g = ring(n);
+                    let mut p = HoppingProcess::new(g, vec![3; n as usize], 13, 0.0, seed);
+                    p.run(20_000).expect("converges")
+                })
+                .collect();
+            results.sort_unstable();
+            f64::from(results[4])
+        };
+        let small = run_median(8);
+        let large = run_median(64);
+        assert!(
+            large / small < 4.0,
+            "8→64 nodes grew rounds {small}→{large}; too fast for log n"
+        );
+    }
+
+    #[test]
+    fn zero_demand_node_converges_immediately() {
+        let g = ConflictGraph::new(1);
+        let mut p = HoppingProcess::new(g, vec![0], 13, 0.0, 1);
+        assert!(p.converged());
+        assert_eq!(p.run(10), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1)")]
+    fn bad_fading_probability_panics() {
+        let _ = convergence_bound_rounds(13, 10, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Control-channel interference model.
+//!
+//! "LTE control elements are always present and can create interference
+//! even when there is no data being transmitted" (§6.3.1). The paper
+//! measures this with two outdoor small cells (Fig 7b): an *idle*
+//! interferer (CRS/PSS/SSS only) costs "at most 20 %, and in most cases
+//! much less", even down to −15 dB SINR; a *backlogged* interferer costs
+//! up to 50 % and causes disconnections below 10 dB SINR.
+//!
+//! The large-scale simulations "model the control channel interference by
+//! scaling down the measured throughput based on the measurements in
+//! Fig 7" — this module is that scaling function: a piecewise-linear
+//! goodput retention factor in the SINR towards the *idle* interferer.
+
+use cellfi_types::units::Db;
+
+/// Goodput retention factor (0..=1) under signalling-only interference
+/// from a neighbouring cell, as a function of the SINR of the serving
+/// signal over that neighbour's signalling.
+///
+/// Calibration (Fig 7b): no measurable loss above +10 dB; worst-case 20 %
+/// loss at and below −15 dB; linear in between.
+pub fn signalling_retention(sinr_towards_interferer: Db) -> f64 {
+    const HI: f64 = 10.0; // dB, no loss above this
+    const LO: f64 = -15.0; // dB, max loss at/below this
+    const MAX_LOSS: f64 = 0.20;
+    let s = sinr_towards_interferer.value();
+    if s >= HI {
+        1.0
+    } else if s <= LO {
+        1.0 - MAX_LOSS
+    } else {
+        1.0 - MAX_LOSS * (HI - s) / (HI - LO)
+    }
+}
+
+/// Fraction of downlink resource elements occupied by always-on control
+/// signals (CRS on 2 ports + PSS/SSS/PBCH): what an idle cell still
+/// radiates.
+pub const IDLE_CELL_ACTIVITY: f64 = 0.10;
+
+/// Below this SINR with a *fully backlogged* co-channel interferer, the
+/// paper observed frequent disconnections (§3.2, §6.3.1).
+pub const DISCONNECT_SINR: Db = Db(-9.0);
+
+/// Whether a link at `sinr` under full data interference is in the
+/// disconnection regime the paper reports.
+pub fn data_interference_disconnects(sinr: Db) -> bool {
+    sinr.value() < DISCONNECT_SINR.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_at_high_sinr() {
+        assert_eq!(signalling_retention(Db(10.0)), 1.0);
+        assert_eq!(signalling_retention(Db(30.0)), 1.0);
+    }
+
+    #[test]
+    fn paper_bound_twenty_percent_at_minus_15() {
+        // Fig 7b: signalling interference costs at most 20 %.
+        assert!((signalling_retention(Db(-15.0)) - 0.8).abs() < 1e-12);
+        assert!((signalling_retention(Db(-30.0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_monotone_in_sinr() {
+        let mut last = 0.0;
+        for i in -30..=30 {
+            let r = signalling_retention(Db(f64::from(i)));
+            assert!(r >= last - 1e-12, "not monotone at {i} dB");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn midpoint_loses_half_the_max() {
+        // Halfway between −15 and +10 dB is −2.5 dB → 10 % loss.
+        let r = signalling_retention(Db(-2.5));
+        assert!((r - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_bounded() {
+        for i in -50..=50 {
+            let r = signalling_retention(Db(f64::from(i)));
+            assert!((0.8..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn disconnect_threshold() {
+        assert!(data_interference_disconnects(Db(-12.0)));
+        assert!(!data_interference_disconnects(Db(0.0)));
+    }
+}

@@ -1,0 +1,344 @@
+//! Minimal DSP kernel: FFTs for the PRACH correlator.
+//!
+//! The paper's PRACH detector claim ("overall, it is 16 times faster
+//! than the required line rate", §6.3.3) needs the circular correlation
+//! computed in the frequency domain. The ZC sequence length is 839 — a
+//! prime — so a plain radix-2 FFT does not apply; we use **Bluestein's
+//! algorithm**, which re-expresses an arbitrary-length DFT as a linear
+//! convolution that *can* be done with power-of-two FFTs:
+//!
+//! `X[k] = b*[k] · Σ_n (x[n]·b*[n]) · b[k−n]`, with the chirp
+//! `b[n] = e^{jπ n²/N}`.
+//!
+//! Everything here is self-contained (the workspace carries no numerics
+//! dependency) and checked against naive DFTs in the tests.
+
+/// A complex sample. Local minimal implementation — the workspace has no
+/// numerics dependency; the FFTs and the PRACH detector need only
+/// mul/add/conj/abs².
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{jθ}`.
+    pub fn cis(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Product.
+    pub fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+
+    /// Sum.
+    pub fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.len()` must be a
+/// power of two. `inverse` selects the IDFT (including the 1/N scale).
+pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.add(v.scale(-1.0));
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for c in data.iter_mut() {
+            *c = c.scale(scale);
+        }
+    }
+}
+
+/// Precomputed Bluestein plan for DFTs of arbitrary length `n`.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    /// Chirp b[k] = e^{jπ k²/n}.
+    chirp: Vec<Complex>,
+    /// FFT of the zero-padded chirp filter (forward direction).
+    filter_fft_fwd: Vec<Complex>,
+    /// FFT of the conjugate-chirp filter (inverse direction).
+    filter_fft_inv: Vec<Complex>,
+}
+
+impl BluesteinPlan {
+    /// Build a plan for length `n`.
+    pub fn new(n: usize) -> BluesteinPlan {
+        assert!(n >= 1);
+        let m = (2 * n - 1).next_power_of_two();
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                // k² mod 2n keeps the angle argument small and exact.
+                let k2 = (k * k) % (2 * n);
+                Complex::cis(std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let build_filter = |conj: bool| -> Vec<Complex> {
+            let mut f = vec![Complex::default(); m];
+            for k in 0..n {
+                let c = if conj { chirp[k].conj() } else { chirp[k] };
+                // The convolution kernel is b[|i-j|]: symmetric wrap.
+                f[k] = c;
+                if k != 0 {
+                    f[m - k] = c;
+                }
+            }
+            fft_pow2(&mut f, false);
+            f
+        };
+        // Forward DFT uses e^{-j...}: kernel b[k] with the *conjugate*
+        // chirp pre/post multiply; inverse swaps roles.
+        let filter_fft_fwd = build_filter(false);
+        let filter_fft_inv = build_filter(true);
+        BluesteinPlan {
+            n,
+            m,
+            chirp,
+            filter_fft_fwd,
+            filter_fft_inv,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Plans are never empty (n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn transform(&self, input: &[Complex], inverse: bool) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        let (pre_conj, filter) = if inverse {
+            (false, &self.filter_fft_inv)
+        } else {
+            (true, &self.filter_fft_fwd)
+        };
+        // y[k] = x[k] · b^{∓}[k], zero-padded to m.
+        let mut y = vec![Complex::default(); self.m];
+        for k in 0..self.n {
+            let c = if pre_conj {
+                self.chirp[k].conj()
+            } else {
+                self.chirp[k]
+            };
+            y[k] = input[k].mul(c);
+        }
+        fft_pow2(&mut y, false);
+        for (yk, fk) in y.iter_mut().zip(filter.iter()) {
+            *yk = yk.mul(*fk);
+        }
+        fft_pow2(&mut y, true);
+        // Post-multiply by the same chirp factor and trim.
+        let mut out = Vec::with_capacity(self.n);
+        for k in 0..self.n {
+            let c = if pre_conj {
+                self.chirp[k].conj()
+            } else {
+                self.chirp[k]
+            };
+            out.push(y[k].mul(c));
+        }
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            for c in out.iter_mut() {
+                *c = c.scale(scale);
+            }
+        }
+        out
+    }
+
+    /// Forward DFT of arbitrary length: `X[k] = Σ_n x[n]·e^{−j2πkn/N}`.
+    pub fn dft(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, false)
+    }
+
+    /// Inverse DFT (with 1/N scaling).
+    pub fn idft(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, true)
+    }
+}
+
+/// Naive O(N²) DFT, the reference the tests check Bluestein against.
+pub fn dft_naive(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::default();
+        for (i, x) in input.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * i % n) as f64 / n as f64;
+            acc = acc.add(x.mul(Complex::cis(ang)));
+        }
+        out.push(if inverse { acc.scale(1.0 / n as f64) } else { acc });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 8, 64, 256] {
+            let x = random_signal(n, 1);
+            let mut y = x.clone();
+            fft_pow2(&mut y, false);
+            let reference = dft_naive(&x, false);
+            assert!(max_err(&y, &reference) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fft_round_trips() {
+        let x = random_signal(128, 2);
+        let mut y = x.clone();
+        fft_pow2(&mut y, false);
+        fft_pow2(&mut y, true);
+        assert!(max_err(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_pow2(&mut x, false);
+        for c in &x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = vec![Complex::default(); 12];
+        fft_pow2(&mut x, false);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_for_prime_lengths() {
+        for n in [3usize, 7, 17, 101, 839] {
+            let plan = BluesteinPlan::new(n);
+            let x = random_signal(n, n as u64);
+            let fast = plan.dft(&x);
+            let slow = dft_naive(&x, false);
+            assert!(
+                max_err(&fast, &slow) < 1e-7 * n as f64,
+                "n={n}, err={}",
+                max_err(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn bluestein_round_trips() {
+        let plan = BluesteinPlan::new(839);
+        let x = random_signal(839, 9);
+        let back = plan.idft(&plan.dft(&x));
+        assert!(max_err(&x, &back) < 1e-8);
+    }
+
+    #[test]
+    fn bluestein_composite_lengths_work_too() {
+        for n in [6usize, 100, 360] {
+            let plan = BluesteinPlan::new(n);
+            let x = random_signal(n, n as u64 + 1);
+            assert!(max_err(&plan.dft(&x), &dft_naive(&x, false)) < 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let plan = BluesteinPlan::new(839);
+        let x = random_signal(839, 4);
+        let spectrum = plan.dft(&x);
+        let e_time: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let e_freq: f64 = spectrum.iter().map(|c| c.norm_sq()).sum::<f64>() / 839.0;
+        assert!((e_time - e_freq).abs() / e_time < 1e-9);
+    }
+}

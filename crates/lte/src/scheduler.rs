@@ -1,0 +1,385 @@
+//! Downlink schedulers over an allowed-subchannel mask.
+//!
+//! CellFi deliberately does *not* modify the LTE scheduler: "once the
+//! interference management component decides which resource block a
+//! scheduler can use, it informs the scheduler using standard interfaces.
+//! The scheduler is free to schedule any client in any of the resource
+//! blocks made available" (§4.3). This module is that standard scheduler:
+//! proportional-fair (the common vendor default) and round-robin, both
+//! operating only on subchannels enabled in the mask supplied each
+//! subframe.
+//!
+//! The scheduler also produces the bookkeeping CellFi's bucket updates
+//! need: which UE was served on which subchannel (the engine aggregates
+//! this into `frac_j`, the fraction of time client `j` was scheduled on a
+//! subchannel during the last epoch, §5.3).
+
+use cellfi_types::{SubchannelId, UeId};
+use std::collections::HashMap;
+
+/// Scheduler discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Proportional fair: maximize instantaneous rate / average rate.
+    ProportionalFair,
+    /// Round robin over backlogged UEs.
+    RoundRobin,
+}
+
+/// Scheduling input for one UE in one subframe.
+#[derive(Debug, Clone)]
+pub struct UeDemand {
+    /// The UE.
+    pub ue: UeId,
+    /// Bits waiting in its downlink queue.
+    pub backlog_bits: u64,
+    /// Achievable bits this subframe on each subchannel (0 where the UE
+    /// cannot decode).
+    pub rate_per_subchannel: Vec<f64>,
+}
+
+/// The per-subframe allocation: which UE owns each subchannel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// `assignment[s]` is the UE scheduled on subchannel `s`, if any.
+    pub assignment: Vec<Option<UeId>>,
+}
+
+impl Allocation {
+    /// Subchannels assigned to `ue`.
+    pub fn subchannels_of(&self, ue: UeId) -> Vec<SubchannelId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u == Some(ue))
+            .map(|(s, _)| SubchannelId::new(s as u32))
+            .collect()
+    }
+
+    /// Number of assigned subchannels.
+    pub fn used_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// A downlink scheduler instance (one per cell).
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// EWMA of served rate per UE (bits/subframe), the PF denominator.
+    avg_rate: HashMap<UeId, f64>,
+    /// EWMA smoothing factor (standard PF window ≈ 100 subframes).
+    alpha: f64,
+    /// Round-robin pointer.
+    rr_next: usize,
+}
+
+impl Scheduler {
+    /// New scheduler of the given discipline.
+    pub fn new(kind: SchedulerKind) -> Scheduler {
+        Scheduler {
+            kind,
+            avg_rate: HashMap::new(),
+            alpha: 0.01,
+            rr_next: 0,
+        }
+    }
+
+    /// Allocate the allowed subchannels of one downlink subframe among the
+    /// demanding UEs. `allowed[s]` is the interference-management mask.
+    ///
+    /// UEs are never assigned more capacity than their backlog needs
+    /// (trailing subchannels are released to other UEs — the §5.2
+    /// "scheduler will later automatically assign these to its other
+    /// clients" behaviour).
+    pub fn allocate(&mut self, allowed: &[bool], demands: &[UeDemand]) -> Allocation {
+        let n_sub = allowed.len();
+        let mut assignment: Vec<Option<UeId>> = vec![None; n_sub];
+        if demands.is_empty() {
+            return Allocation { assignment };
+        }
+        for d in demands {
+            assert_eq!(
+                d.rate_per_subchannel.len(),
+                n_sub,
+                "UE {} rate vector length mismatch",
+                d.ue
+            );
+        }
+        // Remaining backlog per demand index as we hand out subchannels.
+        let mut remaining: Vec<f64> = demands.iter().map(|d| d.backlog_bits as f64).collect();
+
+        match self.kind {
+            SchedulerKind::ProportionalFair => {
+                for s in 0..n_sub {
+                    if !allowed[s] {
+                        continue;
+                    }
+                    let mut best: Option<(usize, f64)> = None;
+                    for (i, d) in demands.iter().enumerate() {
+                        if remaining[i] <= 0.0 {
+                            continue;
+                        }
+                        let rate = d.rate_per_subchannel[s];
+                        if rate <= 0.0 {
+                            continue;
+                        }
+                        let avg = self.avg_rate.get(&d.ue).copied().unwrap_or(1.0).max(1.0);
+                        let metric = rate / avg;
+                        if best.map_or(true, |(_, m)| metric > m) {
+                            best = Some((i, metric));
+                        }
+                    }
+                    if let Some((i, _)) = best {
+                        assignment[s] = Some(demands[i].ue);
+                        remaining[i] -= demands[i].rate_per_subchannel[s];
+                    }
+                }
+            }
+            SchedulerKind::RoundRobin => {
+                let n_ue = demands.len();
+                let mut cursor = self.rr_next % n_ue;
+                for s in 0..n_sub {
+                    if !allowed[s] {
+                        continue;
+                    }
+                    // Find the next UE (starting at cursor) with backlog
+                    // and a usable subchannel.
+                    for step in 0..n_ue {
+                        let i = (cursor + step) % n_ue;
+                        if remaining[i] > 0.0 && demands[i].rate_per_subchannel[s] > 0.0 {
+                            assignment[s] = Some(demands[i].ue);
+                            remaining[i] -= demands[i].rate_per_subchannel[s];
+                            cursor = (i + 1) % n_ue;
+                            break;
+                        }
+                    }
+                }
+                self.rr_next = cursor;
+            }
+        }
+        Allocation { assignment }
+    }
+
+    /// Record bits actually delivered to `ue` this subframe (updates the
+    /// PF average). Call once per subframe per UE, with 0 for unserved
+    /// UEs so their average decays and their PF priority rises.
+    pub fn record_served(&mut self, ue: UeId, bits: f64) {
+        let avg = self.avg_rate.entry(ue).or_insert(1.0);
+        *avg = (1.0 - self.alpha) * *avg + self.alpha * bits;
+    }
+
+    /// The PF average for a UE (test/diagnostic hook).
+    pub fn average_rate(&self, ue: UeId) -> f64 {
+        self.avg_rate.get(&ue).copied().unwrap_or(0.0)
+    }
+
+    /// Remove state for a detached UE.
+    pub fn forget(&mut self, ue: UeId) {
+        self.avg_rate.remove(&ue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(ue: u32, backlog: u64, rates: Vec<f64>) -> UeDemand {
+        UeDemand {
+            ue: UeId::new(ue),
+            backlog_bits: backlog,
+            rate_per_subchannel: rates,
+        }
+    }
+
+    #[test]
+    fn respects_allowed_mask() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let allowed = vec![true, false, true, false];
+        let d = vec![demand(0, 1_000_000, vec![100.0; 4])];
+        let a = s.allocate(&allowed, &d);
+        assert_eq!(a.assignment[0], Some(UeId::new(0)));
+        assert_eq!(a.assignment[1], None);
+        assert_eq!(a.assignment[2], Some(UeId::new(0)));
+        assert_eq!(a.assignment[3], None);
+    }
+
+    #[test]
+    fn empty_demands_allocate_nothing() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let a = s.allocate(&[true, true], &[]);
+        assert_eq!(a.used_count(), 0);
+    }
+
+    #[test]
+    fn backlog_limits_assignment() {
+        // 150 bits of backlog at 100 bits/subchannel needs 2 subchannels,
+        // not all 4 — the rest must go unused (or to other UEs).
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let d = vec![demand(0, 150, vec![100.0; 4])];
+        let a = s.allocate(&[true; 4], &d);
+        assert_eq!(a.used_count(), 2);
+    }
+
+    #[test]
+    fn released_capacity_goes_to_other_ue() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let d = vec![
+            demand(0, 150, vec![100.0; 4]),
+            demand(1, 1_000_000, vec![100.0; 4]),
+        ];
+        let a = s.allocate(&[true; 4], &d);
+        assert_eq!(a.used_count(), 4);
+        assert_eq!(a.subchannels_of(UeId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn pf_prefers_under_served_ue() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        // UE 0 has been served heavily, UE 1 starved.
+        for _ in 0..200 {
+            s.record_served(UeId::new(0), 10_000.0);
+            s.record_served(UeId::new(1), 10.0);
+        }
+        let d = vec![
+            demand(0, 1_000_000, vec![100.0; 2]),
+            demand(1, 1_000_000, vec![100.0; 2]),
+        ];
+        let a = s.allocate(&[true, true], &d);
+        assert_eq!(a.subchannels_of(UeId::new(1)).len(), 2, "{a:?}");
+    }
+
+    #[test]
+    fn pf_exploits_frequency_selectivity() {
+        // Equal averages; UE 0 peaks on sc0, UE 1 on sc1 → each gets its
+        // best subchannel (the OFDMA advantage of §3.1).
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        s.record_served(UeId::new(0), 100.0);
+        s.record_served(UeId::new(1), 100.0);
+        let d = vec![
+            demand(0, 10_000, vec![500.0, 50.0]),
+            demand(1, 10_000, vec![50.0, 500.0]),
+        ];
+        let a = s.allocate(&[true, true], &d);
+        assert_eq!(a.assignment[0], Some(UeId::new(0)));
+        assert_eq!(a.assignment[1], Some(UeId::new(1)));
+    }
+
+    #[test]
+    fn zero_rate_subchannel_never_assigned() {
+        // A UE that cannot decode a subchannel (CQI 0) must not be put on
+        // it, even if it is the only UE.
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let d = vec![demand(0, 1_000_000, vec![0.0, 100.0])];
+        let a = s.allocate(&[true, true], &d);
+        assert_eq!(a.assignment[0], None);
+        assert_eq!(a.assignment[1], Some(UeId::new(0)));
+    }
+
+    #[test]
+    fn round_robin_rotates_between_subframes() {
+        let mut s = Scheduler::new(SchedulerKind::RoundRobin);
+        let d = vec![
+            demand(0, 1_000_000, vec![100.0]),
+            demand(1, 1_000_000, vec![100.0]),
+        ];
+        let first = s.allocate(&[true], &d).assignment[0];
+        let second = s.allocate(&[true], &d).assignment[0];
+        assert_ne!(first, second, "RR must alternate single subchannel");
+    }
+
+    #[test]
+    fn round_robin_spreads_within_subframe() {
+        let mut s = Scheduler::new(SchedulerKind::RoundRobin);
+        let d = vec![
+            demand(0, 1_000_000, vec![100.0; 4]),
+            demand(1, 1_000_000, vec![100.0; 4]),
+        ];
+        let a = s.allocate(&[true; 4], &d);
+        assert_eq!(a.subchannels_of(UeId::new(0)).len(), 2);
+        assert_eq!(a.subchannels_of(UeId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn record_served_moves_average() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        for _ in 0..1000 {
+            s.record_served(UeId::new(0), 500.0);
+        }
+        assert!((s.average_rate(UeId::new(0)) - 500.0).abs() < 5.0);
+        s.forget(UeId::new(0));
+        assert_eq!(s.average_rate(UeId::new(0)), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_demands() -> impl Strategy<Value = Vec<UeDemand>> {
+            proptest::collection::vec(
+                (0u64..2_000, proptest::collection::vec(0.0f64..1_000.0, 13)),
+                1..6,
+            )
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (backlog, rates))| UeDemand {
+                        ue: UeId::new(i as u32),
+                        backlog_bits: backlog,
+                        rate_per_subchannel: rates,
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            /// Nothing outside the mask, nothing to zero-rate subchannels,
+            /// nothing to UEs with no backlog.
+            #[test]
+            fn allocation_is_always_legal(
+                demands in arb_demands(),
+                mask_bits in proptest::collection::vec(any::<bool>(), 13),
+                rr in any::<bool>(),
+            ) {
+                let kind = if rr {
+                    SchedulerKind::RoundRobin
+                } else {
+                    SchedulerKind::ProportionalFair
+                };
+                let mut s = Scheduler::new(kind);
+                let alloc = s.allocate(&mask_bits, &demands);
+                for (sc, assigned) in alloc.assignment.iter().enumerate() {
+                    if let Some(ue) = assigned {
+                        prop_assert!(mask_bits[sc], "assigned outside mask");
+                        let d = demands.iter().find(|d| d.ue == *ue).expect("known UE");
+                        prop_assert!(d.rate_per_subchannel[sc] > 0.0, "zero-rate subchannel");
+                        prop_assert!(d.backlog_bits > 0, "no backlog");
+                    }
+                }
+            }
+
+            /// A single backlogged UE with uniform rates gets every allowed,
+            /// usable subchannel it needs.
+            #[test]
+            fn lone_ue_saturates_mask(mask_bits in proptest::collection::vec(any::<bool>(), 13)) {
+                let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+                let d = vec![UeDemand {
+                    ue: UeId::new(0),
+                    backlog_bits: u64::MAX / 2,
+                    rate_per_subchannel: vec![100.0; 13],
+                }];
+                let alloc = s.allocate(&mask_bits, &d);
+                let allowed = mask_bits.iter().filter(|&&b| b).count();
+                prop_assert_eq!(alloc.used_count(), allowed);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_rate_vector_length_panics() {
+        let mut s = Scheduler::new(SchedulerKind::ProportionalFair);
+        let d = vec![demand(0, 100, vec![1.0; 3])];
+        let _ = s.allocate(&[true; 4], &d);
+    }
+}

@@ -1,0 +1,95 @@
+//! System information broadcast (SIB).
+//!
+//! The SIB is the control-plane hook CellFi uses to stay TVWS-compliant
+//! without modifying clients (§4.2): the access point "announces the
+//! uplink frequency in the LTE SIB control message" and "the maximum
+//! transmit powers ... also gets communicated to the clients through SIB
+//! messages". Clients may only transmit on the announced uplink frequency
+//! at or below the announced power — which is what makes instant vacate
+//! work: once the AP stops broadcasting grants, clients fall silent.
+
+use crate::earfcn::Earfcn;
+use cellfi_types::time::Instant;
+use cellfi_types::units::Dbm;
+
+/// The subset of SIB1/SIB2 content CellFi manipulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemInformation {
+    /// When this SIB revision was broadcast.
+    pub revised_at: Instant,
+    /// Downlink carrier (the cell's own EARFCN).
+    pub downlink: Earfcn,
+    /// Uplink carrier announced to clients (equal to downlink in TDD).
+    pub uplink: Earfcn,
+    /// Maximum client transmit power (p-Max), set from the spectrum
+    /// database grant — 20 dBm under TVWS client rules.
+    pub max_ue_power: Dbm,
+    /// Whether the cell is accepting new connections (cell barred flag,
+    /// flipped while vacating a channel).
+    pub barred: bool,
+}
+
+impl SystemInformation {
+    /// A TDD SIB: uplink equals downlink carrier.
+    pub fn tdd(revised_at: Instant, carrier: Earfcn, max_ue_power: Dbm) -> SystemInformation {
+        SystemInformation {
+            revised_at,
+            downlink: carrier,
+            uplink: carrier,
+            max_ue_power,
+            barred: false,
+        }
+    }
+
+    /// Whether a client transmission at `power` on `carrier` is permitted
+    /// by this SIB. This is the compliance predicate the spectrum tests
+    /// assert: no grant, no transmission.
+    pub fn permits_uplink(&self, carrier: Earfcn, power: Dbm) -> bool {
+        !self.barred && carrier == self.uplink && power.value() <= self.max_ue_power.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::earfcn::Band;
+
+    fn sib() -> SystemInformation {
+        let carrier = Earfcn::new(Band::Tvws, 100_500);
+        SystemInformation::tdd(Instant::ZERO, carrier, Dbm(20.0))
+    }
+
+    #[test]
+    fn tdd_sib_uses_one_carrier() {
+        let s = sib();
+        assert_eq!(s.downlink, s.uplink);
+    }
+
+    #[test]
+    fn permits_compliant_uplink() {
+        let s = sib();
+        assert!(s.permits_uplink(s.uplink, Dbm(20.0)));
+        assert!(s.permits_uplink(s.uplink, Dbm(10.0)));
+    }
+
+    #[test]
+    fn rejects_overpowered_uplink() {
+        // TVWS client cap is 20 dBm (§3.1) — 23 dBm must be refused.
+        let s = sib();
+        assert!(!s.permits_uplink(s.uplink, Dbm(23.0)));
+    }
+
+    #[test]
+    fn rejects_wrong_carrier() {
+        let s = sib();
+        let other = Earfcn::new(Band::Tvws, 100_600);
+        assert!(!s.permits_uplink(other, Dbm(10.0)));
+    }
+
+    #[test]
+    fn barred_cell_permits_nothing() {
+        let mut s = sib();
+        s.barred = true;
+        assert!(!s.permits_uplink(s.uplink, Dbm(10.0)));
+    }
+}

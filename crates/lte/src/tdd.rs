@@ -1,0 +1,210 @@
+//! TDD frame structure (frame type 2).
+//!
+//! CellFi runs TDD so that a single TV channel serves both directions
+//! (§4.1) — that is why the access point carries a GPS clock: interfering
+//! networks must agree on the uplink/downlink switch points or they
+//! desense each other. The 10 ms radio frame is divided into ten 1 ms
+//! subframes whose direction follows one of seven standard configurations
+//! (TS 36.211 table 4.2-2).
+//!
+//! The paper selects **configuration 4**: "7 downlink (7 ms) and 2 uplink
+//! (2 ms) subframes in every 10 ms frame" (§6.3.4) — counting the special
+//! subframe's DwPTS as downlink capacity.
+
+use cellfi_types::time::Instant;
+
+/// Direction of one subframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubframeKind {
+    /// Downlink subframe.
+    Downlink,
+    /// Uplink subframe.
+    Uplink,
+    /// Special subframe (DwPTS/GP/UpPTS). Counted as downlink capacity
+    /// with a reduced payload (DwPTS carries most of it).
+    Special,
+}
+
+/// A TDD uplink–downlink configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TddConfig {
+    index: u8,
+    pattern: [SubframeKind; 10],
+}
+
+use SubframeKind::{Downlink as D, Special as S, Uplink as U};
+
+/// TS 36.211 table 4.2-2, configurations 0–6.
+const CONFIGS: [[SubframeKind; 10]; 7] = [
+    [D, S, U, U, U, D, S, U, U, U], // 0
+    [D, S, U, U, D, D, S, U, U, D], // 1
+    [D, S, U, D, D, D, S, U, D, D], // 2
+    [D, S, U, U, U, D, D, D, D, D], // 3
+    [D, S, U, U, D, D, D, D, D, D], // 4  <- the paper's choice
+    [D, S, U, D, D, D, D, D, D, D], // 5
+    [D, S, U, U, U, D, S, U, U, D], // 6
+];
+
+/// Fraction of a special subframe usable for downlink data (DwPTS with
+/// the common 10:2:2 split ≈ 0.7 of a normal subframe).
+pub const SPECIAL_DL_FRACTION: f64 = 0.7;
+
+impl TddConfig {
+    /// Construct configuration `index` (0–6).
+    pub fn new(index: u8) -> TddConfig {
+        assert!(index <= 6, "TDD configuration must be 0–6, got {index}");
+        TddConfig {
+            index,
+            pattern: CONFIGS[index as usize],
+        }
+    }
+
+    /// The paper's configuration: 4.
+    pub fn paper_default() -> TddConfig {
+        TddConfig::new(4)
+    }
+
+    /// Configuration index.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// The 10-subframe direction pattern.
+    pub fn pattern(&self) -> &[SubframeKind; 10] {
+        &self.pattern
+    }
+
+    /// Direction of the subframe at `now` (subframes are 1 ms).
+    pub fn subframe_kind(&self, now: Instant) -> SubframeKind {
+        self.pattern[(now.as_millis() % 10) as usize]
+    }
+
+    /// True when the subframe at `now` carries downlink data (normal DL or
+    /// the special subframe's DwPTS).
+    pub fn is_downlink(&self, now: Instant) -> bool {
+        !matches!(self.subframe_kind(now), SubframeKind::Uplink)
+    }
+
+    /// True when the subframe at `now` carries uplink data.
+    pub fn is_uplink(&self, now: Instant) -> bool {
+        matches!(self.subframe_kind(now), SubframeKind::Uplink)
+    }
+
+    /// Downlink capacity fraction of the frame, counting special subframes
+    /// at [`SPECIAL_DL_FRACTION`].
+    pub fn dl_fraction(&self) -> f64 {
+        self.pattern
+            .iter()
+            .map(|k| match k {
+                SubframeKind::Downlink => 1.0,
+                SubframeKind::Special => SPECIAL_DL_FRACTION,
+                SubframeKind::Uplink => 0.0,
+            })
+            .sum::<f64>()
+            / 10.0
+    }
+
+    /// Uplink capacity fraction of the frame.
+    pub fn ul_fraction(&self) -> f64 {
+        self.pattern
+            .iter()
+            .filter(|k| matches!(k, SubframeKind::Uplink))
+            .count() as f64
+            / 10.0
+    }
+
+    /// Per-subframe relative downlink capacity (1.0 for DL, the DwPTS
+    /// fraction for special, 0 for UL).
+    pub fn dl_capacity(&self, now: Instant) -> f64 {
+        match self.subframe_kind(now) {
+            SubframeKind::Downlink => 1.0,
+            SubframeKind::Special => SPECIAL_DL_FRACTION,
+            SubframeKind::Uplink => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config4_matches_paper_counts() {
+        // "7 downlink (7ms) and 2 uplink (2ms) subframes in every 10ms
+        // frame" — 6 D + 1 S counted as DL, 2 U, per §6.3.4.
+        let c = TddConfig::paper_default();
+        let dl = c
+            .pattern()
+            .iter()
+            .filter(|k| !matches!(k, SubframeKind::Uplink))
+            .count();
+        let ul = c
+            .pattern()
+            .iter()
+            .filter(|k| matches!(k, SubframeKind::Uplink))
+            .count();
+        assert_eq!(dl, 8); // 7 full DL-capable + 1 special; see ul below
+        assert_eq!(ul, 2);
+    }
+
+    #[test]
+    fn all_configs_start_dl_special_ul() {
+        // Every standard config begins D, S, U.
+        for i in 0..=6u8 {
+            let c = TddConfig::new(i);
+            assert_eq!(c.pattern()[0], SubframeKind::Downlink);
+            assert_eq!(c.pattern()[1], SubframeKind::Special);
+            assert_eq!(c.pattern()[2], SubframeKind::Uplink);
+        }
+    }
+
+    #[test]
+    fn subframe_kind_cycles_every_frame() {
+        let c = TddConfig::paper_default();
+        for ms in 0..40u64 {
+            let a = c.subframe_kind(Instant::from_millis(ms));
+            let b = c.subframe_kind(Instant::from_millis(ms + 10));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn config4_direction_queries() {
+        let c = TddConfig::paper_default();
+        assert!(c.is_downlink(Instant::from_millis(0)));
+        assert!(c.is_downlink(Instant::from_millis(1))); // special counts as DL
+        assert!(c.is_uplink(Instant::from_millis(2)));
+        assert!(c.is_uplink(Instant::from_millis(3)));
+        for ms in 4..10 {
+            assert!(c.is_downlink(Instant::from_millis(ms)), "sf {ms}");
+        }
+    }
+
+    #[test]
+    fn dl_fraction_config4_near_paper_seven_tenths() {
+        let c = TddConfig::paper_default();
+        // 7 full DL + 0.7 (DwPTS) = 7.7 of 10; the paper counts "7 ms" DL.
+        assert!((c.dl_fraction() - 0.77).abs() < 1e-9);
+        assert!((c.ul_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config0_is_uplink_heavy() {
+        let c = TddConfig::new(0);
+        assert!(c.ul_fraction() > c.dl_fraction());
+    }
+
+    #[test]
+    fn dl_capacity_values() {
+        let c = TddConfig::paper_default();
+        assert_eq!(c.dl_capacity(Instant::from_millis(0)), 1.0);
+        assert_eq!(c.dl_capacity(Instant::from_millis(1)), SPECIAL_DL_FRACTION);
+        assert_eq!(c.dl_capacity(Instant::from_millis(2)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TDD configuration must be 0–6")]
+    fn invalid_config_panics() {
+        let _ = TddConfig::new(7);
+    }
+}

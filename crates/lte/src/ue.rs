@@ -1,0 +1,248 @@
+//! The mobile client (UE) state machine.
+//!
+//! CellFi works with *unmodified* clients (§7 "Ease of deployability"),
+//! so this model only captures stock LTE behaviour — which happens to be
+//! exactly what makes CellFi TVWS-compliant on the client side (§4.2):
+//!
+//! * a UE transmits only when granted by its serving cell, on the uplink
+//!   carrier and at or below the power announced in the SIB;
+//! * when the cell stops transmitting, the UE stops *instantly* (no grant,
+//!   no transmission) and falls back to cell search;
+//! * cell search across many wide bands is slow — the paper measured 56 s
+//!   to reconnect (Fig 6), dominated by scanning unused LTE bands.
+
+use crate::sib::SystemInformation;
+use cellfi_types::time::{Duration, Instant};
+use cellfi_types::units::Dbm;
+use cellfi_types::{ApId, UeId};
+
+/// RRC-level connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrcState {
+    /// Powered but with no cell: scanning frequencies.
+    Searching {
+        /// When the search started.
+        since: Instant,
+    },
+    /// Found a cell; performing random access + RRC setup.
+    Connecting {
+        /// Target cell.
+        cell: ApId,
+        /// When the RACH started.
+        since: Instant,
+    },
+    /// Attached and able to exchange data.
+    Connected {
+        /// Serving cell.
+        cell: ApId,
+    },
+}
+
+/// Timing constants measured in the paper's Fig 6 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct UeTimings {
+    /// Full multi-band cell search ("it has to perform cell search on
+    /// various frequencies in multiple LTE bands"): 56 s measured.
+    pub cell_search: Duration,
+    /// RACH + RRC connection setup once a cell is found.
+    pub connection_setup: Duration,
+}
+
+impl UeTimings {
+    /// The paper's measured values.
+    pub fn paper_measured() -> UeTimings {
+        UeTimings {
+            cell_search: Duration::from_secs(56),
+            connection_setup: Duration::from_millis(200),
+        }
+    }
+
+    /// Timings with unused bands disabled — the paper notes search "can be
+    /// further reduced by disabling unused LTE bands".
+    pub fn single_band() -> UeTimings {
+        UeTimings {
+            cell_search: Duration::from_secs(3),
+            connection_setup: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A mobile client.
+#[derive(Debug, Clone)]
+pub struct Ue {
+    /// Identity.
+    pub id: UeId,
+    /// Maximum transmit power — capped at 20 dBm by TVWS client rules.
+    pub max_tx_power: Dbm,
+    timings: UeTimings,
+    state: RrcState,
+}
+
+impl Ue {
+    /// A TVWS-compliant UE starting its search at `now`.
+    pub fn new(id: UeId, timings: UeTimings, now: Instant) -> Ue {
+        Ue {
+            id,
+            max_tx_power: Dbm(20.0),
+            timings,
+            state: RrcState::Searching { since: now },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RrcState {
+        self.state
+    }
+
+    /// Serving cell when connected.
+    pub fn serving_cell(&self) -> Option<ApId> {
+        match self.state {
+            RrcState::Connected { cell } => Some(cell),
+            RrcState::Connecting { .. } | RrcState::Searching { .. } => None,
+        }
+    }
+
+    /// Whether the multi-band scan would have found a radiating cell by
+    /// `now` (the scan must run its full course before the UE can camp).
+    pub fn search_complete(&self, now: Instant) -> bool {
+        match self.state {
+            RrcState::Searching { since } => now.duration_since(since) >= self.timings.cell_search,
+            _ => false,
+        }
+    }
+
+    /// The scan finished and found `cell`: begin random access.
+    pub fn cell_found(&mut self, cell: ApId, now: Instant) {
+        assert!(
+            matches!(self.state, RrcState::Searching { .. }),
+            "cell_found outside Searching"
+        );
+        self.state = RrcState::Connecting { cell, since: now };
+    }
+
+    /// Whether RACH + RRC setup has completed by `now`.
+    pub fn setup_complete(&self, now: Instant) -> bool {
+        match self.state {
+            RrcState::Connecting { since, .. } => {
+                now.duration_since(since) >= self.timings.connection_setup
+            }
+            _ => false,
+        }
+    }
+
+    /// Finish attachment.
+    pub fn attach_complete(&mut self) {
+        let RrcState::Connecting { cell, .. } = self.state else {
+            panic!("attach_complete outside Connecting");
+        };
+        self.state = RrcState::Connected { cell };
+    }
+
+    /// The serving cell vanished (radio off / lease lost): the UE stops
+    /// transmitting immediately and re-enters search.
+    pub fn lost_cell(&mut self, now: Instant) {
+        self.state = RrcState::Searching { since: now };
+    }
+
+    /// TVWS compliance predicate: may this UE transmit `power` uplink
+    /// given its serving cell's SIB? Encodes the §4.2 argument — an LTE
+    /// client cannot transmit without a valid grant from a radiating cell.
+    pub fn may_transmit(&self, sib: Option<&SystemInformation>, power: Dbm) -> bool {
+        match (self.state, sib) {
+            (RrcState::Connected { .. }, Some(sib)) => {
+                power.value() <= self.max_tx_power.value()
+                    && sib.permits_uplink(sib.uplink, power)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::earfcn::{Band, Earfcn};
+
+    fn sib() -> SystemInformation {
+        SystemInformation::tdd(
+            Instant::ZERO,
+            Earfcn::new(Band::Tvws, 100_500),
+            Dbm(20.0),
+        )
+    }
+
+    fn connected_ue() -> Ue {
+        let mut ue = Ue::new(UeId::new(0), UeTimings::single_band(), Instant::ZERO);
+        ue.cell_found(ApId::new(0), Instant::from_secs(3));
+        ue.attach_complete();
+        ue
+    }
+
+    #[test]
+    fn lifecycle_search_connect_attach() {
+        let t = UeTimings::paper_measured();
+        let mut ue = Ue::new(UeId::new(0), t, Instant::ZERO);
+        assert!(matches!(ue.state(), RrcState::Searching { .. }));
+        // Search is not done before 56 s.
+        assert!(!ue.search_complete(Instant::from_secs(55)));
+        assert!(ue.search_complete(Instant::from_secs(56)));
+        ue.cell_found(ApId::new(3), Instant::from_secs(56));
+        assert!(!ue.setup_complete(Instant::from_secs(56)));
+        assert!(ue.setup_complete(Instant::from_millis(56_200)));
+        ue.attach_complete();
+        assert_eq!(ue.serving_cell(), Some(ApId::new(3)));
+    }
+
+    #[test]
+    fn paper_reconnect_time_is_56s_search() {
+        assert_eq!(
+            UeTimings::paper_measured().cell_search,
+            Duration::from_secs(56)
+        );
+    }
+
+    #[test]
+    fn connected_ue_may_transmit_within_cap() {
+        let ue = connected_ue();
+        let sib = sib();
+        assert!(ue.may_transmit(Some(&sib), Dbm(20.0)));
+        assert!(ue.may_transmit(Some(&sib), Dbm(5.0)));
+    }
+
+    #[test]
+    fn tvws_power_cap_enforced() {
+        let ue = connected_ue();
+        let mut generous = sib();
+        generous.max_ue_power = Dbm(30.0); // even if the SIB allowed more,
+        assert!(!ue.may_transmit(Some(&generous), Dbm(23.0))); // the UE caps at 20.
+    }
+
+    #[test]
+    fn no_sib_means_silence() {
+        // The §4.2 compliance property: radio off ⇒ clients instantly mute.
+        let ue = connected_ue();
+        assert!(!ue.may_transmit(None, Dbm(10.0)));
+    }
+
+    #[test]
+    fn searching_ue_never_transmits() {
+        let ue = Ue::new(UeId::new(1), UeTimings::single_band(), Instant::ZERO);
+        assert!(!ue.may_transmit(Some(&sib()), Dbm(10.0)));
+    }
+
+    #[test]
+    fn lost_cell_restarts_search() {
+        let mut ue = connected_ue();
+        ue.lost_cell(Instant::from_secs(100));
+        assert!(matches!(ue.state(), RrcState::Searching { .. }));
+        assert!(!ue.search_complete(Instant::from_secs(101)));
+        assert!(!ue.may_transmit(Some(&sib()), Dbm(10.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_found outside Searching")]
+    fn cell_found_requires_searching() {
+        let mut ue = connected_ue();
+        ue.cell_found(ApId::new(1), Instant::from_secs(5));
+    }
+}

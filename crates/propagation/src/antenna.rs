@@ -1,0 +1,158 @@
+//! Antenna patterns.
+//!
+//! The paper's access points use an Amphenol directional antenna with
+//! ~7 dBi gain and a ~120° sector (§6.1); clients are handheld devices
+//! with isotropic antennas. The sector pattern follows the standard 3GPP
+//! parabolic model: `G(θ) = G_max − min(12·(θ/θ_3dB)², A_max)`.
+
+use cellfi_types::geo::wrap_angle;
+use cellfi_types::units::Db;
+
+/// An antenna with an azimuth gain pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Antenna {
+    /// Uniform gain in all directions.
+    Isotropic {
+        /// Peak (and only) gain.
+        gain: Db,
+    },
+    /// 3GPP parabolic sector pattern.
+    Sector {
+        /// Boresight azimuth, radians CCW from east.
+        boresight: f64,
+        /// 3 dB beamwidth in radians (the paper's antenna: ~120° ≈ 2.09).
+        beamwidth: f64,
+        /// Peak gain at boresight.
+        gain: Db,
+        /// Maximum attenuation behind the sector (front-to-back ratio).
+        front_to_back: Db,
+    },
+}
+
+impl Antenna {
+    /// The paper's access-point antenna: 7 dBi, 120° sector. Panel
+    /// antennas of this class specify ≥ 30 dB front-to-back, which is
+    /// what lets the Fig 7 co-sited cells reach +30 dB SINR in one
+    /// direction and −15 dB in the other.
+    pub fn paper_sector(boresight: f64) -> Antenna {
+        Antenna::Sector {
+            boresight,
+            beamwidth: 120f64.to_radians(),
+            gain: Db(7.0),
+            front_to_back: Db(30.0),
+        }
+    }
+
+    /// A unity-gain client antenna.
+    pub const fn client() -> Antenna {
+        Antenna::Isotropic { gain: Db(0.0) }
+    }
+
+    /// Gain towards `bearing` (radians CCW from east).
+    pub fn gain_towards(&self, bearing: f64) -> Db {
+        match *self {
+            Antenna::Isotropic { gain } => gain,
+            Antenna::Sector {
+                boresight,
+                beamwidth,
+                gain,
+                front_to_back,
+            } => {
+                let theta = wrap_angle(bearing - boresight);
+                // 12·(θ/θ3dB)² with θ3dB = beamwidth; at θ = ±beamwidth/2
+                // the attenuation is exactly 3 dB.
+                let attenuation =
+                    (12.0 * (theta / beamwidth).powi(2)).min(front_to_back.value());
+                gain - Db(attenuation)
+            }
+        }
+    }
+
+    /// Peak gain of the pattern.
+    pub fn peak_gain(&self) -> Db {
+        match *self {
+            Antenna::Isotropic { gain } => gain,
+            Antenna::Sector { gain, .. } => gain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn isotropic_uniform_gain() {
+        let a = Antenna::Isotropic { gain: Db(2.0) };
+        for b in [-PI, -1.0, 0.0, 0.5, PI] {
+            assert_eq!(a.gain_towards(b), Db(2.0));
+        }
+    }
+
+    #[test]
+    fn sector_peak_at_boresight() {
+        let a = Antenna::paper_sector(0.3);
+        assert!((a.gain_towards(0.3).value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_loses_three_db_at_half_beamwidth() {
+        let a = Antenna::paper_sector(0.0);
+        let edge = 60f64.to_radians();
+        let g = a.gain_towards(edge);
+        assert!((g.value() - 4.0).abs() < 0.01, "edge gain {g}");
+    }
+
+    #[test]
+    fn sector_back_lobe_clamped_at_front_to_back() {
+        let a = Antenna::paper_sector(0.0);
+        let g = a.gain_towards(PI);
+        // The parabolic roll-off reaches 12·(180/120)² = 27 dB at the rear,
+        // below the 30 dB front-to-back clamp, so the pattern's own shape
+        // is binding: 7 − 27 = −20 dB.
+        assert!((g.value() - (7.0 - 27.0)).abs() < 1e-9, "back gain {g}");
+        // A tighter clamp binds instead.
+        let tight = Antenna::Sector {
+            boresight: 0.0,
+            beamwidth: 120f64.to_radians(),
+            gain: Db(7.0),
+            front_to_back: Db(20.0),
+        };
+        assert!((tight.gain_towards(PI).value() - (7.0 - 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_symmetric_about_boresight() {
+        let a = Antenna::paper_sector(1.0);
+        let left = a.gain_towards(1.0 - 0.7);
+        let right = a.gain_towards(1.0 + 0.7);
+        assert!((left.value() - right.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_monotone_away_from_boresight_until_clamp() {
+        let a = Antenna::paper_sector(0.0);
+        let mut last = f64::INFINITY;
+        for i in 0..10 {
+            let theta = f64::from(i) * 0.15;
+            let g = a.gain_towards(theta).value();
+            assert!(g <= last + 1e-12, "gain rose at θ={theta}");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn wrapping_across_pi_boundary() {
+        let a = Antenna::paper_sector(PI - 0.1);
+        // Just across the ±π seam should still be near boresight.
+        let g = a.gain_towards(-PI + 0.1);
+        assert!(g.value() > 6.0, "seam gain {g}");
+    }
+
+    #[test]
+    fn peak_gain_reports_pattern_max() {
+        assert_eq!(Antenna::client().peak_gain(), Db(0.0));
+        assert_eq!(Antenna::paper_sector(0.0).peak_gain(), Db(7.0));
+    }
+}

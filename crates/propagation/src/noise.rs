@@ -1,0 +1,89 @@
+//! Receiver noise.
+//!
+//! Thermal noise at 290 K is −174 dBm/Hz; a bandwidth of B Hz collects
+//! `−174 + 10·log10(B)` dBm, and the receiver front-end adds its noise
+//! figure on top. For the paper's 5 MHz LTE channel with a typical 7 dB
+//! small-cell/UE noise figure the floor is ≈ −100 dBm, which is the anchor
+//! used to calibrate the 1.3 km cell edge.
+
+use cellfi_types::units::{Db, Dbm, Hertz, MilliWatts};
+
+/// Thermal noise density at 290 K, dBm per hertz.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// Receiver noise model: thermal floor plus noise figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+}
+
+impl NoiseModel {
+    /// Typical consumer LTE/Wi-Fi receiver: 7 dB noise figure.
+    pub const fn typical() -> NoiseModel {
+        NoiseModel {
+            noise_figure: Db(7.0),
+        }
+    }
+
+    /// An ideal receiver (0 dB NF), for bounding checks.
+    pub const fn ideal() -> NoiseModel {
+        NoiseModel {
+            noise_figure: Db(0.0),
+        }
+    }
+
+    /// Noise floor over `bandwidth`.
+    pub fn floor(&self, bandwidth: Hertz) -> Dbm {
+        assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+        Dbm(THERMAL_NOISE_DBM_PER_HZ + 10.0 * bandwidth.value().log10()) + self.noise_figure
+    }
+
+    /// Noise floor over `bandwidth` in linear milliwatts.
+    pub fn floor_mw(&self, bandwidth: Hertz) -> MilliWatts {
+        self.floor(bandwidth).to_milliwatts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_mhz_floor_near_minus_100() {
+        let n = NoiseModel::typical().floor(Hertz::from_mhz(5.0));
+        assert!((n.value() - (-100.0)).abs() < 0.1, "floor {n}");
+    }
+
+    #[test]
+    fn one_hz_ideal_floor_is_thermal_density() {
+        let n = NoiseModel::ideal().floor(Hertz(1.0));
+        assert!((n.value() - (-174.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subchannel_floor_scales_with_bandwidth() {
+        // A 360 kHz subchannel collects 10·log10(360e3/5e6) ≈ −11.4 dB less
+        // noise than the full 5 MHz channel.
+        let m = NoiseModel::typical();
+        let full = m.floor(Hertz::from_mhz(5.0));
+        let sub = m.floor(Hertz::from_khz(360.0));
+        assert!(((full - sub).value() - 11.42).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_figure_adds_directly() {
+        let bw = Hertz::from_mhz(20.0);
+        let ideal = NoiseModel::ideal().floor(bw);
+        let real = NoiseModel::typical().floor(bw);
+        assert!(((real - ideal).value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_floor_matches_log() {
+        let m = NoiseModel::typical();
+        let bw = Hertz::from_mhz(5.0);
+        let lin = m.floor_mw(bw);
+        assert!((lin.to_dbm().value() - m.floor(bw).value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Log-normal shadowing.
+//!
+//! Shadowing is the slow, terrain-induced deviation from mean path loss.
+//! Two properties matter for the reproduction:
+//!
+//! 1. **Determinism per link** — when the same topology is simulated under
+//!    CellFi, plain LTE and Wi-Fi, each link must see the *same* shadowing
+//!    so the comparison isolates the MAC. We therefore derive the value
+//!    from a seed and the (tx, rx) node pair rather than drawing it during
+//!    the run.
+//! 2. **Symmetry** — shadowing is a property of the environment between
+//!    two points, so `shadow(a, b) == shadow(b, a)` (TDD channel
+//!    reciprocity).
+//!
+//! The marginal distribution is `N(0, σ²)` in dB; σ defaults to 6 dB,
+//! typical for outdoor UHF macro measurements.
+
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::units::Db;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Deterministic per-link log-normal shadowing field.
+#[derive(Debug, Clone, Copy)]
+pub struct Shadowing {
+    seeds: SeedSeq,
+    sigma_db: f64,
+}
+
+impl Shadowing {
+    /// Shadowing field with standard deviation `sigma_db`, derived from the
+    /// given seed sequence.
+    pub fn new(seeds: SeedSeq, sigma_db: f64) -> Shadowing {
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        Shadowing { seeds, sigma_db }
+    }
+
+    /// A field that adds no shadowing. Useful in unit tests that need
+    /// exact link budgets.
+    pub fn disabled(seeds: SeedSeq) -> Shadowing {
+        Shadowing::new(seeds, 0.0)
+    }
+
+    /// Standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Shadowing for the link between nodes `a` and `b` (global node
+    /// keys). Symmetric and deterministic.
+    pub fn link_shadow(&self, a: u32, b: u32) -> Db {
+        if self.sigma_db == 0.0 {
+            return Db::ZERO;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let key = (u64::from(lo) << 32) | u64::from(hi);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seeds.seed_indexed("shadow", key));
+        // Box–Muller from two uniforms; one Gaussian draw per link.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Db(z * self.sigma_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Shadowing {
+        Shadowing::new(SeedSeq::new(99), 6.0)
+    }
+
+    #[test]
+    fn deterministic_per_link() {
+        let f = field();
+        assert_eq!(f.link_shadow(3, 8), f.link_shadow(3, 8));
+    }
+
+    #[test]
+    fn symmetric_in_endpoints() {
+        let f = field();
+        for (a, b) in [(0, 1), (5, 17), (100, 2)] {
+            assert_eq!(f.link_shadow(a, b), f.link_shadow(b, a));
+        }
+    }
+
+    #[test]
+    fn different_links_differ() {
+        let f = field();
+        assert_ne!(f.link_shadow(0, 1), f.link_shadow(0, 2));
+        assert_ne!(f.link_shadow(0, 1), f.link_shadow(1, 2));
+    }
+
+    #[test]
+    fn different_seeds_give_different_fields() {
+        let f1 = Shadowing::new(SeedSeq::new(1), 6.0);
+        let f2 = Shadowing::new(SeedSeq::new(2), 6.0);
+        assert_ne!(f1.link_shadow(0, 1), f2.link_shadow(0, 1));
+    }
+
+    #[test]
+    fn disabled_returns_zero() {
+        let f = Shadowing::disabled(SeedSeq::new(5));
+        assert_eq!(f.link_shadow(0, 1), Db::ZERO);
+    }
+
+    #[test]
+    fn empirical_moments_match_sigma() {
+        let f = field();
+        let n = 4000u32;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| f.link_shadow(i, i + 100_000).value())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / f64::from(n - 1);
+        assert!(mean.abs() < 0.3, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - 6.0).abs() < 0.3,
+            "std {} too far from 6",
+            var.sqrt()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi_sim::topology::{Scenario, ScenarioConfig};
+use cellfi_sim::workload::{WebWorkload, WebWorkloadConfig};
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+
+fn main() {
+    let seeds = SeedSeq::new(20171212).child("fig9c").child("topo0");
+    let scenario = Scenario::generate(ScenarioConfig::paper_default(14, 6), seeds);
+    let n = scenario.n_ues();
+    let assoc = scenario.assoc.clone();
+    let mut e = LteEngine::new(scenario, LteEngineConfig::paper_default(ImMode::CellFi), seeds.child("cellfi"));
+    let mut web = WebWorkload::new(WebWorkloadConfig::default(), n, seeds.child("web"));
+    let mut bit_acc = vec![0u64; n];
+    let mut handed = vec![0u64; n];
+    let mut page_start: Vec<Option<(f64, u64, usize)>> = vec![None; n]; // (t, bytes, mask at start)
+    let mut logged = 0;
+    while e.now() < Instant::from_secs(40) {
+        for (c, bytes) in web.poll(e.now()) {
+            let mask = e.cell_mask(assoc[c]).iter().filter(|&&b| b).count();
+            page_start[c] = Some((e.now().as_secs_f64(), bytes, mask));
+            e.enqueue(c, bytes * 8);
+        }
+        for (u, bits) in e.step_subframe() {
+            bit_acc[u] += bits;
+            let b = bit_acc[u] / 8;
+            if b > handed[u] {
+                web.delivered(u, b - handed[u], e.now());
+                handed[u] = b;
+            }
+        }
+        // check completions
+        while logged < web.completed.len() && logged < 40 {
+            let p = &web.completed[logged];
+            let (t0, bytes, mask0) = page_start[p.client].unwrap();
+            let mask_now = e.cell_mask(assoc[p.client]).iter().filter(|&&b| b).count();
+            println!("t={:6.1} ue{:3} cell{:2} page {:7}B load {:5.2}s mask {}->{} eff {:.0} kbps",
+                t0, p.client, assoc[p.client], bytes, p.duration().as_secs_f64(), mask0, mask_now,
+                bytes as f64 * 8.0 / p.duration().as_secs_f64().max(1e-9) / 1e3);
+            logged += 1;
+        }
+    }
+    println!("completed {} outstanding {}", web.completed.len(), web.outstanding());
+}

@@ -1,0 +1,62 @@
+//! `exp` — the experiment runner.
+//!
+//! ```text
+//! exp <name>... [--quick] [--seed N] [--json]
+//! exp all [--quick]          # every table and figure, paper order
+//! exp list                   # available experiment names
+//! ```
+//!
+//! Each experiment prints a human-readable report; `--json` appends the
+//! headline values as a JSON object (consumed by EXPERIMENTS.md tooling).
+
+use cellfi_sim::experiments::{self, ExpConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut config = ExpConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => config.quick = true,
+            "--json" => json = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "list" => {
+                for n in experiments::ALL {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: exp <name>...|all|list [--quick] [--seed N] [--json]");
+        eprintln!("experiments: {}", experiments::ALL.join(" "));
+        return ExitCode::FAILURE;
+    }
+    for name in &names {
+        let Some(report) = experiments::run(name, config) else {
+            eprintln!("unknown experiment: {name}");
+            return ExitCode::FAILURE;
+        };
+        println!("=== {} ===", report.id);
+        println!("{}", report.text);
+        if json {
+            match serde_json::to_string_pretty(&report.values) {
+                Ok(j) => println!("{j}"),
+                Err(e) => eprintln!("json encoding failed: {e}"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

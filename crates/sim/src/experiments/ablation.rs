@@ -1,0 +1,194 @@
+//! Ablations of CellFi's design choices.
+//!
+//! The paper fixes three knobs with one-line justifications; this driver
+//! measures what each is worth on the Fig 9 topology:
+//!
+//! * **λ = 10** — "we found λ = 10 to be a good choice experimentally"
+//!   (§5.3). Small λ hops eagerly (fast convergence, more churn); large
+//!   λ tolerates interference too long.
+//! * **channel re-use packing** — claimed "upto 2x gain in throughput
+//!   for exposed clients" (§5.3); we run with it disabled.
+//! * **imperfect sensing** — the measured 80 % detection / 2 % false
+//!   positives (§6.3.2) versus a perfect detector: how much performance
+//!   does real sensing cost?
+
+use super::{ExpConfig, ExpReport};
+use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::metrics::{starved_fraction, Cdf};
+use crate::report::table;
+use crate::topology::{Scenario, ScenarioConfig};
+use cellfi_core::manager::ManagerConfig;
+use cellfi_core::sensing::ImperfectSensing;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::{Duration, Instant};
+
+/// One ablation variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Variant {
+    /// Display name.
+    pub name: &'static str,
+    /// Bucket mean λ.
+    pub lambda: f64,
+    /// Re-use packing enabled.
+    pub reuse: bool,
+    /// Sensing model.
+    pub sensing: ImperfectSensing,
+}
+
+/// The variant matrix.
+pub fn variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "paper default (λ=10, reuse, 80%/2% sensing)",
+            lambda: 10.0,
+            reuse: true,
+            sensing: ImperfectSensing::default(),
+        },
+        Variant {
+            name: "λ=2 (eager hopping)",
+            lambda: 2.0,
+            reuse: true,
+            sensing: ImperfectSensing::default(),
+        },
+        Variant {
+            name: "λ=30 (patient hopping)",
+            lambda: 30.0,
+            reuse: true,
+            sensing: ImperfectSensing::default(),
+        },
+        Variant {
+            name: "no channel re-use packing",
+            lambda: 10.0,
+            reuse: false,
+            sensing: ImperfectSensing::default(),
+        },
+        Variant {
+            name: "perfect sensing",
+            lambda: 10.0,
+            reuse: true,
+            sensing: ImperfectSensing::perfect(),
+        },
+    ]
+}
+
+/// Measured outcome of one variant.
+#[derive(Debug, Clone)]
+pub struct VariantOutcome {
+    /// The variant.
+    pub name: &'static str,
+    /// Median steady-state client throughput (bps).
+    pub median_bps: f64,
+    /// Fraction of clients below 10 kbps.
+    pub starved: f64,
+    /// Total hops per AP per minute (churn).
+    pub hops_per_ap_min: f64,
+}
+
+/// Run the ablation matrix.
+pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
+    let (n_aps, topos, warmup_s, horizon_s) = if config.quick {
+        (6, 1, 3u64, 8u64)
+    } else {
+        (10, 5, 20u64, 35u64)
+    };
+    variants()
+        .into_iter()
+        .map(|v| {
+            let mut tputs = Vec::new();
+            let mut hops = 0u64;
+            let mut ap_count = 0usize;
+            for t in 0..topos {
+                let seeds = SeedSeq::new(config.seed)
+                    .child("ablation")
+                    .child(&format!("topo{t}"));
+                let scenario =
+                    Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
+                let mut cfg = LteEngineConfig::paper_default(ImMode::CellFi);
+                cfg.manager = ManagerConfig {
+                    lambda: v.lambda,
+                    enable_reuse: v.reuse,
+                    ..ManagerConfig::default()
+                };
+                cfg.sensing = v.sensing;
+                let mut e = LteEngine::new(scenario, cfg, seeds.child("engine"));
+                e.backlog_all(u64::MAX / 4);
+                e.run_until(Instant::from_secs(warmup_s));
+                let at_warmup = e.delivered_bits().to_vec();
+                e.run_until(Instant::from_secs(horizon_s));
+                let span = Duration::from_secs(horizon_s - warmup_s).as_secs_f64();
+                tputs.extend(
+                    e.delivered_bits()
+                        .iter()
+                        .zip(&at_warmup)
+                        .map(|(&a, &b)| (a - b) as f64 / span),
+                );
+                hops += e.manager_hops().iter().sum::<u64>();
+                ap_count += n_aps;
+            }
+            let cdf = Cdf::new(tputs.clone());
+            VariantOutcome {
+                name: v.name,
+                median_bps: cdf.median(),
+                starved: starved_fraction(&tputs, 10_000.0),
+                hops_per_ap_min: hops as f64 / ap_count as f64
+                    / (horizon_s as f64 / 60.0),
+            }
+        })
+        .collect()
+}
+
+/// Run the ablation experiment.
+pub fn run(config: ExpConfig) -> ExpReport {
+    let mut rep = ExpReport::new("ablation");
+    let outcomes = run_matrix(config);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.name.to_string(),
+                format!("{:.0} kbps", o.median_bps / 1e3),
+                format!("{:.1}%", o.starved * 100.0),
+                format!("{:.1}", o.hops_per_ap_min),
+            ]
+        })
+        .collect();
+    rep.text = table(
+        &["variant", "median tput", "starved", "hops/AP/min"],
+        &rows,
+    );
+    for o in &outcomes {
+        let key: String = o
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        rep.record(&format!("median_{key}"), o.median_bps);
+        rep.record(&format!("starved_{key}"), o.starved);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-variant sweep; run with --ignored or the exp binary"]
+    fn ablation_matrix_runs_and_default_is_sane() {
+        let outcomes = run_matrix(ExpConfig {
+            seed: 5,
+            quick: true,
+        });
+        assert_eq!(outcomes.len(), 5);
+        let default = &outcomes[0];
+        assert!(default.median_bps > 0.0);
+        // Eager hopping churns more than the default.
+        let eager = outcomes.iter().find(|o| o.name.contains("λ=2")).unwrap();
+        assert!(
+            eager.hops_per_ap_min >= default.hops_per_ap_min,
+            "λ=2 should hop at least as much as λ=10: {} vs {}",
+            eager.hops_per_ap_min,
+            default.hops_per_ap_min
+        );
+    }
+}

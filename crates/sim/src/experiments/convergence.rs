@@ -1,0 +1,105 @@
+//! §6.3.4 convergence: "the vast majority of access points only hop very
+//! few times in all of our runs; roughly 1 %–2 % of access points do not
+//! converge due to interference and hop almost continuously."
+//!
+//! We run the Fig 9 topologies under CellFi and report the distribution
+//! of hops per AP plus the fraction of APs still hopping in the last
+//! quarter of the run.
+
+use super::{ExpConfig, ExpReport};
+use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::report::table;
+use crate::topology::{Scenario, ScenarioConfig};
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+
+/// Run the convergence study.
+pub fn run(config: ExpConfig) -> ExpReport {
+    let mut rep = ExpReport::new("convergence");
+    let (n_aps, topos, secs) = if config.quick {
+        (6, 1, 16u64)
+    } else {
+        (12, 8, 40u64)
+    };
+    let mut hops_per_ap = Vec::new();
+    let mut non_converged = 0usize;
+    let mut total_aps = 0usize;
+    for t in 0..topos {
+        let seeds = SeedSeq::new(config.seed)
+            .child("convergence")
+            .child(&format!("topo{t}"));
+        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
+        let mut e = LteEngine::new(
+            scenario,
+            LteEngineConfig::paper_default(ImMode::CellFi),
+            seeds,
+        );
+        e.backlog_all(u64::MAX / 4);
+        // Run ¾ of the horizon, snapshot, then the last ¼: an AP that
+        // still hops in the tail has not converged.
+        e.run_until(Instant::from_secs(secs * 3 / 4));
+        let snapshot = e.manager_hops();
+        e.run_until(Instant::from_secs(secs));
+        let final_hops = e.manager_hops();
+        for (a, (&before, &after)) in snapshot.iter().zip(&final_hops).enumerate() {
+            let tail = after - before;
+            hops_per_ap.push(after);
+            total_aps += 1;
+            // "Hop almost continuously": more than one hop per 2 epochs
+            // in the tail window.
+            if tail as f64 > (secs as f64 / 4.0) / 2.0 {
+                non_converged += 1;
+            }
+            let _ = a;
+        }
+    }
+    hops_per_ap.sort_unstable();
+    let median = hops_per_ap[hops_per_ap.len() / 2];
+    let max = *hops_per_ap.last().expect("at least one AP");
+    let frac_nc = non_converged as f64 / total_aps.max(1) as f64;
+    let few = hops_per_ap
+        .iter()
+        .filter(|&&h| h as f64 <= secs as f64 / 5.0)
+        .count() as f64
+        / total_aps as f64;
+    rep.text = table(
+        &["metric", "value"],
+        &[
+            vec!["APs observed".into(), total_aps.to_string()],
+            vec!["median hops per AP".into(), median.to_string()],
+            vec!["max hops per AP".into(), max.to_string()],
+            vec![
+                "APs with few hops".into(),
+                format!("{:.0}%", few * 100.0),
+            ],
+            vec![
+                "non-converged APs".into(),
+                format!("{:.1}% (paper: 1-2%)", frac_nc * 100.0),
+            ],
+        ],
+    );
+    rep.record("median_hops", median as f64);
+    rep.record("frac_non_converged", frac_nc);
+    rep.record("frac_few_hops", few);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "multi-topology sweep; run with --ignored or the exp binary"]
+    fn most_aps_converge() {
+        let r = run(ExpConfig {
+            seed: 3,
+            quick: true,
+        });
+        assert!(
+            r.values["frac_non_converged"] < 0.35,
+            "non-converged {}",
+            r.values["frac_non_converged"]
+        );
+        assert!(r.values["frac_few_hops"] > 0.5);
+    }
+}

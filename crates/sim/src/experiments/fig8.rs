@@ -1,0 +1,271 @@
+//! Figure 8: CQI as an interference estimator (§6.3.2).
+//!
+//! A single link reports CQI every 2 ms while an interfering radio
+//! toggles OFF → ON → OFF → ON. The paper's observations, reproduced
+//! here: throughput varies with the channel even in OFF periods (the
+//! detector must not chase fades), a faded interferer can be present but
+//! harmless (last ON period), and the max-window/60 %/10-sample detector
+//! achieves < 2 % false positives and ~80 % detection of strong
+//! interference.
+
+use super::{ExpConfig, ExpReport};
+use crate::report::table;
+use cellfi_core::sensing::CqiInterferenceDetector;
+use cellfi_lte::amc::CqiTable;
+use cellfi_lte::grid::{ChannelBandwidth, ResourceGrid};
+use cellfi_propagation::antenna::Antenna;
+use cellfi_propagation::fading::{BlockFading, FadingKind};
+use cellfi_propagation::link::{LinkEnd, Transmission};
+use cellfi_propagation::noise::NoiseModel;
+use cellfi_propagation::pathloss::PathLossModel;
+use cellfi_propagation::shadowing::Shadowing;
+use cellfi_propagation::RadioEnvironment;
+use cellfi_types::geo::Point;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::{Duration, Instant};
+use cellfi_types::units::{Dbm, Hertz};
+
+/// One 2 ms sample of the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Time of the sample.
+    pub at: Instant,
+    /// Whether the interferer radio was ON.
+    pub interferer_on: bool,
+    /// Wideband CQI reported.
+    pub cqi: u8,
+    /// Instantaneous PHY throughput (Mbps).
+    pub throughput_mbps: f64,
+    /// Detector verdict at this sample.
+    pub detected: bool,
+}
+
+/// Run the ON/OFF timeline; returns the 2 ms samples.
+pub fn run_timeline(config: ExpConfig) -> Vec<Sample> {
+    let seeds = SeedSeq::new(config.seed).child("fig8");
+    let env = RadioEnvironment {
+        pathloss: PathLossModel::tvws_urban(),
+        shadowing: Shadowing::disabled(seeds.child("shadow")),
+        // Strong fast fading so the OFF periods wobble like the paper's.
+        fading: BlockFading::new(
+            seeds.child("fading"),
+            FadingKind::Rayleigh,
+            Duration::from_millis(40),
+        ),
+        noise: NoiseModel::typical(),
+        frequency: Hertz(700e6),
+    };
+    let serving = LinkEnd::new(0, Point::ORIGIN, Antenna::Isotropic { gain: cellfi_types::units::Db(6.0) });
+    let interferer = LinkEnd::new(1, Point::new(400.0, 50.0), Antenna::Isotropic { gain: cellfi_types::units::Db(6.0) });
+    let ue = LinkEnd::new(1_000, Point::new(200.0, 0.0), Antenna::client());
+    let grid = ResourceGrid::new(ChannelBandwidth::Mhz5);
+    let table = CqiTable;
+    let mut detector = CqiInterferenceDetector::default();
+
+    // The Fig 8 script: OFF 0–1.2 s, ON 1.2–2.4 s, OFF 2.4–3.6 s,
+    // ON 3.6–5 s but with the interferer's signal faded 15 dB down
+    // (the "weak interference" episode that must not starve throughput).
+    let horizon = Instant::from_secs(5);
+    let on = |t: Instant| {
+        let s = t.as_secs_f64();
+        (1.2..2.4).contains(&s) || s >= 3.6
+    };
+    let faded_episode = |t: Instant| t.as_secs_f64() >= 3.6;
+
+    let mut samples = Vec::new();
+    let mut t = Instant::ZERO;
+    while t < horizon {
+        let interferer_on = on(t);
+        let int_power = if faded_episode(t) {
+            Dbm(23.0 - 18.0) // deep shadow: present but harmless
+        } else {
+            Dbm(23.0)
+        };
+        let interferers: Vec<Transmission> = if interferer_on {
+            vec![Transmission {
+                from: interferer,
+                power: int_power,
+            }]
+        } else {
+            Vec::new()
+        };
+        let serving_tx = Transmission {
+            from: serving,
+            power: Dbm(23.0),
+        };
+        // Wideband: linear-mean SINR across subchannels (our commercial-
+        // small-cell stand-in, like the paper's, reports wideband only).
+        let mean_linear = grid
+            .subchannel_ids()
+            .map(|s| {
+                // Downlink power splits across the carrier: scale both the
+                // serving and interfering transmissions per subchannel.
+                let scale = grid.subchannel_tx_power(Dbm(0.0), s) - Dbm(0.0);
+                let serving_sc = Transmission {
+                    from: serving_tx.from,
+                    power: serving_tx.power + scale,
+                };
+                let interferers_sc: Vec<Transmission> = interferers
+                    .iter()
+                    .map(|i| Transmission {
+                        from: i.from,
+                        power: i.power + scale,
+                    })
+                    .collect();
+                env.subchannel_sinr(&serving_sc, &ue, &interferers_sc, s, t, grid.subchannel_bandwidth(s))
+                    .to_linear()
+            })
+            .sum::<f64>()
+            / f64::from(grid.num_subchannels());
+        let sinr = cellfi_types::units::Db(10.0 * mean_linear.max(1e-12).log10());
+        let cqi = table.cqi_for_sinr(sinr);
+        let throughput = if cqi.usable() {
+            table.efficiency(cqi) * grid.total_data_res_per_subframe() * 1_000.0 / 1e6
+        } else {
+            0.0
+        };
+        let detected = detector.push(cqi.0);
+        samples.push(Sample {
+            at: t,
+            interferer_on,
+            cqi: cqi.0,
+            throughput_mbps: throughput,
+            detected,
+        });
+        t += Duration::CQI_PERIOD;
+    }
+    samples
+}
+
+/// Run the Fig 8 experiment and score the detector.
+pub fn run(config: ExpConfig) -> ExpReport {
+    let mut rep = ExpReport::new("fig8");
+    let samples = run_timeline(config);
+
+    // Bucket to 100 ms for the timeline table.
+    let mut rows = Vec::new();
+    let bucket = Duration::from_millis(200);
+    let mut i = 0;
+    while i < samples.len() {
+        let t0 = samples[i].at;
+        let chunk: Vec<&Sample> = samples
+            .iter()
+            .skip(i)
+            .take_while(|s| s.at < t0 + bucket)
+            .collect();
+        let tput = chunk.iter().map(|s| s.throughput_mbps).sum::<f64>() / chunk.len() as f64;
+        let cqi = chunk.iter().map(|s| f64::from(s.cqi)).sum::<f64>() / chunk.len() as f64;
+        let on = chunk.iter().filter(|s| s.interferer_on).count() > chunk.len() / 2;
+        let det = chunk.iter().filter(|s| s.detected).count() as f64 / chunk.len() as f64;
+        rows.push(vec![
+            format!("{:.1}", t0.as_secs_f64()),
+            if on { "ON" } else { "OFF" }.into(),
+            format!("{tput:.1}"),
+            format!("{cqi:.1}"),
+            format!("{:.0}%", det * 100.0),
+        ]);
+        i += chunk.len();
+    }
+    rep.text = table(
+        &["t (s)", "interferer", "tput (Mbps)", "CQI", "detected"],
+        &rows,
+    );
+
+    // Score: strong-ON period = 1.2–2.4 s; OFF periods; faded-ON ≥ 3.6 s.
+    let strong_on: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| (1.3..2.4).contains(&s.at.as_secs_f64()))
+        .collect();
+    let off: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| !s.interferer_on)
+        .collect();
+    let faded: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.at.as_secs_f64() >= 3.7)
+        .collect();
+    let detection = strong_on.iter().filter(|s| s.detected).count() as f64
+        / strong_on.len().max(1) as f64;
+    let false_pos = off.iter().filter(|s| s.detected).count() as f64 / off.len().max(1) as f64;
+    let faded_tput = faded.iter().map(|s| s.throughput_mbps).sum::<f64>()
+        / faded.len().max(1) as f64;
+    let off_tput = off.iter().map(|s| s.throughput_mbps).sum::<f64>() / off.len().max(1) as f64;
+
+    rep.text.push_str(&format!(
+        "\nStrong-interference detection: {:.0}% of samples (paper: 80%)\n\
+         False positives on clean channel: {:.1}% (paper: < 2%)\n\
+         Faded-interferer throughput: {:.1} Mbps vs clean {:.1} Mbps — weak \
+         interference barely hurts, as in the paper's last ON period.\n",
+        detection * 100.0,
+        false_pos * 100.0,
+        faded_tput,
+        off_tput
+    ));
+    rep.record("detection_rate", detection);
+    rep.record("false_positive_rate", false_pos);
+    rep.record("faded_over_clean_tput", faded_tput / off_tput.max(1e-9));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig {
+            seed: 4,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn detector_catches_strong_interference() {
+        let r = run(cfg());
+        assert!(
+            r.values["detection_rate"] > 0.5,
+            "detection {}",
+            r.values["detection_rate"]
+        );
+    }
+
+    #[test]
+    fn false_positives_below_paper_bound() {
+        let r = run(cfg());
+        assert!(
+            r.values["false_positive_rate"] < 0.05,
+            "FP {}",
+            r.values["false_positive_rate"]
+        );
+    }
+
+    #[test]
+    fn faded_interferer_mostly_harmless() {
+        let r = run(cfg());
+        assert!(
+            r.values["faded_over_clean_tput"] > 0.7,
+            "faded/clean {}",
+            r.values["faded_over_clean_tput"]
+        );
+    }
+
+    #[test]
+    fn cqi_drops_when_interferer_on() {
+        let samples = run_timeline(cfg());
+        let on_cqi: f64 = samples
+            .iter()
+            .filter(|s| (1.3..2.4).contains(&s.at.as_secs_f64()))
+            .map(|s| f64::from(s.cqi))
+            .sum::<f64>()
+            / samples
+                .iter()
+                .filter(|s| (1.3..2.4).contains(&s.at.as_secs_f64()))
+                .count() as f64;
+        let off_cqi: f64 = samples
+            .iter()
+            .filter(|s| !s.interferer_on)
+            .map(|s| f64::from(s.cqi))
+            .sum::<f64>()
+            / samples.iter().filter(|s| !s.interferer_on).count() as f64;
+        assert!(off_cqi - on_cqi > 2.0, "CQI gap {off_cqi} vs {on_cqi}");
+    }
+}

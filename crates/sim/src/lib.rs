@@ -1,0 +1,40 @@
+//! # cellfi-sim
+//!
+//! The network simulator and experiment harness that regenerates every
+//! table and figure of the CellFi paper (see DESIGN.md §4 for the
+//! experiment index, EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! * [`topology`] — scenario generation: the paper's 2 km × 2 km area
+//!   with randomly placed access points and per-AP client drops, plus the
+//!   two-cell and drive-test layouts of the testbed experiments.
+//! * [`workload`] — traffic models: backlogged flows and the web-like
+//!   page model (flow sizes, objects per page, think times per the
+//!   paper's cited measurement studies).
+//! * [`lte_engine`] — the LTE system simulator: a 1 ms subframe loop over
+//!   cells and UEs with per-subchannel SINR, CQI feedback, scheduling,
+//!   control-channel interference, and the interference-management layer
+//!   in one of three modes: plain LTE, CellFi, or the centralized oracle.
+//! * [`wifi_engine`] — glue that runs the `cellfi-wifi` DCF simulator
+//!   over the same topologies and workloads.
+//! * [`metrics`] — CDFs, percentiles, starvation/coverage counters.
+//! * [`report`] — plain-text rendering of tables and CDF series.
+//! * [`experiments`] — one driver per paper table/figure.
+//!
+//! Run experiments with the `exp` binary:
+//! `cargo run --release -p cellfi-sim --bin exp -- fig9a`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod lte_engine;
+pub mod metrics;
+pub mod report;
+pub mod topology;
+pub mod wifi_engine;
+pub mod workload;
+
+pub use lte_engine::{ImMode, LteEngine, LteEngineConfig};
+pub use metrics::Cdf;
+pub use topology::{Scenario, ScenarioConfig};
+pub use workload::{WebWorkload, WebWorkloadConfig};

@@ -1,0 +1,257 @@
+//! Measurement collection: CDFs, percentiles, coverage and starvation.
+//!
+//! The paper reports results almost exclusively as CDFs (Figs 1, 2, 7,
+//! 9) plus the coverage-vs-density curve of Fig 9(a). This module
+//! provides the small statistics toolkit those reports need, including
+//! the two headline counters:
+//!
+//! * **connected / coverage** — the fraction of clients achieving at
+//!   least a threshold throughput (Fig 9a's y-axis);
+//! * **starved** — clients receiving (almost) nothing due to contention,
+//!   the quantity CellFi reduces by 70–90 %.
+
+/// An empirical CDF over f64 samples.
+///
+/// ```
+/// use cellfi_sim::metrics::Cdf;
+/// let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(c.median(), 2.5);
+/// assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs rejected).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN sample in CDF input"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.is_empty(), "quantile of empty CDF");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty());
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples at or below `x`: `F(x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len().max(1) as f64
+    }
+
+    /// Fraction of samples at or above `x`.
+    pub fn fraction_at_or_above(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len().max(1) as f64
+    }
+
+    /// Evenly spaced (x, F(x)) points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2 && !self.is_empty());
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// Raw sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Coverage: the fraction of `throughputs` (bps) at or above
+/// `threshold_bps` — Fig 9(a)'s "fraction of connected users".
+pub fn coverage_fraction(throughputs: &[f64], threshold_bps: f64) -> f64 {
+    if throughputs.is_empty() {
+        return 0.0;
+    }
+    throughputs.iter().filter(|&&t| t >= threshold_bps).count() as f64 / throughputs.len() as f64
+}
+
+/// Starved clients: fraction receiving less than `threshold_bps`.
+pub fn starved_fraction(throughputs: &[f64], threshold_bps: f64) -> f64 {
+    1.0 - coverage_fraction(throughputs, threshold_bps)
+}
+
+/// Jain's fairness index over non-negative allocations.
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let sum: f64 = values.iter().sum();
+    let sq_sum: f64 = values.iter().map(|v| v * v).sum();
+    if sq_sum == 0.0 {
+        return 1.0; // all-zero: trivially "fair"
+    }
+    sum * sum / (values.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert_eq!(c.quantile(0.25), 2.0);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let c = Cdf::new(vec![0.0, 10.0]);
+        assert_eq!(c.quantile(0.3), 3.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let c = Cdf::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(c.samples(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn fractions_at_thresholds() {
+        let c = Cdf::new(vec![0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_at_or_below(0.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(2.0), 1.0);
+        assert_eq!(c.fraction_at_or_above(1.0), 0.5);
+        assert_eq!(c.fraction_at_or_above(3.0), 0.0);
+    }
+
+    #[test]
+    fn points_span_the_range() {
+        let c = Cdf::new(vec![0.0, 1.0, 2.0, 3.0]);
+        let pts = c.points(4);
+        assert_eq!(pts.first().unwrap().0, 0.0);
+        assert_eq!(pts.last().unwrap().0, 3.0);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn coverage_and_starvation_complement() {
+        let t = vec![0.0, 0.5e6, 1.5e6, 2.0e6];
+        assert_eq!(coverage_fraction(&t, 1e6), 0.5);
+        assert_eq!(starved_fraction(&t, 1e6), 0.5);
+        assert_eq!(coverage_fraction(&[], 1e6), 0.0);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+        let unfair = jain_fairness(&[10.0, 0.0, 0.0]);
+        assert!((unfair - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Quantiles are monotone and bounded by the sample range.
+            #[test]
+            fn quantiles_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+                let c = Cdf::new(xs.clone());
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut last = f64::NEG_INFINITY;
+                for i in 0..=10 {
+                    let q = c.quantile(f64::from(i) / 10.0);
+                    prop_assert!(q >= last - 1e-9);
+                    prop_assert!(q >= xs[0] - 1e-9 && q <= xs[xs.len() - 1] + 1e-9);
+                    last = q;
+                }
+            }
+
+            /// F is a valid CDF: monotone from 0 to 1, and F(max) = 1.
+            #[test]
+            fn fraction_is_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+                let c = Cdf::new(xs.clone());
+                let lo = c.quantile(0.0);
+                let hi = c.quantile(1.0);
+                let mut last = 0.0;
+                for i in 0..=20 {
+                    let x = lo + (hi - lo) * f64::from(i) / 20.0;
+                    let f = c.fraction_at_or_below(x);
+                    prop_assert!((0.0..=1.0).contains(&f));
+                    prop_assert!(f >= last - 1e-12);
+                    last = f;
+                }
+                prop_assert_eq!(c.fraction_at_or_below(hi), 1.0);
+            }
+
+            /// Coverage + starvation = 1 for any threshold.
+            #[test]
+            fn coverage_starvation_partition(
+                xs in proptest::collection::vec(0.0f64..1e7, 1..80),
+                thr in 0.0f64..1e7,
+            ) {
+                let c = coverage_fraction(&xs, thr);
+                let s = starved_fraction(&xs, thr);
+                prop_assert!((c + s - 1.0).abs() < 1e-12);
+            }
+
+            /// Jain's index lies in [1/n, 1].
+            #[test]
+            fn jain_bounded(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+                let j = jain_fairness(&xs);
+                prop_assert!(j <= 1.0 + 1e-12);
+                prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_quantile_panics() {
+        let _ = Cdf::new(vec![]).median();
+    }
+}

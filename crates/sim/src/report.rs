@@ -1,0 +1,150 @@
+//! Plain-text rendering of experiment output.
+//!
+//! Every experiment driver produces both a machine-readable value
+//! (serialized as JSON by the `exp` binary with `--json`) and a
+//! human-readable report built from these helpers: fixed-width tables
+//! and ASCII CDF plots shaped like the paper's figures.
+
+use crate::metrics::Cdf;
+use std::fmt::Write as _;
+
+/// Render a fixed-width table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), n, "row {i} width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (c, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[c]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", cell, w = widths[c]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render one or more CDFs as an ASCII plot (y: 0..1, x: value range),
+/// each series drawn with its own glyph.
+pub fn cdf_plot(title: &str, x_label: &str, series: &[(&str, &Cdf)], width: usize) -> String {
+    assert!(!series.is_empty() && width >= 20);
+    let height = 12usize;
+    let lo = series
+        .iter()
+        .map(|(_, c)| c.samples().first().copied().unwrap_or(0.0))
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .map(|(_, c)| c.samples().last().copied().unwrap_or(0.0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let hi = if (hi - lo).abs() < 1e-12 { lo + 1.0 } else { hi };
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, cdf)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for col in 0..width {
+            let x = lo + (hi - lo) * col as f64 / (width - 1) as f64;
+            let f = cdf.fraction_at_or_below(x);
+            let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
+            canvas[row.min(height - 1)][col] = g;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (r, line) in canvas.iter().enumerate() {
+        let y = 1.0 - r as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{y:4.2} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(width));
+    let _ = writeln!(out, "      {lo:<12.3}{:>w$.3}", hi, w = width - 12);
+    let _ = writeln!(out, "      x: {x_label}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "      {} {name}", glyphs[si % glyphs.len()]);
+    }
+    out
+}
+
+/// Format bits/sec human-readably.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1} kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["coverage".into(), "87.5%".into()],
+                vec!["x".into(), "1".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[1].contains("| name"));
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn cdf_plot_contains_series_markers() {
+        let c1 = Cdf::new(vec![1.0, 2.0, 3.0]);
+        let c2 = Cdf::new(vec![2.0, 3.0, 4.0]);
+        let p = cdf_plot("test", "Mbps", &[("a", &c1), ("b", &c2)], 40);
+        assert!(p.contains('*') && p.contains('o'));
+        assert!(p.contains("x: Mbps"));
+        assert!(p.contains("* a") && p.contains("o b"));
+    }
+
+    #[test]
+    fn cdf_plot_handles_degenerate_range() {
+        let c = Cdf::new(vec![5.0, 5.0]);
+        let p = cdf_plot("flat", "v", &[("s", &c)], 30);
+        assert!(p.contains("flat"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bps(2_300_000.0), "2.30 Mbps");
+        assert_eq!(fmt_bps(52_100.0), "52.1 kbps");
+        assert_eq!(fmt_bps(12.0), "12 bps");
+        assert_eq!(fmt_pct(0.375), "37.5%");
+    }
+}

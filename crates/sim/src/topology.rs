@@ -1,0 +1,276 @@
+//! Scenario generation.
+//!
+//! The paper's large-scale setting (§6.3.4): "We simulate an area of
+//! 2 km × 2 km, with a varying network density as controlled by the
+//! number of simulated APs. Base stations are randomly placed in this
+//! area with varying number of clients per AP." Client transmit power is
+//! 20 dBm (TVWS cap); AP power 30 dBm; propagation is the calibrated
+//! urban model. Every scenario is reproducible from its seed, and the
+//! same scenario drives the CellFi, plain-LTE, Wi-Fi and oracle runs so
+//! comparisons are paired.
+
+use cellfi_propagation::antenna::Antenna;
+use cellfi_propagation::fading::BlockFading;
+use cellfi_propagation::link::LinkEnd;
+use cellfi_propagation::noise::NoiseModel;
+use cellfi_propagation::pathloss::PathLossModel;
+use cellfi_propagation::shadowing::Shadowing;
+use cellfi_propagation::RadioEnvironment;
+use cellfi_types::geo::Point;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::units::{Db, Dbm, Hertz};
+use rand::Rng;
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Area side length (m); the paper uses 2000.
+    pub area: f64,
+    /// Number of access points.
+    pub n_aps: usize,
+    /// Clients per AP.
+    pub clients_per_ap: usize,
+    /// Maximum client distance from its AP. The paper drops clients
+    /// "within the corresponding range of each access point" — TVWS
+    /// coverage promises "1 km and above" (§2), so the default radius is
+    /// 1 km for both technologies.
+    pub cell_radius: f64,
+    /// AP transmit power (conducted; paper: 30 dBm).
+    pub ap_power: Dbm,
+    /// Client transmit power (TVWS cap: 20 dBm).
+    pub ue_power: Dbm,
+    /// Log-normal shadowing σ (dB); 0 disables.
+    pub shadowing_sigma: f64,
+    /// Enable per-subchannel Rayleigh block fading.
+    pub fading: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's default large-scale settings.
+    pub fn paper_default(n_aps: usize, clients_per_ap: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            area: 2_000.0,
+            n_aps,
+            clients_per_ap,
+            cell_radius: 1_000.0,
+            ap_power: Dbm(30.0),
+            ue_power: Dbm(20.0),
+            shadowing_sigma: 4.0,
+            fading: true,
+        }
+    }
+}
+
+/// A generated scenario: node placement plus the radio environment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Configuration it was drawn from.
+    pub config: ScenarioConfig,
+    /// Access-point terminals (node keys `0..n_aps`).
+    pub aps: Vec<LinkEnd>,
+    /// Client terminals (node keys `1000 + i`).
+    pub ues: Vec<LinkEnd>,
+    /// Client → serving AP index (the AP it was dropped around).
+    pub assoc: Vec<usize>,
+    /// The shared propagation environment.
+    pub env: RadioEnvironment,
+}
+
+/// Node-key offset for clients (AP keys start at 0).
+pub const UE_NODE_BASE: u32 = 1_000;
+
+impl Scenario {
+    /// Generate a scenario deterministically from `seeds`.
+    pub fn generate(config: ScenarioConfig, seeds: SeedSeq) -> Scenario {
+        let mut rng = seeds.rng("topology");
+        let mut aps = Vec::with_capacity(config.n_aps);
+        for i in 0..config.n_aps {
+            let p = Point::new(
+                rng.gen_range(0.0..config.area),
+                rng.gen_range(0.0..config.area),
+            );
+            aps.push(LinkEnd::new(
+                i as u32,
+                p,
+                Antenna::Isotropic { gain: Db(6.0) },
+            ));
+        }
+        let mut ues = Vec::new();
+        let mut assoc = Vec::new();
+        for (ap_idx, ap) in aps.iter().enumerate() {
+            for _ in 0..config.clients_per_ap {
+                // Uniform over the disc (sqrt radius), clipped to the area.
+                let p = loop {
+                    let r = config.cell_radius * rng.gen::<f64>().sqrt();
+                    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let p = ap.position.offset(theta, cellfi_types::units::Meters(r));
+                    if p.within(config.area, config.area) {
+                        break p;
+                    }
+                };
+                ues.push(LinkEnd::new(
+                    UE_NODE_BASE + ues.len() as u32,
+                    p,
+                    Antenna::client(),
+                ));
+                assoc.push(ap_idx);
+            }
+        }
+        let env = RadioEnvironment {
+            pathloss: PathLossModel::tvws_urban(),
+            shadowing: if config.shadowing_sigma > 0.0 {
+                Shadowing::new(seeds.child("shadow"), config.shadowing_sigma)
+            } else {
+                Shadowing::disabled(seeds.child("shadow"))
+            },
+            fading: if config.fading {
+                BlockFading::pedestrian(seeds.child("fading"))
+            } else {
+                BlockFading::disabled(seeds.child("fading"))
+            },
+            noise: NoiseModel::typical(),
+            frequency: Hertz(700e6),
+        };
+        Scenario {
+            config,
+            aps,
+            ues,
+            assoc,
+            env,
+        }
+    }
+
+    /// Two cells on a line with one client between them — the Fig 7
+    /// outdoor interference layout (serving cell, interfering cell, and a
+    /// client walked along a path).
+    pub fn two_cell_interference(separation: f64, seeds: SeedSeq) -> Scenario {
+        let config = ScenarioConfig {
+            area: separation + 1_000.0,
+            n_aps: 2,
+            clients_per_ap: 0,
+            cell_radius: 500.0,
+            ap_power: Dbm(23.0), // the E40's power in the testbed
+            ue_power: Dbm(20.0),
+            shadowing_sigma: 0.0,
+            fading: false,
+        };
+        let aps = vec![
+            LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::paper_sector(0.0)),
+            LinkEnd::new(
+                1,
+                Point::new(separation, 0.0),
+                Antenna::paper_sector(std::f64::consts::PI),
+            ),
+        ];
+        let env = RadioEnvironment {
+            pathloss: PathLossModel::tvws_urban(),
+            shadowing: Shadowing::disabled(seeds.child("shadow")),
+            fading: BlockFading::disabled(seeds.child("fading")),
+            noise: NoiseModel::typical(),
+            frequency: Hertz(700e6),
+        };
+        Scenario {
+            config,
+            aps,
+            ues: Vec::new(),
+            assoc: Vec::new(),
+            env,
+        }
+    }
+
+    /// Total number of clients.
+    pub fn n_ues(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Clients of one AP.
+    pub fn clients_of(&self, ap: usize) -> Vec<usize> {
+        (0..self.ues.len())
+            .filter(|&u| self.assoc[u] == ap)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::generate(ScenarioConfig::paper_default(6, 4), SeedSeq::new(seed))
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let s = scenario(1);
+        assert_eq!(s.aps.len(), 6);
+        assert_eq!(s.n_ues(), 24);
+        assert_eq!(s.assoc.len(), 24);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = scenario(7);
+        let b = scenario(7);
+        assert_eq!(a.aps[3].position, b.aps[3].position);
+        assert_eq!(a.ues[10].position, b.ues[10].position);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scenario(1);
+        let b = scenario(2);
+        assert_ne!(a.aps[0].position, b.aps[0].position);
+    }
+
+    #[test]
+    fn everything_inside_area() {
+        let s = scenario(3);
+        for n in s.aps.iter().chain(s.ues.iter()) {
+            assert!(n.position.within(2_000.0, 2_000.0), "{}", n.position);
+        }
+    }
+
+    #[test]
+    fn clients_within_cell_radius() {
+        let s = scenario(4);
+        for (u, ue) in s.ues.iter().enumerate() {
+            let ap = &s.aps[s.assoc[u]];
+            let d = ap.position.distance(ue.position).value();
+            assert!(d <= 1_000.0 + 1e-9, "client {u} at {d} m");
+        }
+    }
+
+    #[test]
+    fn node_keys_unique() {
+        let s = scenario(5);
+        let mut keys: Vec<u32> = s
+            .aps
+            .iter()
+            .chain(s.ues.iter())
+            .map(|e| e.node)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), s.aps.len() + s.ues.len());
+    }
+
+    #[test]
+    fn clients_of_partitions_everyone() {
+        let s = scenario(6);
+        let total: usize = (0..s.aps.len()).map(|a| s.clients_of(a).len()).sum();
+        assert_eq!(total, s.n_ues());
+        assert_eq!(s.clients_of(0).len(), 4);
+    }
+
+    #[test]
+    fn two_cell_layout_faces_antennas_inward() {
+        let s = Scenario::two_cell_interference(400.0, SeedSeq::new(1));
+        assert_eq!(s.aps.len(), 2);
+        // Serving cell's boresight points at the interferer and vice versa.
+        let mid = Point::new(200.0, 0.0);
+        let g0 = s.aps[0]
+            .antenna
+            .gain_towards(s.aps[0].position.bearing_to(mid));
+        assert!((g0.value() - 7.0).abs() < 0.1);
+    }
+}

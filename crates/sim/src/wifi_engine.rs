@@ -1,0 +1,134 @@
+//! Glue: run the `cellfi-wifi` DCF simulator over a [`Scenario`].
+//!
+//! The paper's Wi-Fi baselines (802.11af outdoors, 802.11ac indoors for
+//! Fig 2) run on the *same* topologies as the LTE modes so comparisons
+//! are paired. Per §6.3.4 RF settings, Wi-Fi uses 30 dBm at both AP and
+//! client; 802.11af gets a 6 MHz channel.
+
+use crate::topology::Scenario;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+use cellfi_types::units::Dbm;
+use cellfi_wifi::sim::{WifiConfig, WifiSimulator};
+
+/// A Wi-Fi run bound to a scenario.
+#[derive(Debug)]
+pub struct WifiEngine {
+    sim: WifiSimulator,
+    n_ues: usize,
+    started: Instant,
+}
+
+impl WifiEngine {
+    /// Build from a scenario. `config` selects 802.11af or 802.11ac.
+    pub fn new(scenario: &Scenario, config: WifiConfig, seeds: SeedSeq) -> WifiEngine {
+        let sim = WifiSimulator::new(
+            scenario.env,
+            config,
+            scenario.aps.clone(),
+            Dbm(30.0), // paper: Wi-Fi AP TX 30 dBm
+            scenario.ues.clone(),
+            scenario.assoc.clone(),
+            seeds.seed("wifi-engine"),
+        );
+        WifiEngine {
+            sim,
+            n_ues: scenario.n_ues(),
+            started: Instant::ZERO,
+        }
+    }
+
+    /// Enqueue downlink bytes for a client.
+    pub fn enqueue(&mut self, ue: usize, bytes: u64) {
+        self.sim.enqueue(ue, bytes);
+    }
+
+    /// Backlog every client with `bytes`.
+    pub fn backlog_all(&mut self, bytes: u64) {
+        for u in 0..self.n_ues {
+            self.sim.enqueue(u, bytes);
+        }
+    }
+
+    /// Advance to `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        self.sim.run_until(t);
+    }
+
+    /// Delivered bytes per client.
+    pub fn delivered_bytes(&self) -> &[u64] {
+        &self.sim.stats().delivered_bytes
+    }
+
+    /// Bytes still queued for a client.
+    pub fn queued(&self, ue: usize) -> u64 {
+        self.sim.queued(ue)
+    }
+
+    /// Per-client throughput in bps over the elapsed run.
+    pub fn throughputs_bps(&self) -> Vec<f64> {
+        let t = (self.sim.now() - self.started).as_secs_f64().max(1e-9);
+        self.sim
+            .stats()
+            .delivered_bytes
+            .iter()
+            .map(|&b| b as f64 * 8.0 / t)
+            .collect()
+    }
+
+    /// Whether a client's downlink closes at all (mean SNR ≥ MCS 0).
+    pub fn reachable(&self, ue: usize) -> bool {
+        self.sim.reachable(ue)
+    }
+
+    /// Underlying simulator (stats access).
+    pub fn sim(&self) -> &WifiSimulator {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        let mut cfg = ScenarioConfig::paper_default(2, 2);
+        cfg.shadowing_sigma = 0.0;
+        cfg.fading = false;
+        Scenario::generate(cfg, SeedSeq::new(31))
+    }
+
+    #[test]
+    fn runs_and_delivers_on_paper_topology() {
+        let s = scenario();
+        let mut e = WifiEngine::new(&s, WifiConfig::af_default(), SeedSeq::new(1));
+        e.backlog_all(2_000_000);
+        e.run_until(Instant::from_secs(1));
+        let total: u64 = e.delivered_bytes().iter().sum();
+        assert!(total > 0, "nothing delivered");
+    }
+
+    #[test]
+    fn paired_with_scenario_geometry() {
+        let s = scenario();
+        let e = WifiEngine::new(&s, WifiConfig::af_default(), SeedSeq::new(1));
+        // Every client within 650 m must be reachable on 6 MHz at 30 dBm.
+        for u in 0..s.n_ues() {
+            assert!(e.reachable(u), "client {u} unreachable");
+        }
+    }
+
+    #[test]
+    fn throughput_accounting_in_bits() {
+        let s = scenario();
+        let mut e = WifiEngine::new(&s, WifiConfig::af_default(), SeedSeq::new(2));
+        e.enqueue(0, 1_000_000);
+        e.run_until(Instant::from_secs(1));
+        let tput = e.throughputs_bps()[0];
+        let bytes = e.delivered_bytes()[0];
+        // The run length rounds to whole 9 µs slots, so allow the
+        // corresponding relative error.
+        assert!((tput - bytes as f64 * 8.0).abs() / (bytes as f64 * 8.0) < 1e-3);
+    }
+}

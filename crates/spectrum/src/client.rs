@@ -1,0 +1,310 @@
+//! The access-point-side database client.
+//!
+//! Owns the lease lifecycle of Fig 6: query → grant → operate → lose the
+//! channel → **stop transmitting within the ETSI minute** → re-query →
+//! reacquire. "No TVWS client is allowed to transmit in a channel without
+//! having a valid lease from a spectrum database and has to stop once a
+//! lease has expired" (§4.2); ETSI EN 301 598 "mandate\[s\] that
+//! transmissions should stop within one minute after the channel ceases
+//! to be available" (§6.2).
+
+use crate::database::SpectrumDatabase;
+use crate::paws::{
+    AvailSpectrumReq, DeviceDescriptor, GeoLocation, InitReq, InitResp, SpectrumGrant,
+    SpectrumUseNotify,
+};
+use cellfi_types::time::{Duration, Instant};
+use cellfi_types::ChannelId;
+
+/// The ETSI EN 301 598 vacate deadline.
+pub const ETSI_VACATE_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Lease state of the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientState {
+    /// No channel in use; transmission forbidden.
+    Idle,
+    /// Operating on a channel under a valid grant.
+    Operating {
+        /// The channel in use.
+        channel: ChannelId,
+        /// Grant expiry.
+        expires: Instant,
+    },
+    /// The channel was lost (withdrawn or expired); transmission must
+    /// stop by `deadline` and the radio is being shut down.
+    Vacating {
+        /// The channel being vacated.
+        channel: ChannelId,
+        /// Hard stop deadline (loss time + 60 s).
+        deadline: Instant,
+    },
+}
+
+/// The CellFi TVWS database client (one per access point, answering for
+/// the AP and all of its mobile clients, §4.2).
+#[derive(Debug, Clone)]
+pub struct DatabaseClient {
+    device: DeviceDescriptor,
+    location: GeoLocation,
+    /// Re-query cadence (ETSI: at most the database's max polling).
+    poll_interval: Duration,
+    last_query: Option<Instant>,
+    /// Grants from the last query.
+    grants: Vec<SpectrumGrant>,
+    state: ClientState,
+}
+
+impl DatabaseClient {
+    /// New client for an AP at `location` with `clients` mobile devices.
+    pub fn new(serial: &str, clients: u32, location: GeoLocation) -> DatabaseClient {
+        DatabaseClient {
+            device: DeviceDescriptor::master_with_clients(serial, clients),
+            location,
+            poll_interval: Duration::from_secs(60),
+            last_query: None,
+            grants: Vec::new(),
+            state: ClientState::Idle,
+        }
+    }
+
+    /// Current lease state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Grants from the most recent query.
+    pub fn grants(&self) -> &[SpectrumGrant] {
+        &self.grants
+    }
+
+    /// Perform the PAWS `INIT` handshake: the database's capabilities
+    /// bound the client's polling cadence (a client may not cache an
+    /// availability answer longer than `max_polling_secs`).
+    pub fn init(&mut self, db: &SpectrumDatabase) -> InitResp {
+        let resp = db.init(&InitReq {
+            device: self.device.clone(),
+            location: self.location,
+        });
+        self.poll_interval = self
+            .poll_interval
+            .min(Duration::from_secs(resp.max_polling_secs));
+        resp
+    }
+
+    /// Whether a (re-)query is due.
+    pub fn query_due(&self, now: Instant) -> bool {
+        match self.last_query {
+            None => true,
+            Some(t) => now.duration_since(t) >= self.poll_interval,
+        }
+    }
+
+    /// Query the database. Updates grants and, if the channel currently
+    /// in use is no longer granted, transitions to `Vacating` with the
+    /// ETSI deadline. Returns the new state.
+    pub fn refresh(&mut self, db: &SpectrumDatabase, now: Instant) -> ClientState {
+        let req = AvailSpectrumReq {
+            device: self.device.clone(),
+            location: self.location,
+            request_time_us: now.as_micros(),
+        };
+        self.grants = db.avail_spectrum(&req).grants;
+        self.last_query = Some(now);
+        self.state = match self.state {
+            ClientState::Operating { channel, .. } => {
+                match self.grants.iter().find(|g| g.channel == channel) {
+                    Some(g) => ClientState::Operating {
+                        channel,
+                        expires: Instant::from_micros(g.expires_us),
+                    },
+                    None => ClientState::Vacating {
+                        channel,
+                        deadline: now + ETSI_VACATE_DEADLINE,
+                    },
+                }
+            }
+            other => other,
+        };
+        self.state
+    }
+
+    /// Begin operating on `channel` (must hold a valid grant for it).
+    /// Sends the mandatory `SPECTRUM_USE_NOTIFY`.
+    pub fn start_operation(
+        &mut self,
+        db: &mut SpectrumDatabase,
+        channel: ChannelId,
+        eirp_dbm: f64,
+        now: Instant,
+    ) {
+        let grant = self
+            .grants
+            .iter()
+            .find(|g| g.channel == channel && g.valid_at(now))
+            .unwrap_or_else(|| panic!("no valid grant for {channel} at {now}"));
+        assert!(
+            eirp_dbm <= grant.max_eirp_dbm,
+            "EIRP {eirp_dbm} exceeds grant cap {}",
+            grant.max_eirp_dbm
+        );
+        db.notify_use(SpectrumUseNotify {
+            device: self.device.clone(),
+            channel,
+            eirp_dbm,
+        });
+        self.state = ClientState::Operating {
+            channel,
+            expires: Instant::from_micros(grant.expires_us),
+        };
+    }
+
+    /// The radio has actually been turned off; lease released.
+    pub fn confirm_stopped(&mut self) {
+        self.state = ClientState::Idle;
+    }
+
+    /// TVWS compliance predicate: may the AP radiate at `now`?
+    ///
+    /// `Operating` with an unexpired grant: yes. `Vacating`: only until
+    /// the ETSI deadline (the stack is expected to stop far sooner — the
+    /// paper's AP stopped 2 s after the DB change). Expired grant: no.
+    pub fn may_transmit(&self, now: Instant) -> bool {
+        match self.state {
+            ClientState::Idle => false,
+            ClientState::Operating { expires, .. } => now < expires,
+            ClientState::Vacating { deadline, .. } => now < deadline,
+        }
+    }
+
+    /// An in-lease expiry check the AP runs each tick: transitions
+    /// `Operating` → `Vacating` when the lease runs out between polls.
+    pub fn tick(&mut self, now: Instant) -> ClientState {
+        if let ClientState::Operating { channel, expires } = self.state {
+            if now >= expires {
+                self.state = ClientState::Vacating {
+                    channel,
+                    deadline: expires + ETSI_VACATE_DEADLINE,
+                };
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChannelPlan;
+    use cellfi_types::geo::Point;
+
+    fn setup() -> (SpectrumDatabase, DatabaseClient) {
+        let db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]);
+        let loc = GeoLocation::gps(Point::new(0.0, 0.0));
+        let client = DatabaseClient::new("cellfi-ap-001", 10, loc);
+        (db, client)
+    }
+
+    #[test]
+    fn idle_client_may_not_transmit() {
+        let (_, c) = setup();
+        assert!(!c.may_transmit(Instant::ZERO));
+        assert!(c.query_due(Instant::ZERO));
+    }
+
+    #[test]
+    fn grant_then_operate() {
+        let (mut db, mut c) = setup();
+        c.refresh(&db, Instant::from_secs(1));
+        assert!(!c.grants().is_empty());
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 36.0, Instant::from_secs(1));
+        assert!(c.may_transmit(Instant::from_secs(2)));
+        assert_eq!(db.notifications().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grant cap")]
+    fn overpowered_operation_rejected() {
+        let (mut db, mut c) = setup();
+        c.refresh(&db, Instant::ZERO);
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 40.0, Instant::ZERO);
+    }
+
+    #[test]
+    fn withdrawal_starts_vacate_with_etsi_deadline() {
+        // The Fig 6 sequence, compliance side.
+        let (mut db, mut c) = setup();
+        c.refresh(&db, Instant::from_secs(0));
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        db.withdraw_channel(ch, None);
+        let t = Instant::from_secs(57);
+        let state = c.refresh(&db, t);
+        match state {
+            ClientState::Vacating { channel, deadline } => {
+                assert_eq!(channel, ch);
+                assert_eq!(deadline, t + ETSI_VACATE_DEADLINE);
+            }
+            other => panic!("expected Vacating, got {other:?}"),
+        }
+        // Transmission legal until the deadline, illegal after.
+        assert!(c.may_transmit(Instant::from_secs(116)));
+        assert!(!c.may_transmit(Instant::from_secs(117)));
+        c.confirm_stopped();
+        assert!(!c.may_transmit(Instant::from_secs(58)));
+    }
+
+    #[test]
+    fn lease_expiry_between_polls_caught_by_tick() {
+        let (mut db, mut c) = setup();
+        db = db.with_lease_validity(Duration::from_secs(30));
+        c.refresh(&db, Instant::ZERO);
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        assert!(c.may_transmit(Instant::from_secs(29)));
+        // Grant expires at t=30 with no poll in between.
+        let state = c.tick(Instant::from_secs(30));
+        assert!(matches!(state, ClientState::Vacating { .. }));
+        assert!(!c.may_transmit(Instant::from_secs(91)));
+    }
+
+    #[test]
+    fn refresh_extends_operating_lease() {
+        let (mut db, mut c) = setup();
+        c.refresh(&db, Instant::ZERO);
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        let before = match c.state() {
+            ClientState::Operating { expires, .. } => expires,
+            _ => unreachable!(),
+        };
+        c.refresh(&db, Instant::from_secs(3600));
+        let after = match c.state() {
+            ClientState::Operating { expires, .. } => expires,
+            _ => panic!("should still be operating"),
+        };
+        assert!(after > before);
+    }
+
+    #[test]
+    fn init_handshake_bounds_polling() {
+        let (db, mut c) = setup();
+        let resp = c.init(&db);
+        assert_eq!(resp.ruleset, "ETSI-EN-301-598-1.1.1");
+        // A 30 s database cadence must tighten the client's 60 s default.
+        let strict = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_max_polling(30);
+        c.init(&strict);
+        c.refresh(&strict, Instant::ZERO);
+        assert!(c.query_due(Instant::from_secs(31)));
+    }
+
+    #[test]
+    fn poll_cadence() {
+        let (db, mut c) = setup();
+        c.refresh(&db, Instant::from_secs(10));
+        assert!(!c.query_due(Instant::from_secs(30)));
+        assert!(c.query_due(Instant::from_secs(70)));
+    }
+}

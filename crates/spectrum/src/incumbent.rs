@@ -1,0 +1,165 @@
+//! Primary spectrum users (incumbents).
+//!
+//! "TVWS spectrum is available to unlicensed devices (secondary users)
+//! only in the absence of incumbents (TV and wireless microphones, also
+//! called primary users)" (§2). The database's whole job is protecting
+//! these. Two kinds matter:
+//!
+//! * **TV stations** — permanent, with a protected contour around the
+//!   transmitter (simplified here to a protection radius; real rules use
+//!   field-strength contours plus separation distances).
+//! * **Wireless microphones** — scheduled: "the channel is allocated to
+//!   the incumbents such as wireless microphones for special events",
+//!   with "granularity ... in hours and days" (§6.2).
+
+use cellfi_types::geo::Point;
+use cellfi_types::time::Instant;
+use cellfi_types::ChannelId;
+
+/// A primary user registered in the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incumbent {
+    /// A TV broadcast transmitter, always on.
+    TvStation {
+        /// Channel it broadcasts on.
+        channel: ChannelId,
+        /// Transmitter site.
+        location: Point,
+        /// Radius (m) within which secondaries must not use the channel.
+        protected_radius: f64,
+    },
+    /// A licensed wireless microphone with reserved time windows.
+    WirelessMic {
+        /// Channel it reserves.
+        channel: ChannelId,
+        /// Venue location.
+        location: Point,
+        /// Protection radius (m) around the venue.
+        protected_radius: f64,
+        /// Reserved `[start, end)` windows.
+        events: Vec<(Instant, Instant)>,
+    },
+}
+
+impl Incumbent {
+    /// The channel this incumbent protects.
+    pub fn channel(&self) -> ChannelId {
+        match self {
+            Incumbent::TvStation { channel, .. } | Incumbent::WirelessMic { channel, .. } => {
+                *channel
+            }
+        }
+    }
+
+    /// Whether this incumbent blocks secondary use of its channel at
+    /// `location` and `time`.
+    pub fn blocks(&self, location: Point, time: Instant) -> bool {
+        match self {
+            Incumbent::TvStation {
+                location: site,
+                protected_radius,
+                ..
+            } => site.distance(location).value() <= *protected_radius,
+            Incumbent::WirelessMic {
+                location: venue,
+                protected_radius,
+                events,
+                ..
+            } => {
+                site_active(events, time)
+                    && venue.distance(location).value() <= *protected_radius
+            }
+        }
+    }
+
+    /// For an incumbent currently blocking, when the blockage ends (mic
+    /// event end), or `None` for permanent blockage (TV station) or a mic
+    /// that is not currently active.
+    pub fn blocked_until(&self, time: Instant) -> Option<Instant> {
+        match self {
+            Incumbent::TvStation { .. } => None,
+            Incumbent::WirelessMic { events, .. } => events
+                .iter()
+                .find(|(s, e)| *s <= time && time < *e)
+                .map(|&(_, e)| e),
+        }
+    }
+}
+
+fn site_active(events: &[(Instant, Instant)], time: Instant) -> bool {
+    events.iter().any(|&(s, e)| s <= time && time < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv() -> Incumbent {
+        Incumbent::TvStation {
+            channel: ChannelId::new(30),
+            location: Point::new(0.0, 0.0),
+            protected_radius: 10_000.0,
+        }
+    }
+
+    fn mic() -> Incumbent {
+        Incumbent::WirelessMic {
+            channel: ChannelId::new(40),
+            location: Point::new(500.0, 0.0),
+            protected_radius: 1_000.0,
+            events: vec![(Instant::from_secs(100), Instant::from_secs(200))],
+        }
+    }
+
+    #[test]
+    fn tv_station_blocks_inside_contour_forever() {
+        let tv = tv();
+        assert!(tv.blocks(Point::new(5_000.0, 0.0), Instant::ZERO));
+        assert!(tv.blocks(Point::new(5_000.0, 0.0), Instant::from_secs(1_000_000)));
+        assert_eq!(tv.blocked_until(Instant::ZERO), None);
+    }
+
+    #[test]
+    fn tv_station_clear_outside_contour() {
+        assert!(!tv().blocks(Point::new(20_000.0, 0.0), Instant::ZERO));
+    }
+
+    #[test]
+    fn mic_blocks_only_during_event() {
+        let m = mic();
+        let venue_edge = Point::new(500.0, 900.0);
+        assert!(!m.blocks(venue_edge, Instant::from_secs(99)));
+        assert!(m.blocks(venue_edge, Instant::from_secs(100)));
+        assert!(m.blocks(venue_edge, Instant::from_secs(199)));
+        assert!(!m.blocks(venue_edge, Instant::from_secs(200)), "end is exclusive");
+    }
+
+    #[test]
+    fn mic_event_distance_check() {
+        let m = mic();
+        assert!(!m.blocks(Point::new(2_000.0, 0.0), Instant::from_secs(150)));
+    }
+
+    #[test]
+    fn mic_blocked_until_reports_event_end() {
+        let m = mic();
+        assert_eq!(
+            m.blocked_until(Instant::from_secs(150)),
+            Some(Instant::from_secs(200))
+        );
+        assert_eq!(m.blocked_until(Instant::from_secs(50)), None);
+    }
+
+    #[test]
+    fn channel_accessor() {
+        assert_eq!(tv().channel(), ChannelId::new(30));
+        assert_eq!(mic().channel(), ChannelId::new(40));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let tv = tv();
+        assert!(tv.blocks(Point::new(10_000.0, 0.0), Instant::ZERO));
+        assert!(!tv.blocks(Point::new(10_000.1, 0.0), Instant::ZERO));
+    }
+}

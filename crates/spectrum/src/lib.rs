@@ -1,0 +1,45 @@
+//! # cellfi-spectrum
+//!
+//! The TVWS spectrum-database subsystem: everything between the CellFi
+//! access point and the regulator's incumbent-protection machinery
+//! (paper §2 "Database access compliance", §4.2 "Channel Selection",
+//! §6.2 "Channel selection" evaluation).
+//!
+//! The paper interfaced with a certified Nominet database over the IETF
+//! PAWS protocol; this crate substitutes an in-process implementation of
+//! the same roles:
+//!
+//! * [`plan`] — TV channel plans (EU 8 MHz / US 6 MHz rasters) and the
+//!   channel ↔ frequency mapping.
+//! * [`incumbent`] — primary users: TV stations with protected contours
+//!   and wireless microphones with scheduled events.
+//! * [`paws`] — PAWS message types (RFC 7545 subset): `INIT`,
+//!   `AVAIL_SPECTRUM_REQ/RESP`, `SPECTRUM_USE_NOTIFY`, JSON-serializable.
+//! * [`database`] — the database server: evaluates incumbent protection,
+//!   answers availability queries with per-channel max EIRP and lease
+//!   expiry, and supports operator-side channel withdrawal (the Fig 6
+//!   experiment's "channel removed from DB" event).
+//! * [`client`] — the access-point-side database client: maintains the
+//!   lease, re-queries, and enforces the ETSI rule that transmissions
+//!   stop within 60 s of losing the channel.
+//! * [`selection`] — CellFi's channel-selection component: picks the best
+//!   channel using network-listen (prefer idle; else CellFi-occupied;
+//!   never non-CellFi-occupied if avoidable, §4.2) and maps it to an
+//!   EARFCN for the LTE stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod database;
+pub mod incumbent;
+pub mod paws;
+pub mod plan;
+pub mod selection;
+
+pub use client::{ClientState, DatabaseClient};
+pub use database::{ChannelAvailability, SpectrumDatabase};
+pub use incumbent::Incumbent;
+pub use paws::{AvailSpectrumReq, AvailSpectrumResp, DeviceDescriptor, GeoLocation};
+pub use plan::{ChannelPlan, TvChannel};
+pub use selection::{ChannelChoice, ChannelSelector, ListenObservation, OccupantKind};

@@ -1,0 +1,104 @@
+//! Newtype identifiers.
+//!
+//! An access point index and a subchannel index are both small integers;
+//! mixing them up compiles fine and simulates garbage. Each entity gets its
+//! own opaque id type. All ids are dense indices assigned by the topology
+//! or grid builder, so they double as `Vec` indices via [`ApId::index`] etc.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a dense index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The dense index, usable directly as a `Vec` subscript.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An access point (LTE eNodeB / Wi-Fi AP).
+    ApId,
+    "ap"
+);
+id_type!(
+    /// A client (LTE UE / Wi-Fi station).
+    UeId,
+    "ue"
+);
+id_type!(
+    /// A TV channel as indexed by the spectrum database (e.g. UHF channel
+    /// number). Distinct from LTE EARFCN, which is derived from it.
+    ChannelId,
+    "ch"
+);
+id_type!(
+    /// An intra-channel subchannel: the minimal set of LTE resource blocks
+    /// that can be scheduled and CQI-reported (13 on 5 MHz, 25 on 20 MHz).
+    SubchannelId,
+    "sc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(ApId::new(7).index(), 7);
+        assert_eq!(UeId::new(0).index(), 0);
+        assert_eq!(SubchannelId::new(12).index(), 12);
+        assert_eq!(ChannelId::from(38).index(), 38);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ApId::new(3).to_string(), "ap3");
+        assert_eq!(UeId::new(14).to_string(), "ue14");
+        assert_eq!(ChannelId::new(21).to_string(), "ch21");
+        assert_eq!(SubchannelId::new(5).to_string(), "sc5");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(SubchannelId::new(2) < SubchannelId::new(10));
+        let set: HashSet<ApId> = [ApId::new(1), ApId::new(1), ApId::new(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_numbers() {
+        // PAWS messages carry channel ids; keep the wire form minimal.
+        let json = serde_json::to_string(&ChannelId::new(38)).unwrap();
+        assert_eq!(json, "38");
+        let back: ChannelId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ChannelId::new(38));
+    }
+}

@@ -1,0 +1,33 @@
+//! # cellfi-types
+//!
+//! Foundation types shared by every crate in the CellFi workspace:
+//!
+//! * [`units`] — strongly typed radio units (dBm, dB, milliwatts, hertz,
+//!   metres) with the conversions the link-budget math needs.
+//! * [`time`] — simulation time at microsecond resolution, with the 1 ms
+//!   LTE subframe and 1 s interference-management epoch as first-class
+//!   constants.
+//! * [`geo`] — 2-D geometry for topology generation and path-loss
+//!   distances.
+//! * [`ids`] — newtype identifiers for access points, clients, channels and
+//!   subchannels so they cannot be confused with one another.
+//! * [`rng`] — deterministic seeded RNG derivation so every experiment is
+//!   exactly repeatable from one `u64` master seed.
+//!
+//! The design ethos follows smoltcp: plain data types, no clever generics,
+//! everything documented and unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geo;
+pub mod ids;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use geo::Point;
+pub use ids::{ApId, ChannelId, SubchannelId, UeId};
+pub use rng::SeedSeq;
+pub use time::{Duration, Instant};
+pub use units::{Db, Dbm, Hertz, Meters, MilliWatts};

@@ -1,0 +1,308 @@
+//! Simulation time.
+//!
+//! The whole workspace shares one clock: microsecond-resolution unsigned
+//! time. Three cadences matter in CellFi and each gets a named constant:
+//!
+//! * the **LTE subframe** (1 ms) — the scheduling tick of the LTE engine;
+//! * the **CQI reporting period** (2 ms) — aperiodic mode 3-0 sub-band
+//!   reports (paper §5.1);
+//! * the **interference-management epoch** (1 s) — the cadence at which a
+//!   CellFi access point re-runs share calculation and subchannel hopping
+//!   (paper §4.3).
+//!
+//! The Wi-Fi CSMA engine needs microseconds (a DCF slot is 9 µs); the LTE
+//! engine needs milliseconds. Using one integer microsecond clock for both
+//! avoids float drift and keeps event ordering total.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in simulation time, microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    micros: u64,
+}
+
+/// A span of simulation time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    micros: u64,
+}
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Instant = Instant { micros: 0 };
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Instant {
+        Instant { micros }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Instant {
+        Instant {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Instant {
+        Instant {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Seconds since simulation start as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Time elapsed since an earlier instant. Panics if `earlier` is later:
+    /// simulated time never runs backwards, so that is a simulator bug.
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        assert!(
+            self.micros >= earlier.micros,
+            "time ran backwards: {} < {}",
+            self,
+            earlier
+        );
+        Duration {
+            micros: self.micros - earlier.micros,
+        }
+    }
+
+    /// True when this instant lies on a boundary of `period` (including 0).
+    pub fn is_multiple_of(self, period: Duration) -> bool {
+        period.micros != 0 && self.micros % period.micros == 0
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration { micros: 0 };
+    /// One LTE subframe: the 1 ms scheduling tick.
+    pub const SUBFRAME: Duration = Duration { micros: 1_000 };
+    /// Aperiodic mode 3-0 sub-band CQI reporting period (paper §5.1).
+    pub const CQI_PERIOD: Duration = Duration { micros: 2_000 };
+    /// CellFi interference-management epoch (paper §4.3).
+    pub const IM_EPOCH: Duration = Duration { micros: 1_000_000 };
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Duration {
+        Duration { micros }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Duration {
+        Duration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Duration {
+        Duration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Microseconds in this span.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Whole milliseconds in this span (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Span as seconds, for rate computations.
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant {
+            micros: self.micros.checked_sub(rhs.micros).expect("instant underflow"),
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros.checked_sub(rhs.micros).expect("duration underflow"),
+        }
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration {
+            micros: self.micros * rhs,
+        }
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = u64;
+    fn div(self, rhs: Duration) -> u64 {
+        self.micros / rhs.micros
+    }
+}
+
+impl Rem<Duration> for Instant {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration {
+            micros: self.micros % rhs.micros,
+        }
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.micros >= 1_000 {
+            write!(f, "{:.3}ms", self.micros as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.micros)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_cadence() {
+        assert_eq!(Duration::SUBFRAME.as_millis(), 1);
+        assert_eq!(Duration::CQI_PERIOD.as_millis(), 2);
+        assert_eq!(Duration::IM_EPOCH.as_millis(), 1_000);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant::from_millis(5) + Duration::from_micros(250);
+        assert_eq!(t.as_micros(), 5_250);
+        assert_eq!((t - Duration::from_micros(250)).as_millis(), 5);
+    }
+
+    #[test]
+    fn duration_since_measures_gap() {
+        let a = Instant::from_millis(10);
+        let b = Instant::from_millis(35);
+        assert_eq!(b.duration_since(a), Duration::from_millis(25));
+        assert_eq!(b - a, Duration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn duration_since_panics_backwards() {
+        let _ = Instant::from_millis(1).duration_since(Instant::from_millis(2));
+    }
+
+    #[test]
+    fn subframe_boundaries() {
+        assert!(Instant::from_millis(7).is_multiple_of(Duration::SUBFRAME));
+        assert!(!Instant::from_micros(7_500).is_multiple_of(Duration::SUBFRAME));
+        assert!(Instant::ZERO.is_multiple_of(Duration::IM_EPOCH));
+    }
+
+    #[test]
+    fn epoch_contains_thousand_subframes() {
+        assert_eq!(Duration::IM_EPOCH / Duration::SUBFRAME, 1_000);
+    }
+
+    #[test]
+    fn rem_gives_phase_within_period() {
+        let t = Instant::from_millis(1_003);
+        assert_eq!(t % Duration::IM_EPOCH, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let d = Duration::from_millis(1).saturating_sub(Duration::from_millis(5));
+        assert_eq!(d, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", Duration::from_micros(9)), "9µs");
+        assert_eq!(format!("{}", Duration::from_millis(4)), "4.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s");
+    }
+}

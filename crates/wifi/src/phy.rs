@@ -1,0 +1,256 @@
+//! 802.11 PHY: MCS tables, rate adaptation and frame durations.
+//!
+//! 802.11af keeps the 802.11ac (VHT) PHY, down-clocked onto 6/8 MHz TV
+//! channels (§3.1: "the standard has opted to keep the main features of
+//! the 802.11 PHY ... same modulation and coding rates as 802.11ac").
+//! The consequences the paper builds on:
+//!
+//! * the **lowest code rate is 1/2** (Table 1) — no low-SNR regime;
+//! * one OFDM transmission spans the **whole channel** (no OFDMA);
+//! * down-clocking stretches symbols, so overheads (preamble, slot)
+//!   stretch too.
+
+use cellfi_types::time::Duration;
+use cellfi_types::units::{Db, Hertz};
+
+/// Channelization the PHY runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WifiBand {
+    /// 802.11ac, 20 MHz channel (the home-Wi-Fi baseline of Fig 2).
+    Ac20,
+    /// 802.11af, one 6 MHz TV channel (US raster).
+    Af6,
+    /// 802.11af, one 8 MHz TV channel (EU raster).
+    Af8,
+}
+
+/// One VHT MCS row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mcs {
+    /// MCS index 0–9.
+    pub index: u8,
+    /// Modulation bits per subcarrier symbol.
+    pub bits: u8,
+    /// Code rate.
+    pub code_rate: f64,
+    /// Minimum SINR for reliable decoding.
+    pub sinr_threshold: Db,
+}
+
+const fn mcs(index: u8, bits: u8, code_rate: f64, thr: f64) -> Mcs {
+    Mcs {
+        index,
+        bits,
+        code_rate,
+        sinr_threshold: Db(thr),
+    }
+}
+
+/// VHT MCS 0–9 with standard waterfall thresholds.
+const MCS_TABLE: [Mcs; 10] = [
+    mcs(0, 1, 0.5, 2.0),       // BPSK 1/2 — the lowest 802.11 can go
+    mcs(1, 2, 0.5, 5.0),       // QPSK 1/2
+    mcs(2, 2, 0.75, 9.0),      // QPSK 3/4
+    mcs(3, 4, 0.5, 11.0),      // 16QAM 1/2
+    mcs(4, 4, 0.75, 15.0),     // 16QAM 3/4
+    mcs(5, 6, 2.0 / 3.0, 18.0), // 64QAM 2/3
+    mcs(6, 6, 0.75, 20.0),     // 64QAM 3/4
+    mcs(7, 6, 5.0 / 6.0, 25.0), // 64QAM 5/6
+    mcs(8, 8, 0.75, 29.0),     // 256QAM 3/4
+    mcs(9, 8, 5.0 / 6.0, 31.0), // 256QAM 5/6
+];
+
+/// The PHY rate table for one band.
+#[derive(Debug, Clone, Copy)]
+pub struct McsTable {
+    band: WifiBand,
+}
+
+impl McsTable {
+    /// Table for `band`.
+    pub const fn new(band: WifiBand) -> McsTable {
+        McsTable { band }
+    }
+
+    /// The band.
+    pub fn band(&self) -> WifiBand {
+        self.band
+    }
+
+    /// Channel bandwidth.
+    pub fn bandwidth(&self) -> Hertz {
+        match self.band {
+            WifiBand::Ac20 => Hertz::from_mhz(20.0),
+            WifiBand::Af6 => Hertz::from_mhz(6.0),
+            WifiBand::Af8 => Hertz::from_mhz(8.0),
+        }
+    }
+
+    /// Data subcarriers: 52 for 20 MHz VHT; TVHT uses the 40 MHz VHT
+    /// structure (108 data subcarriers) down-clocked into the TV channel.
+    pub fn data_subcarriers(&self) -> u32 {
+        match self.band {
+            WifiBand::Ac20 => 52,
+            WifiBand::Af6 | WifiBand::Af8 => 108,
+        }
+    }
+
+    /// OFDM symbol duration (long GI). 20 MHz: 4 µs. TVHT down-clocks the
+    /// 40 MHz clock (nominal symbol 4 µs) by 40/6 or 40/8.
+    pub fn symbol_duration(&self) -> Duration {
+        match self.band {
+            WifiBand::Ac20 => Duration::from_micros(4),
+            WifiBand::Af6 => Duration::from_micros(4 * 40 / 6), // 26 µs
+            WifiBand::Af8 => Duration::from_micros(4 * 40 / 8), // 20 µs
+        }
+    }
+
+    /// All MCS rows.
+    pub fn entries(&self) -> &'static [Mcs; 10] {
+        &MCS_TABLE
+    }
+
+    /// PHY data rate of an MCS in bits/sec.
+    pub fn rate_bps(&self, m: &Mcs) -> f64 {
+        f64::from(self.data_subcarriers()) * f64::from(m.bits) * m.code_rate
+            / self.symbol_duration().as_secs_f64()
+    }
+
+    /// Ideal rate adaptation: the fastest MCS whose threshold is at or
+    /// below `sinr` ("our Wi-Fi implementation uses ideal rate adaptation
+    /// based on the receiver's SINR", §6.3.4). `None` below MCS 0.
+    pub fn select(&self, sinr: Db) -> Option<&'static Mcs> {
+        MCS_TABLE
+            .iter()
+            .rev()
+            .find(|m| sinr.value() >= m.sinr_threshold.value())
+    }
+
+    /// PLCP preamble + header duration: ~10 symbol times (L-STF/L-LTF/
+    /// L-SIG/VHT-SIG/VHT-STF/VHT-LTF).
+    pub fn preamble(&self) -> Duration {
+        self.symbol_duration() * 10
+    }
+
+    /// Airtime of a data frame of `bytes` at MCS `m`, including preamble.
+    pub fn frame_duration(&self, bytes: usize, m: &Mcs) -> Duration {
+        let bits = bytes as f64 * 8.0;
+        let symbols = (bits / (f64::from(self.data_subcarriers()) * f64::from(m.bits) * m.code_rate))
+            .ceil() as u64;
+        self.preamble() + self.symbol_duration() * symbols.max(1)
+    }
+
+    /// Airtime of a control frame (RTS 20 B / CTS, ACK 14 B) at MCS 0.
+    pub fn control_duration(&self, bytes: usize) -> Duration {
+        self.frame_duration(bytes, &MCS_TABLE[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_code_rate_is_half() {
+        // Table 1's 802.11af row: coding rate ≥ 0.5.
+        let min = MCS_TABLE
+            .iter()
+            .map(|m| m.code_rate)
+            .fold(f64::INFINITY, f64::min);
+        assert!((min - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac20_peak_rate_near_spec() {
+        // VHT 20 MHz MCS 8 long GI ≈ 78 Mbps (spec: 78.0).
+        let t = McsTable::new(WifiBand::Ac20);
+        let rate = t.rate_bps(&t.entries()[8]) / 1e6;
+        assert!((rate - 78.0).abs() < 1.0, "got {rate} Mbps");
+    }
+
+    #[test]
+    fn af6_peak_rate_near_27_mbps() {
+        // One 6 MHz BCU peaks around 26–27 Mbps (published 802.11af figure).
+        let t = McsTable::new(WifiBand::Af6);
+        let rate = t.rate_bps(&t.entries()[9]) / 1e6;
+        assert!((26.0..29.0).contains(&rate), "got {rate} Mbps");
+    }
+
+    #[test]
+    fn af8_faster_than_af6() {
+        let t6 = McsTable::new(WifiBand::Af6);
+        let t8 = McsTable::new(WifiBand::Af8);
+        assert!(t8.rate_bps(&t8.entries()[5]) > t6.rate_bps(&t6.entries()[5]));
+    }
+
+    #[test]
+    fn rate_adaptation_monotone() {
+        let t = McsTable::new(WifiBand::Af6);
+        let mut last = -1i16;
+        for s in -5..40 {
+            let idx = t.select(Db(f64::from(s))).map_or(-1, |m| i16::from(m.index));
+            assert!(idx >= last, "not monotone at {s} dB");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn below_mcs0_threshold_no_rate() {
+        let t = McsTable::new(WifiBand::Af6);
+        assert!(t.select(Db(1.9)).is_none());
+        assert_eq!(t.select(Db(2.0)).unwrap().index, 0);
+        assert_eq!(t.select(Db(50.0)).unwrap().index, 9);
+    }
+
+    #[test]
+    fn wifi_needs_more_sinr_than_lte_floor() {
+        // LTE CQI 1 works at −6.7 dB; Wi-Fi MCS 0 needs +2 dB. This ~9 dB
+        // gap is the PHY half of the paper's coverage argument.
+        assert!(MCS_TABLE[0].sinr_threshold.value() - (-6.7) > 8.0);
+    }
+
+    #[test]
+    fn down_clocking_stretches_symbols() {
+        assert_eq!(
+            McsTable::new(WifiBand::Af6).symbol_duration(),
+            Duration::from_micros(26)
+        );
+        assert_eq!(
+            McsTable::new(WifiBand::Ac20).symbol_duration(),
+            Duration::from_micros(4)
+        );
+    }
+
+    #[test]
+    fn frame_duration_includes_preamble_and_rounds_up() {
+        let t = McsTable::new(WifiBand::Ac20);
+        let m = &t.entries()[0]; // 26 bits per symbol
+        let d = t.frame_duration(13, m); // 104 bits → 4 symbols
+        assert_eq!(d, t.preamble() + t.symbol_duration() * 4);
+        // A single bit still costs one symbol.
+        let tiny = t.frame_duration(0, m);
+        assert_eq!(tiny, t.preamble() + t.symbol_duration());
+    }
+
+    #[test]
+    fn aggregated_frame_amortizes_preamble() {
+        // The efficiency rationale for A-MPDU: 65 KB in one frame beats
+        // 65 × 1 KB frames by a wide margin.
+        let t = McsTable::new(WifiBand::Af6);
+        let m = &t.entries()[5];
+        let one_big = t.frame_duration(65_000, m);
+        let many_small: Duration = (0..65).fold(Duration::ZERO, |acc, _| {
+            acc + t.frame_duration(1_000, m)
+        });
+        let ratio = many_small.as_secs_f64() / one_big.as_secs_f64();
+        assert!(ratio > 1.15, "aggregation gain only {ratio}");
+    }
+
+    #[test]
+    fn control_frames_use_base_rate() {
+        let t = McsTable::new(WifiBand::Af6);
+        let rts = t.control_duration(20);
+        // 160 bits at MCS0 (54 bits/symbol) = 3 symbols + preamble.
+        assert_eq!(rts, t.preamble() + t.symbol_duration() * 3);
+    }
+}

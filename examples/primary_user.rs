@@ -1,0 +1,101 @@
+//! Primary user protection: a wireless microphone takes the channel.
+//!
+//! Replays the regulatory story of §4.2/§6.2 with a scheduled incumbent:
+//! a theatre's licensed microphone reserves the channel for an evening
+//! show; the CellFi network must vacate before the event, stay off the
+//! channel for its duration, and may return afterwards. Also
+//! demonstrates the client-side compliance property: once the AP stops,
+//! clients are instantly silent because they have no grants.
+//!
+//! Run with: `cargo run --release --example primary_user`
+
+use cellfi::lte::cell::{Cell, CellConfig};
+use cellfi::lte::earfcn::{Band, Earfcn};
+use cellfi::lte::ue::{Ue, UeTimings};
+use cellfi::spectrum::client::{ClientState, DatabaseClient, ETSI_VACATE_DEADLINE};
+use cellfi::spectrum::database::SpectrumDatabase;
+use cellfi::spectrum::incumbent::Incumbent;
+use cellfi::spectrum::paws::GeoLocation;
+use cellfi::spectrum::plan::ChannelPlan;
+use cellfi::types::geo::Point;
+use cellfi::types::time::{Duration, Instant};
+use cellfi::types::units::Dbm;
+use cellfi::types::{ApId, ChannelId, UeId};
+
+fn main() {
+    // The show runs 19:00–23:00 (simulation hours 19–23).
+    let show_start = Instant::from_secs(19 * 3600);
+    let show_end = Instant::from_secs(23 * 3600);
+    let theatre = Incumbent::WirelessMic {
+        channel: ChannelId::new(36),
+        location: Point::new(400.0, 0.0),
+        protected_radius: 2_000.0,
+        events: vec![(show_start, show_end)],
+    };
+    let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![theatre]);
+    let ap_pos = Point::new(0.0, 0.0);
+    let mut dbc = DatabaseClient::new("cellfi-ap", 5, GeoLocation::gps(ap_pos));
+    let mut cell = Cell::new(CellConfig::paper_default(ApId::new(0)));
+    let mut ue = Ue::new(UeId::new(0), UeTimings::single_band(), Instant::ZERO);
+
+    // Morning: the channel is free, the network comes up on ch36.
+    let morning = Instant::from_secs(9 * 3600);
+    dbc.refresh(&db, morning);
+    assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
+    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, morning);
+    let centre = ChannelPlan::Eu.channel(36).expect("in plan").centre;
+    let carrier = Earfcn::from_frequency(Band::Tvws, centre);
+    cell.set_carrier(carrier, Dbm(20.0), morning);
+    ue.cell_found(ApId::new(0), morning);
+    ue.attach_complete();
+    cell.attach(UeId::new(0));
+    println!("09:00  network up on ch36 ({centre}); client attached");
+    println!(
+        "09:00  client may transmit: {}",
+        ue.may_transmit(cell.sib(), Dbm(15.0))
+    );
+
+    // Evening poll just after the show starts: the channel is gone.
+    let poll = show_start + Duration::from_secs(30);
+    let state = dbc.refresh(&db, poll);
+    let ClientState::Vacating { deadline, .. } = state else {
+        panic!("expected Vacating, got {state:?}");
+    };
+    println!(
+        "19:00  mic event started; lease lost, must stop by +{}",
+        ETSI_VACATE_DEADLINE
+    );
+    assert_eq!(deadline, poll + ETSI_VACATE_DEADLINE);
+    cell.radio_off();
+    dbc.confirm_stopped();
+    ue.lost_cell(poll);
+    println!(
+        "19:00  AP off; client may transmit: {} (no grants — instant silence)",
+        ue.may_transmit(cell.sib(), Dbm(15.0))
+    );
+
+    // During the show: the database refuses the channel.
+    let mid_show = Instant::from_secs(21 * 3600);
+    dbc.refresh(&db, mid_show);
+    assert!(
+        !dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)),
+        "channel must stay blocked during the event"
+    );
+    println!("21:00  ch36 still reserved for the incumbent; network stays off it");
+
+    // After the show: channel returns; network re-acquires.
+    let late = show_end + Duration::from_secs(60);
+    dbc.refresh(&db, late);
+    assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
+    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, late);
+    cell.set_carrier(carrier, Dbm(20.0), late);
+    ue.cell_found(ApId::new(0), late);
+    ue.attach_complete();
+    cell.attach(UeId::new(0));
+    println!("23:01  mic event over; network re-acquired ch36 and clients reattach");
+    println!(
+        "23:01  client may transmit: {}",
+        ue.may_transmit(cell.sib(), Dbm(15.0))
+    );
+    println!("\nIncumbent protected for the entire event; zero manual intervention.");
+}

@@ -1,0 +1,119 @@
+//! Quickstart: bring up a CellFi access point end to end.
+//!
+//! Walks the full paper pipeline on one machine:
+//! 1. query the TVWS spectrum database (PAWS) for available channels;
+//! 2. run channel selection with a network-listen survey;
+//! 3. configure the LTE cell on the chosen carrier and attach clients;
+//! 4. run the distributed interference manager for a few epochs and show
+//!    the scheduler mask it hands to the stock LTE scheduler.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cellfi::im::manager::{ClientEpochStats, EpochInput, InterferenceManager, ManagerConfig};
+use cellfi::lte::cell::{Cell, CellConfig};
+use cellfi::lte::earfcn::{Band, Earfcn};
+use cellfi::spectrum::client::DatabaseClient;
+use cellfi::spectrum::database::SpectrumDatabase;
+use cellfi::spectrum::incumbent::Incumbent;
+use cellfi::spectrum::paws::GeoLocation;
+use cellfi::spectrum::plan::ChannelPlan;
+use cellfi::spectrum::selection::{ChannelSelector, ListenObservation, OccupantKind};
+use cellfi::types::geo::Point;
+use cellfi::types::time::Instant;
+use cellfi::types::units::Dbm;
+use cellfi::types::{ApId, ChannelId, UeId};
+
+fn main() {
+    // --- 1. The regulator's database knows about one TV station. -----
+    let mut db = SpectrumDatabase::new(
+        ChannelPlan::Eu,
+        vec![Incumbent::TvStation {
+            channel: ChannelId::new(30),
+            location: Point::new(3_000.0, 0.0),
+            protected_radius: 10_000.0,
+        }],
+    );
+    let ap_position = Point::new(0.0, 0.0);
+    let mut client = DatabaseClient::new("cellfi-quickstart-ap", 3, GeoLocation::gps(ap_position));
+    let now = Instant::ZERO;
+    client.refresh(&db, now);
+    println!("database granted {} channels", client.grants().len());
+    assert!(
+        client.grants().iter().all(|g| g.channel != ChannelId::new(30)),
+        "protected channel must not be granted"
+    );
+
+    // --- 2. Channel selection with network listen. --------------------
+    let listen = vec![
+        ListenObservation {
+            channel: ChannelId::new(21),
+            energy: Dbm(-75.0),
+            occupant: OccupantKind::Foreign, // an 802.11af network
+        },
+        ListenObservation {
+            channel: ChannelId::new(22),
+            energy: Dbm(-82.0),
+            occupant: OccupantKind::CellFi, // another CellFi cell: shareable
+        },
+    ];
+    let selector = ChannelSelector::new(ChannelPlan::Eu);
+    let choice = selector
+        .choose(client.grants(), client.grants(), &listen, now)
+        .expect("some channel is free");
+    println!(
+        "selected {} at {} (occupant: {:?}, max EIRP {} dBm)",
+        choice.channel, choice.centre, choice.occupant, choice.max_eirp_dbm
+    );
+    client.start_operation(&mut db, choice.channel, choice.max_eirp_dbm, now);
+
+    // --- 3. LTE cell up, clients attach. ------------------------------
+    let mut cell = Cell::new(CellConfig::paper_default(ApId::new(0)));
+    let carrier = Earfcn::from_frequency(Band::Tvws, choice.centre);
+    cell.set_carrier(carrier, Dbm(20.0), now);
+    for u in 0..3 {
+        cell.attach(UeId::new(u));
+        cell.enqueue(UeId::new(u), 1_000_000);
+    }
+    println!(
+        "cell radiating on EARFCN {} with {} clients",
+        carrier.number,
+        cell.attached_ues().len()
+    );
+
+    // --- 4. Interference management epochs. ---------------------------
+    let n_sub = cell.grid().num_subchannels();
+    let mut im = InterferenceManager::new(n_sub, ManagerConfig::default(), 42);
+    // Sensing says: our 3 active clients plus 3 overheard from a
+    // neighbouring CellFi cell (we chose to share its channel).
+    let input = EpochInput {
+        own_active: 3,
+        heard_active: 6,
+        clients: (0..3)
+            .map(|u| ClientEpochStats {
+                ue: UeId::new(u),
+                frac_scheduled: vec![0.0; n_sub as usize],
+                interfered: vec![false; n_sub as usize],
+                est_throughput: vec![1_000.0; n_sub as usize],
+                free_streak: vec![0; n_sub as usize],
+            })
+            .collect(),
+    };
+    for epoch in 1..=3 {
+        let decision = im.epoch(&input);
+        println!(
+            "epoch {epoch}: share {} of {} subchannels, mask {}",
+            decision.share,
+            n_sub,
+            decision
+                .mask
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect::<String>()
+        );
+        cell.set_allowed_mask(decision.mask);
+    }
+    println!(
+        "scheduler now restricted to {} subchannels — co-existence without any AP-to-AP protocol",
+        cell.allowed_mask().iter().filter(|&&b| b).count()
+    );
+}

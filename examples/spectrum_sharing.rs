@@ -1,0 +1,81 @@
+//! Spectrum sharing: two independent CellFi operators, one TV channel.
+//!
+//! The paper's core scenario — "multiple cellular providers are sharing
+//! the spectrum and may not even be aware of one another" (§5). Two
+//! cells from different operators land on the same channel; with plain
+//! LTE the cell-edge clients drown, with CellFi the cells partition the
+//! subchannels within seconds using only passive sensing.
+//!
+//! Run with: `cargo run --release --example spectrum_sharing`
+
+use cellfi::propagation::antenna::Antenna;
+use cellfi::propagation::link::LinkEnd;
+use cellfi::sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi::sim::topology::{Scenario, ScenarioConfig};
+use cellfi::types::geo::Point;
+use cellfi::types::rng::SeedSeq;
+use cellfi::types::time::Instant;
+use cellfi::types::units::Db;
+
+fn two_operator_scenario() -> Scenario {
+    let mut cfg = ScenarioConfig::paper_default(2, 0);
+    cfg.shadowing_sigma = 0.0;
+    cfg.fading = false;
+    let mut s = Scenario::generate(cfg, SeedSeq::new(1));
+    // Operator A at x=0, operator B at x=800 m; each serves two clients,
+    // one comfortable and one at the contested edge.
+    s.aps = vec![
+        LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+        LinkEnd::new(1, Point::new(800.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+    ];
+    s.ues = vec![
+        LinkEnd::new(1000, Point::new(120.0, 50.0), Antenna::client()), // A, near
+        LinkEnd::new(1001, Point::new(500.0, 0.0), Antenna::client()),  // A, edge
+        LinkEnd::new(1002, Point::new(700.0, -60.0), Antenna::client()), // B, near
+        LinkEnd::new(1003, Point::new(300.0, 0.0), Antenna::client()),  // B, edge
+    ];
+    s.assoc = vec![0, 0, 1, 1];
+    s
+}
+
+fn run(mode: ImMode, label: &str) {
+    let mut e = LteEngine::new(
+        two_operator_scenario(),
+        LteEngineConfig::paper_default(mode),
+        SeedSeq::new(99),
+    );
+    e.backlog_all(u64::MAX / 4);
+    e.run_until(Instant::from_secs(20));
+    let t = e.throughputs_bps();
+    println!("\n{label}:");
+    for (u, name) in ["A-near", "A-edge", "B-near", "B-edge"].iter().enumerate() {
+        println!("  {name}: {:>8.0} kbps", t[u] / 1e3);
+    }
+    let masks: Vec<String> = (0..2)
+        .map(|c| {
+            e.cell_mask(c)
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
+        })
+        .collect();
+    println!("  operator A mask: {}", masks[0]);
+    println!("  operator B mask: {}", masks[1]);
+    let overlap = e
+        .cell_mask(0)
+        .iter()
+        .zip(e.cell_mask(1))
+        .filter(|(a, b)| **a && *b)
+        .count();
+    println!("  overlapping subchannels: {overlap}");
+}
+
+fn main() {
+    println!("Two unplanned CellFi operators share one TV channel (5 MHz, 13 subchannels).");
+    run(ImMode::PlainLte, "Plain LTE (no coordination)");
+    run(ImMode::CellFi, "CellFi distributed interference management");
+    println!(
+        "\nNo X2 interface, no controller, no operator agreement — the cells\n\
+         partitioned the channel purely from PRACH overhearing and CQI drops."
+    );
+}

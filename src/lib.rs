@@ -1,0 +1,32 @@
+//! # cellfi — facade crate
+//!
+//! Re-exports the whole CellFi workspace behind one dependency, so the
+//! examples and downstream users can write `use cellfi::...` and get the
+//! contribution ([`im`]) plus every substrate it runs on.
+//!
+//! See `DESIGN.md` at the repository root for the system inventory and the
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+
+/// Foundation types: units, time, geometry, ids, seeded RNG.
+pub use cellfi_types as types;
+
+/// Radio propagation: path loss, shadowing, fading, antennas, noise.
+pub use cellfi_propagation as propagation;
+
+/// LTE system model: resource grid, TDD, CQI/AMC, HARQ, PRACH, schedulers.
+pub use cellfi_lte as lte;
+
+/// 802.11ac/af CSMA/CA baseline simulator.
+pub use cellfi_wifi as wifi;
+
+/// TVWS spectrum database (PAWS), incumbents, leases, channel selection.
+pub use cellfi_spectrum as spectrum;
+
+/// The paper's contribution: distributed interference management.
+pub use cellfi_core as im;
+
+/// Network simulator and experiment drivers for every table and figure.
+pub use cellfi_sim as sim;

@@ -1,0 +1,136 @@
+//! Co-existence integration tests: the full simulator stack.
+//!
+//! These drive `cellfi-sim`'s engines over controlled topologies and pin
+//! the system-level behaviours the paper claims, across crate
+//! boundaries (core ↔ lte ↔ propagation ↔ sim).
+
+use cellfi::propagation::antenna::Antenna;
+use cellfi::propagation::link::LinkEnd;
+use cellfi::sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi::sim::topology::{Scenario, ScenarioConfig};
+use cellfi::types::geo::Point;
+use cellfi::types::rng::SeedSeq;
+use cellfi::types::time::Instant;
+use cellfi::types::units::Db;
+
+/// Three operators in a row, 900 m apart: 0—1—2 conflict chain. The end
+/// cells' clients sit 1.5 km from the far AP — outside the ~1.26 km
+/// 3 dB-degradation radius — so the ends do not conflict.
+fn chain_scenario() -> Scenario {
+    let mut cfg = ScenarioConfig::paper_default(3, 0);
+    cfg.shadowing_sigma = 0.0;
+    cfg.fading = false;
+    let mut s = Scenario::generate(cfg, SeedSeq::new(17));
+    s.aps = vec![
+        LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+        LinkEnd::new(1, Point::new(900.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+        LinkEnd::new(2, Point::new(1_800.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+    ];
+    s.ues = vec![
+        LinkEnd::new(1000, Point::new(300.0, 40.0), Antenna::client()),
+        LinkEnd::new(1001, Point::new(900.0, 200.0), Antenna::client()),
+        LinkEnd::new(1002, Point::new(1_500.0, -40.0), Antenna::client()),
+    ];
+    s.assoc = vec![0, 1, 2];
+    s
+}
+
+fn run(mode: ImMode, secs: u64) -> LteEngine {
+    let mut e = LteEngine::new(
+        chain_scenario(),
+        LteEngineConfig::paper_default(mode),
+        SeedSeq::new(5),
+    );
+    e.backlog_all(u64::MAX / 4);
+    e.run_until(Instant::from_secs(secs));
+    e
+}
+
+fn overlap(a: &[bool], b: &[bool]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| **x && **y).count()
+}
+
+#[test]
+fn chain_converges_with_adjacent_cells_disjoint() {
+    let e = run(ImMode::CellFi, 25);
+    let m0 = e.cell_mask(0);
+    let m1 = e.cell_mask(1);
+    let m2 = e.cell_mask(2);
+    assert!(overlap(&m0, &m1) <= 1, "cells 0/1 overlap: {m0:?} {m1:?}");
+    assert!(overlap(&m1, &m2) <= 1, "cells 1/2 overlap: {m1:?} {m2:?}");
+}
+
+#[test]
+fn everyone_served_under_cellfi() {
+    let e = run(ImMode::CellFi, 25);
+    for (u, &bps) in e.throughputs_bps().iter().enumerate() {
+        assert!(bps > 100_000.0, "ue {u} only {bps} bps");
+    }
+}
+
+#[test]
+fn cellfi_beats_plain_lte_for_the_worst_client() {
+    let plain = run(ImMode::PlainLte, 25);
+    let cellfi = run(ImMode::CellFi, 25);
+    let worst = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        worst(&cellfi.throughputs_bps()) > worst(&plain.throughputs_bps()),
+        "CellFi should lift the floor: {:?} vs {:?}",
+        cellfi.throughputs_bps(),
+        plain.throughputs_bps()
+    );
+}
+
+#[test]
+fn oracle_reuses_spectrum_across_the_chain_ends() {
+    let e = run(ImMode::Oracle, 5);
+    let m0 = e.cell_mask(0);
+    let m1 = e.cell_mask(1);
+    let m2 = e.cell_mask(2);
+    assert_eq!(overlap(&m0, &m1), 0);
+    assert_eq!(overlap(&m1, &m2), 0);
+    // The non-adjacent ends share subchannels (spatial re-use).
+    assert!(overlap(&m0, &m2) > 0, "ends should re-use: {m0:?} {m2:?}");
+}
+
+#[test]
+fn paired_runs_share_identical_channel_realizations() {
+    // The same scenario under two modes must see identical mean gains —
+    // the paired-comparison property the evaluation depends on.
+    let a = run(ImMode::PlainLte, 1);
+    let b = run(ImMode::CellFi, 1);
+    for u in 0..3 {
+        assert_eq!(
+            a.ue_snr(u).value(),
+            b.ue_snr(u).value(),
+            "ue {u} sees different channels under different modes"
+        );
+    }
+}
+
+#[test]
+fn engine_is_reproducible_across_runs() {
+    let a = run(ImMode::CellFi, 5);
+    let b = run(ImMode::CellFi, 5);
+    assert_eq!(a.delivered_bits(), b.delivered_bits());
+    assert_eq!(a.manager_hops(), b.manager_hops());
+}
+
+#[test]
+fn hops_stop_after_convergence() {
+    let mut e = LteEngine::new(
+        chain_scenario(),
+        LteEngineConfig::paper_default(ImMode::CellFi),
+        SeedSeq::new(5),
+    );
+    e.backlog_all(u64::MAX / 4);
+    e.run_until(Instant::from_secs(30));
+    let hops_at_30: u64 = e.manager_hops().iter().sum();
+    e.run_until(Instant::from_secs(40));
+    let hops_at_40: u64 = e.manager_hops().iter().sum();
+    let tail = hops_at_40 - hops_at_30;
+    assert!(
+        tail <= 3,
+        "still hopping {tail} times in 10 s after 30 s of convergence time"
+    );
+}

@@ -1,0 +1,195 @@
+//! TVWS regulatory-compliance integration tests.
+//!
+//! These span `cellfi-spectrum`, `cellfi-lte` and `cellfi-types` and pin
+//! the properties the paper's §2/§4.2 argue make an LTE-based
+//! architecture *naturally* compliant:
+//!
+//! * no device transmits without a valid database lease;
+//! * transmissions stop within the ETSI minute of losing the channel;
+//! * clients are silent the instant their cell stops radiating;
+//! * client EIRP never exceeds the TVWS 20 dBm cap;
+//! * incumbents are never granted away, regardless of load.
+
+use cellfi::lte::cell::{Cell, CellConfig};
+use cellfi::lte::earfcn::{Band, Earfcn};
+use cellfi::lte::ue::{RrcState, Ue, UeTimings};
+use cellfi::spectrum::client::{ClientState, DatabaseClient, ETSI_VACATE_DEADLINE};
+use cellfi::spectrum::database::SpectrumDatabase;
+use cellfi::spectrum::incumbent::Incumbent;
+use cellfi::spectrum::paws::GeoLocation;
+use cellfi::spectrum::plan::ChannelPlan;
+use cellfi::types::geo::Point;
+use cellfi::types::time::{Duration, Instant};
+use cellfi::types::units::Dbm;
+use cellfi::types::{ApId, ChannelId, UeId};
+use proptest::prelude::*;
+
+fn fresh_network() -> (SpectrumDatabase, DatabaseClient, Cell, Ue) {
+    let db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]);
+    let client = DatabaseClient::new("it-ap", 4, GeoLocation::gps(Point::ORIGIN));
+    let cell = Cell::new(CellConfig::paper_default(ApId::new(0)));
+    let ue = Ue::new(UeId::new(0), UeTimings::single_band(), Instant::ZERO);
+    (db, client, cell, ue)
+}
+
+fn bring_up(
+    db: &mut SpectrumDatabase,
+    client: &mut DatabaseClient,
+    cell: &mut Cell,
+    ue: &mut Ue,
+    at: Instant,
+) -> ChannelId {
+    client.refresh(db, at);
+    let ch = client.grants()[0].channel;
+    client.start_operation(db, ch, 36.0, at);
+    let centre = ChannelPlan::Eu.channel(ch.0).expect("granted channel").centre;
+    cell.set_carrier(Earfcn::from_frequency(Band::Tvws, centre), Dbm(20.0), at);
+    ue.cell_found(ApId::new(0), at);
+    ue.attach_complete();
+    cell.attach(UeId::new(0));
+    ch
+}
+
+#[test]
+fn no_lease_no_transmission() {
+    let (_db, client, cell, ue) = fresh_network();
+    assert!(!client.may_transmit(Instant::ZERO));
+    assert!(!cell.radio_on());
+    assert!(!ue.may_transmit(cell.sib(), Dbm(10.0)));
+}
+
+#[test]
+fn full_bringup_then_instant_client_silence_on_vacate() {
+    let (mut db, mut client, mut cell, mut ue) = fresh_network();
+    let ch = bring_up(&mut db, &mut client, &mut cell, &mut ue, Instant::ZERO);
+    assert!(client.may_transmit(Instant::from_secs(1)));
+    assert!(ue.may_transmit(cell.sib(), Dbm(20.0)));
+
+    // Regulator withdraws the channel.
+    db.withdraw_channel(ch, None);
+    let t = Instant::from_secs(100);
+    let state = client.refresh(&db, t);
+    assert!(matches!(state, ClientState::Vacating { .. }));
+    // The AP shuts down; the client is silent in the same instant — the
+    // §4.2 LTE-architecture compliance property.
+    cell.radio_off();
+    client.confirm_stopped();
+    ue.lost_cell(t);
+    assert!(!ue.may_transmit(cell.sib(), Dbm(1.0)));
+    assert!(!client.may_transmit(t + Duration::from_millis(1)));
+}
+
+#[test]
+fn vacate_deadline_is_the_etsi_minute() {
+    assert_eq!(ETSI_VACATE_DEADLINE, Duration::from_secs(60));
+    let (mut db, mut client, mut cell, mut ue) = fresh_network();
+    let ch = bring_up(&mut db, &mut client, &mut cell, &mut ue, Instant::ZERO);
+    db.withdraw_channel(ch, None);
+    let t = Instant::from_secs(50);
+    client.refresh(&db, t);
+    // Even before shutdown completes, transmission past the deadline is
+    // forbidden.
+    assert!(client.may_transmit(t + Duration::from_secs(59)));
+    assert!(!client.may_transmit(t + Duration::from_secs(60)));
+}
+
+#[test]
+fn connected_clients_cap_at_20_dbm() {
+    let (mut db, mut client, mut cell, mut ue) = fresh_network();
+    bring_up(&mut db, &mut client, &mut cell, &mut ue, Instant::ZERO);
+    assert!(matches!(ue.state(), RrcState::Connected { .. }));
+    assert!(ue.may_transmit(cell.sib(), Dbm(20.0)));
+    assert!(!ue.may_transmit(cell.sib(), Dbm(20.1)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wherever the AP sits and whenever it asks, a channel owned by an
+    /// active incumbent within range is never granted.
+    #[test]
+    fn incumbents_never_granted(
+        ap_x in -5_000.0..5_000.0f64,
+        ap_y in -5_000.0..5_000.0f64,
+        t_secs in 0u64..100_000,
+        mic_start in 0u64..50_000,
+        mic_len in 1u64..50_000,
+    ) {
+        let mic_channel = ChannelId::new(40);
+        let db = SpectrumDatabase::new(
+            ChannelPlan::Eu,
+            vec![
+                Incumbent::TvStation {
+                    channel: ChannelId::new(30),
+                    location: Point::ORIGIN,
+                    protected_radius: 8_000.0,
+                },
+                Incumbent::WirelessMic {
+                    channel: mic_channel,
+                    location: Point::ORIGIN,
+                    protected_radius: 8_000.0,
+                    events: vec![(
+                        Instant::from_secs(mic_start),
+                        Instant::from_secs(mic_start + mic_len),
+                    )],
+                },
+            ],
+        );
+        let mut client =
+            DatabaseClient::new("prop-ap", 1, GeoLocation::gps(Point::new(ap_x, ap_y)));
+        let now = Instant::from_secs(t_secs);
+        client.refresh(&db, now);
+        let dist = Point::new(ap_x, ap_y).distance(Point::ORIGIN).value();
+        // Within the protected contour (plus the client's own location
+        // uncertainty), protected channels must be absent.
+        if dist <= 8_000.0 - 15.0 {
+            prop_assert!(
+                client.grants().iter().all(|g| g.channel != ChannelId::new(30)),
+                "TV channel granted inside contour at {dist} m"
+            );
+            let mic_active =
+                (mic_start..mic_start + mic_len).contains(&t_secs);
+            if mic_active {
+                prop_assert!(
+                    client.grants().iter().all(|g| g.channel != mic_channel),
+                    "mic channel granted during event"
+                );
+            }
+        }
+        // Every grant carries the ETSI power cap and a finite lease.
+        for g in client.grants() {
+            prop_assert!(g.max_eirp_dbm <= 36.0);
+            prop_assert!(g.valid_at(now));
+        }
+    }
+
+    /// A UE can only ever transmit while Connected under a radiating SIB
+    /// and within both power caps, regardless of event ordering.
+    #[test]
+    fn ue_transmission_invariant(
+        power in 0.0..40.0f64,
+        drop_cell in any::<bool>(),
+        bar_cell in any::<bool>(),
+    ) {
+        let (mut db, mut client, mut cell, mut ue) = fresh_network();
+        bring_up(&mut db, &mut client, &mut cell, &mut ue, Instant::ZERO);
+        if bar_cell {
+            // Cell bars itself (e.g. during vacate wind-down).
+            let mut sib = *cell.sib().expect("radio on");
+            sib.barred = true;
+            // Reinstall via set_carrier is not possible for barred; check
+            // the predicate directly.
+            prop_assert!(!ue.may_transmit(Some(&sib), Dbm(power.min(20.0))));
+        }
+        if drop_cell {
+            cell.radio_off();
+            ue.lost_cell(Instant::from_secs(1));
+        }
+        let allowed = ue.may_transmit(cell.sib(), Dbm(power));
+        if allowed {
+            prop_assert!(!drop_cell, "transmitted after cell loss");
+            prop_assert!(power <= 20.0, "transmitted at {power} dBm");
+            prop_assert!(cell.radio_on());
+        }
+    }
+}

@@ -28,15 +28,17 @@ fn bench_detect(c: &mut Criterion) {
     c.bench_function("prach_detector/detect_full_window", |b| {
         b.iter(|| black_box(det.detect(black_box(&rx))))
     });
-    // Report the paper-style headline once per bench run.
+    // Report the paper-style headline once per bench run. Warm up one
+    // detection outside the timed region so setup (cold caches, plan
+    // construction) doesn't bill against the steady-state rate.
     let reps: u32 = 20;
+    let mut hits = u32::from(det.detect(&rx).detected);
     let t0 = std::time::Instant::now();
-    let mut hits = 0u32;
     for _ in 0..reps {
         hits += u32::from(det.detect(&rx).detected);
     }
     let per_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
-    assert_eq!(hits, reps, "detector must fire at -10 dB");
+    assert_eq!(hits, reps + 1, "detector must fire at -10 dB");
     println!(
         "\nprach_detector: {per_us:.0} µs per {PREAMBLE_DURATION_US:.0} µs occasion \
          => {:.1}x line rate (paper: 16x)\n",

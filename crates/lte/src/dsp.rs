@@ -12,6 +12,14 @@
 //!
 //! Everything here is self-contained (the workspace carries no numerics
 //! dependency) and checked against naive DFTs in the tests.
+//!
+//! Hot paths plan ahead: [`Pow2Plan`] precomputes the bit-reversal
+//! permutation and twiddle tables of a radix-2 FFT, and the process-wide
+//! caches [`pow2_plan`] / [`bluestein_plan`] hand out shared plans per
+//! length so repeated detector construction never rebuilds them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A complex sample. Local minimal implementation — the workspace has no
 /// numerics dependency; the FFTs and the PRACH detector need only
@@ -112,11 +120,110 @@ pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
     }
 }
 
+/// Precomputed radix-2 FFT plan: bit-reversal permutation and twiddle
+/// factors are built once, so each transform is butterflies only. For
+/// PRACH-sized transforms this roughly halves the cost of [`fft_pow2`],
+/// which regenerates twiddles by recurrence on every call.
+#[derive(Debug)]
+pub struct Pow2Plan {
+    n: usize,
+    /// `bitrev[i]` = bit-reversed index of `i`.
+    bitrev: Vec<u32>,
+    /// Forward twiddles `e^{−j2πk/n}` for `k < n/2`; stage `len` reads
+    /// them at stride `n/len`. Inverse transforms conjugate on the fly.
+    twiddle: Vec<Complex>,
+}
+
+impl Pow2Plan {
+    /// Build a plan for a power-of-two length `n`.
+    pub fn new(n: usize) -> Pow2Plan {
+        assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two, got {n}");
+        let mut bitrev = vec![0u32; n];
+        for i in 1..n {
+            bitrev[i] =
+                (bitrev[i >> 1] >> 1) | if i & 1 == 1 { (n >> 1) as u32 } else { 0 };
+        }
+        let twiddle = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Pow2Plan { n, bitrev, twiddle }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Plans are never empty (n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place FFT (or IDFT with 1/N scaling when `inverse`). Same
+    /// contract as [`fft_pow2`] but with the permutation and twiddles
+    /// read from the precomputed tables.
+    pub fn fft(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "input length must match plan");
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddle[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = data[start + k];
+                    let v = data[start + k + half].mul(w);
+                    data[start + k] = u.add(v);
+                    data[start + k + half] = u.add(v.scale(-1.0));
+                }
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for c in data.iter_mut() {
+                *c = c.scale(scale);
+            }
+        }
+    }
+}
+
+/// Process-wide plan cache: one shared [`Pow2Plan`] per length.
+pub fn pow2_plan(n: usize) -> Arc<Pow2Plan> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Pow2Plan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let mut map = cache.lock().expect("plan cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(Pow2Plan::new(n))))
+}
+
+/// Process-wide plan cache: one shared [`BluesteinPlan`] per length.
+pub fn bluestein_plan(n: usize) -> Arc<BluesteinPlan> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<BluesteinPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let mut map = cache.lock().expect("plan cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(BluesteinPlan::new(n))))
+}
+
 /// Precomputed Bluestein plan for DFTs of arbitrary length `n`.
 #[derive(Debug, Clone)]
 pub struct BluesteinPlan {
     n: usize,
     m: usize,
+    /// Shared radix-2 plan for the length-`m` convolution FFTs.
+    pow2: Arc<Pow2Plan>,
     /// Chirp b[k] = e^{jπ k²/n}.
     chirp: Vec<Complex>,
     /// FFT of the zero-padded chirp filter (forward direction).
@@ -130,6 +237,7 @@ impl BluesteinPlan {
     pub fn new(n: usize) -> BluesteinPlan {
         assert!(n >= 1);
         let m = (2 * n - 1).next_power_of_two();
+        let pow2 = pow2_plan(m);
         let chirp: Vec<Complex> = (0..n)
             .map(|k| {
                 // k² mod 2n keeps the angle argument small and exact.
@@ -147,7 +255,7 @@ impl BluesteinPlan {
                     f[m - k] = c;
                 }
             }
-            fft_pow2(&mut f, false);
+            pow2.fft(&mut f, false);
             f
         };
         // Forward DFT uses e^{-j...}: kernel b[k] with the *conjugate*
@@ -157,6 +265,7 @@ impl BluesteinPlan {
         BluesteinPlan {
             n,
             m,
+            pow2,
             chirp,
             filter_fft_fwd,
             filter_fft_inv,
@@ -190,11 +299,11 @@ impl BluesteinPlan {
             };
             y[k] = input[k].mul(c);
         }
-        fft_pow2(&mut y, false);
+        self.pow2.fft(&mut y, false);
         for (yk, fk) in y.iter_mut().zip(filter.iter()) {
             *yk = yk.mul(*fk);
         }
-        fft_pow2(&mut y, true);
+        self.pow2.fft(&mut y, true);
         // Post-multiply by the same chirp factor and trim.
         let mut out = Vec::with_capacity(self.n);
         for k in 0..self.n {
@@ -298,6 +407,33 @@ mod tests {
     fn fft_rejects_non_power_of_two() {
         let mut x = vec![Complex::default(); 12];
         fft_pow2(&mut x, false);
+    }
+
+    #[test]
+    fn pow2_plan_matches_plain_fft() {
+        for n in [1usize, 2, 8, 64, 512, 2048] {
+            let plan = Pow2Plan::new(n);
+            let x = random_signal(n, n as u64 + 17);
+            let mut fast = x.clone();
+            plan.fft(&mut fast, false);
+            let mut plain = x.clone();
+            fft_pow2(&mut plain, false);
+            assert!(max_err(&fast, &plain) < 1e-9 * n.max(1) as f64, "n={n}");
+            plan.fft(&mut fast, true);
+            assert!(max_err(&fast, &x) < 1e-10, "round trip n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_caches_share_one_plan_per_length() {
+        let a = pow2_plan(1024);
+        let b = pow2_plan(1024);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1024);
+        let c = bluestein_plan(839);
+        let d = bluestein_plan(839);
+        assert!(std::sync::Arc::ptr_eq(&c, &d));
+        assert_eq!(c.len(), 839);
     }
 
     #[test]

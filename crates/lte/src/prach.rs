@@ -124,13 +124,22 @@ pub struct Detection {
 #[derive(Debug, Clone)]
 pub struct PrachDetector {
     root_conj: Vec<Complex>,
-    /// Conjugated spectrum of the root sequence (precomputed).
-    root_spectrum_conj: Vec<Complex>,
-    /// Bluestein plan for length-839 (prime) DFTs.
-    plan: crate::dsp::BluesteinPlan,
+    /// [`CONV_LEN`]-point FFT of the correlation kernel
+    /// `g[i] = root*[N_ZC−1−i]` (precomputed once per root).
+    kernel_fft: Vec<Complex>,
+    /// Shared radix-2 plan for the convolution FFTs.
+    plan: std::sync::Arc<crate::dsp::Pow2Plan>,
     /// Peak-to-average ratio above which a preamble is declared.
     pub threshold: f64,
 }
+
+/// FFT length of the detector's correlation convolution. The profile
+/// needs linear-convolution lags `N_ZC−1 .. 2·N_ZC−2` of a
+/// `(2·N_ZC−1)`-sample window against an `N_ZC`-tap kernel; a
+/// `CONV_LEN`-point circular convolution only aliases lags below
+/// `3·N_ZC−2−CONV_LEN < N_ZC−1`, so every needed lag is exact. This is
+/// the smallest power of two with that property (`CONV_LEN > 2·N_ZC−2`).
+const CONV_LEN: usize = 2048;
 
 impl PrachDetector {
     /// Detector for ZC root `u`. With the default threshold of 20 the
@@ -140,31 +149,44 @@ impl PrachDetector {
     /// 80× the bin mean even at −10 dB SNR.
     pub fn new(u: u32) -> PrachDetector {
         let root = zc_root(u);
-        let plan = crate::dsp::BluesteinPlan::new(N_ZC);
-        let root_spectrum_conj = plan.dft(&root).iter().map(|c| c.conj()).collect();
+        let plan = crate::dsp::pow2_plan(CONV_LEN);
+        // Time-reversed conjugate root: convolution with it is
+        // correlation with the root.
+        let mut kernel = vec![Complex::default(); CONV_LEN];
+        for (i, c) in kernel.iter_mut().take(N_ZC).enumerate() {
+            *c = root[N_ZC - 1 - i].conj();
+        }
+        plan.fft(&mut kernel, false);
         PrachDetector {
             root_conj: root.iter().map(|c| c.conj()).collect(),
-            root_spectrum_conj,
+            kernel_fft: kernel,
             plan,
             threshold: 20.0,
         }
     }
 
-    /// Circular cross-correlation power profile `P(s) = |Σ_n y(n+s)·x*(n)|²`,
-    /// computed in the frequency domain exactly as the paper describes:
-    /// `IDFT(DFT(rx) ⊙ DFT(root)*)`, with the root spectrum precomputed —
-    /// this is what makes the detector beat line rate (see the
-    /// `prach_detector` bench).
+    /// Circular cross-correlation power profile `P(s) = |Σ_n y(n+s)·x*(n)|²`.
+    ///
+    /// Rather than prime-length DFTs (Bluestein costs four power-of-two
+    /// FFTs per profile: two in the forward DFT, two in the inverse),
+    /// the circular correlation is computed directly as a linear
+    /// convolution of the doubled window `rx ∥ rx[..N_ZC−1]` with the
+    /// time-reversed conjugate root, whose spectrum is precomputed. That
+    /// is **two** [`CONV_LEN`]-point FFTs per window — the optimisation
+    /// that lifts the detector well past line rate (see the
+    /// `prach_detector` bench): `P(s) = |conv[s + N_ZC − 1]|²`.
     pub fn correlation_profile(&self, rx: &[Complex]) -> Vec<f64> {
         assert_eq!(rx.len(), N_ZC, "expected one {N_ZC}-sample window");
-        let spectrum = self.plan.dft(rx);
-        let product: Vec<Complex> = spectrum
-            .iter()
-            .zip(&self.root_spectrum_conj)
-            .map(|(x, y)| x.mul(*y))
-            .collect();
-        self.plan
-            .idft(&product)
+        let mut y = vec![Complex::default(); CONV_LEN];
+        for (j, c) in y.iter_mut().take(2 * N_ZC - 1).enumerate() {
+            *c = rx[j % N_ZC];
+        }
+        self.plan.fft(&mut y, false);
+        for (a, b) in y.iter_mut().zip(&self.kernel_fft) {
+            *a = a.mul(*b);
+        }
+        self.plan.fft(&mut y, true);
+        y[N_ZC - 1..2 * N_ZC - 1]
             .iter()
             .map(|c| c.norm_sq())
             .collect()

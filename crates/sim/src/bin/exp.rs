@@ -1,27 +1,110 @@
 //! `exp` — the experiment runner.
 //!
 //! ```text
-//! exp <name>... [--quick] [--seed N] [--json]
+//! exp <name>... [--quick] [--seed N] [--json] [--bench]
 //! exp all [--quick]          # every table and figure, paper order
 //! exp list                   # available experiment names
 //! ```
 //!
 //! Each experiment prints a human-readable report; `--json` appends the
 //! headline values as a JSON object (consumed by EXPERIMENTS.md tooling).
+//! `--bench` additionally writes `BENCH_engine.json` — wall-clock per
+//! experiment, engine subframes/sec, and the PRACH line-rate factor —
+//! for tracking the simulator's own performance over time.
 
 use cellfi_sim::experiments::{self, ExpConfig};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// Steady-state engine rate: simulated subframes per wall-clock second
+/// on a mid-size CellFi scenario (after a warmup second that absorbs
+/// scenario generation and cache fills).
+fn engine_subframes_per_sec(seed: u64) -> f64 {
+    use cellfi_sim::{ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
+    use cellfi_types::rng::SeedSeq;
+    use cellfi_types::time::Instant;
+    let seeds = SeedSeq::new(seed).child("bench-engine");
+    let scenario = Scenario::generate(ScenarioConfig::paper_default(8, 6), seeds);
+    let mut e = LteEngine::new(
+        scenario,
+        LteEngineConfig::paper_default(ImMode::CellFi),
+        seeds.child("engine"),
+    );
+    e.backlog_all(u64::MAX / 4);
+    e.run_until(Instant::from_secs(1));
+    let subframes = 2_000u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..subframes {
+        e.step_subframe();
+    }
+    f64::from(subframes) / t0.elapsed().as_secs_f64()
+}
+
+/// PRACH detector line-rate factor: how many 800 µs occasions one core
+/// clears per occasion time (paper: 16× on an i7).
+fn prach_line_rate_factor(seed: u64) -> f64 {
+    use cellfi_lte::prach::{
+        awgn_channel, preamble, zc_root, PrachDetector, PREAMBLE_DURATION_US,
+    };
+    use cellfi_types::units::Db;
+    use rand::SeedableRng;
+    let det = PrachDetector::new(129);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rx = awgn_channel(&preamble(&zc_root(129), 100), 250, Db(-10.0), &mut rng);
+    let mut sink = usize::from(det.detect(&rx).detected); // warmup
+    let reps = 50u32;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        sink += usize::from(det.detect(&rx).detected);
+    }
+    assert!(sink > 0);
+    let per_detect_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    PREAMBLE_DURATION_US / per_detect_us
+}
+
+fn write_bench(timed: &[(experiments::ExpReport, f64)], config: ExpConfig) {
+    use serde_json::Value;
+    let mut per_exp = BTreeMap::new();
+    let mut total = 0.0;
+    for (rep, secs) in timed {
+        per_exp.insert(rep.id.clone(), Value::Number(*secs));
+        total += secs;
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "threads".to_owned(),
+        Value::Number(cellfi_sim::parallel::configured_threads() as f64),
+    );
+    root.insert("experiment_wall_s".to_owned(), Value::Object(per_exp));
+    root.insert("total_cpu_wall_s".to_owned(), Value::Number(total));
+    root.insert(
+        "engine_subframes_per_sec".to_owned(),
+        Value::Number(engine_subframes_per_sec(config.seed)),
+    );
+    root.insert(
+        "prach_line_rate_factor".to_owned(),
+        Value::Number(prach_line_rate_factor(config.seed)),
+    );
+    let json = serde_json::to_string_pretty(&Value::Object(root))
+        .expect("bench report serializes");
+    match std::fs::write("BENCH_engine.json", json + "\n") {
+        Ok(()) => eprintln!("wrote BENCH_engine.json"),
+        Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
     let mut config = ExpConfig::default();
     let mut json = false;
+    let mut bench = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => config.quick = true,
             "--json" => json = true,
+            "--bench" => bench = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => config.seed = s,
                 None => {
@@ -40,15 +123,21 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        eprintln!("usage: exp <name>...|all|list [--quick] [--seed N] [--json]");
+        eprintln!("usage: exp <name>...|all|list [--quick] [--seed N] [--json] [--bench]");
         eprintln!("experiments: {}", experiments::ALL.join(" "));
         return ExitCode::FAILURE;
     }
-    for name in &names {
-        let Some(report) = experiments::run(name, config) else {
-            eprintln!("unknown experiment: {name}");
-            return ExitCode::FAILURE;
-        };
+    // Validate up front, then fan the known prefix out across the
+    // scoped thread pool. Reports come back in input order, so the
+    // printed stream is byte-identical to the old serial loop; an
+    // unknown name still fails after the experiments preceding it.
+    let known = names
+        .iter()
+        .position(|n| !experiments::ALL.contains(&n.as_str()))
+        .unwrap_or(names.len());
+    let runnable: Vec<&str> = names[..known].iter().map(String::as_str).collect();
+    let timed = experiments::run_many_timed(&runnable, config);
+    for (report, _) in &timed {
         println!("=== {} ===", report.id);
         println!("{}", report.text);
         if json {
@@ -57,6 +146,13 @@ fn main() -> ExitCode {
                 Err(e) => eprintln!("json encoding failed: {e}"),
             }
         }
+    }
+    if bench {
+        write_bench(&timed, config);
+    }
+    if let Some(name) = names.get(known) {
+        eprintln!("unknown experiment: {name}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

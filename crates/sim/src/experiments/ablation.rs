@@ -91,40 +91,50 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
     } else {
         (10, 5, 20u64, 35u64)
     };
-    variants()
-        .into_iter()
-        .map(|v| {
+    // Every (variant, topology) cell is an independent engine run —
+    // the same topology seed is reused across variants on purpose, so
+    // variants differ only in the knob under test. Flatten the matrix
+    // into one fan-out for load balance, then reduce per variant in
+    // fixed order.
+    let vs = variants();
+    let cells = crate::parallel::map_indexed(vs.len() * topos, |i| {
+        let v = &vs[i / topos];
+        let t = i % topos;
+        let seeds = SeedSeq::new(config.seed)
+            .child("ablation")
+            .child(&format!("topo{t}"));
+        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
+        let mut cfg = LteEngineConfig::paper_default(ImMode::CellFi);
+        cfg.manager = ManagerConfig {
+            lambda: v.lambda,
+            enable_reuse: v.reuse,
+            ..ManagerConfig::default()
+        };
+        cfg.sensing = v.sensing;
+        let mut e = LteEngine::new(scenario, cfg, seeds.child("engine"));
+        e.backlog_all(u64::MAX / 4);
+        e.run_until(Instant::from_secs(warmup_s));
+        let at_warmup = e.delivered_bits().to_vec();
+        e.run_until(Instant::from_secs(horizon_s));
+        let span = Duration::from_secs(horizon_s - warmup_s).as_secs_f64();
+        let tputs: Vec<f64> = e
+            .delivered_bits()
+            .iter()
+            .zip(&at_warmup)
+            .map(|(&a, &b)| (a - b) as f64 / span)
+            .collect();
+        (tputs, e.manager_hops().iter().sum::<u64>())
+    });
+    vs.iter()
+        .zip(cells.chunks(topos))
+        .map(|(v, topo_cells)| {
             let mut tputs = Vec::new();
             let mut hops = 0u64;
-            let mut ap_count = 0usize;
-            for t in 0..topos {
-                let seeds = SeedSeq::new(config.seed)
-                    .child("ablation")
-                    .child(&format!("topo{t}"));
-                let scenario =
-                    Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
-                let mut cfg = LteEngineConfig::paper_default(ImMode::CellFi);
-                cfg.manager = ManagerConfig {
-                    lambda: v.lambda,
-                    enable_reuse: v.reuse,
-                    ..ManagerConfig::default()
-                };
-                cfg.sensing = v.sensing;
-                let mut e = LteEngine::new(scenario, cfg, seeds.child("engine"));
-                e.backlog_all(u64::MAX / 4);
-                e.run_until(Instant::from_secs(warmup_s));
-                let at_warmup = e.delivered_bits().to_vec();
-                e.run_until(Instant::from_secs(horizon_s));
-                let span = Duration::from_secs(horizon_s - warmup_s).as_secs_f64();
-                tputs.extend(
-                    e.delivered_bits()
-                        .iter()
-                        .zip(&at_warmup)
-                        .map(|(&a, &b)| (a - b) as f64 / span),
-                );
-                hops += e.manager_hops().iter().sum::<u64>();
-                ap_count += n_aps;
+            for (t, h) in topo_cells {
+                tputs.extend(t.iter().copied());
+                hops += h;
             }
+            let ap_count = n_aps * topos;
             let cdf = Cdf::new(tputs.clone());
             VariantOutcome {
                 name: v.name,

@@ -21,10 +21,9 @@ pub fn run(config: ExpConfig) -> ExpReport {
     } else {
         (12, 8, 40u64)
     };
-    let mut hops_per_ap = Vec::new();
-    let mut non_converged = 0usize;
-    let mut total_aps = 0usize;
-    for t in 0..topos {
+    // One engine run per topology seed, fanned out over the thread
+    // pool and reduced in topology order.
+    let per_topo = crate::parallel::map_indexed(topos, |t| {
         let seeds = SeedSeq::new(config.seed)
             .child("convergence")
             .child(&format!("topo{t}"));
@@ -40,8 +39,13 @@ pub fn run(config: ExpConfig) -> ExpReport {
         e.run_until(Instant::from_secs(secs * 3 / 4));
         let snapshot = e.manager_hops();
         e.run_until(Instant::from_secs(secs));
-        let final_hops = e.manager_hops();
-        for (a, (&before, &after)) in snapshot.iter().zip(&final_hops).enumerate() {
+        (snapshot, e.manager_hops())
+    });
+    let mut hops_per_ap = Vec::new();
+    let mut non_converged = 0usize;
+    let mut total_aps = 0usize;
+    for (snapshot, final_hops) in per_topo {
+        for (&before, &after) in snapshot.iter().zip(&final_hops) {
             let tail = after - before;
             hops_per_ap.push(after);
             total_aps += 1;
@@ -50,7 +54,6 @@ pub fn run(config: ExpConfig) -> ExpReport {
             if tail as f64 > (secs as f64 / 4.0) / 2.0 {
                 non_converged += 1;
             }
-            let _ = a;
         }
     }
     hops_per_ap.sort_unstable();

@@ -98,13 +98,11 @@ pub fn run_systems(
     with_oracle: bool,
     master_seed: u64,
 ) -> SystemsRun {
-    let mut out = SystemsRun {
-        wifi: Vec::new(),
-        lte: Vec::new(),
-        cellfi: Vec::new(),
-        oracle: Vec::new(),
-    };
-    for t in 0..n_topologies {
+    // Topology seeds are independent by construction (each draws from
+    // its own SeedSeq child), so they fan out across the thread pool;
+    // pooling in topology-index order keeps the result byte-identical
+    // to the old serial loop.
+    let per_topo = crate::parallel::map_indexed(n_topologies, |t| {
         let seeds = SeedSeq::new(master_seed)
             .child("fig9")
             .child(&format!("topo-{n_aps}-{clients_per_ap}-{t}"));
@@ -112,35 +110,45 @@ pub fn run_systems(
             ScenarioConfig::paper_default(n_aps, clients_per_ap),
             seeds,
         );
-        out.wifi.extend(wifi_throughputs(
-            &scenario,
-            seeds.child("wifi"),
-            warmup,
-            horizon,
-        ));
-        out.lte.extend(lte_throughputs(
+        let wifi = wifi_throughputs(&scenario, seeds.child("wifi"), warmup, horizon);
+        let lte = lte_throughputs(
             &scenario,
             ImMode::PlainLte,
             seeds.child("lte"),
             warmup,
             horizon,
-        ));
-        out.cellfi.extend(lte_throughputs(
+        );
+        let cellfi = lte_throughputs(
             &scenario,
             ImMode::CellFi,
             seeds.child("cellfi"),
             warmup,
             horizon,
-        ));
-        if with_oracle {
-            out.oracle.extend(lte_throughputs(
+        );
+        let oracle = if with_oracle {
+            lte_throughputs(
                 &scenario,
                 ImMode::Oracle,
                 seeds.child("oracle"),
                 warmup,
                 horizon,
-            ));
-        }
+            )
+        } else {
+            Vec::new()
+        };
+        (wifi, lte, cellfi, oracle)
+    });
+    let mut out = SystemsRun {
+        wifi: Vec::new(),
+        lte: Vec::new(),
+        cellfi: Vec::new(),
+        oracle: Vec::new(),
+    };
+    for (wifi, lte, cellfi, oracle) in per_topo {
+        out.wifi.extend(wifi);
+        out.lte.extend(lte);
+        out.cellfi.extend(cellfi);
+        out.oracle.extend(oracle);
     }
     out
 }
@@ -389,21 +397,22 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
         acc.0.extend(got.0);
         acc.1.extend(got.1);
     };
-    for t in 0..topos {
+    let per_topo = crate::parallel::map_indexed(topos, |t| {
         let seeds = SeedSeq::new(config.seed)
             .child("fig9c")
             .child(&format!("topo{t}"));
         let scenario =
             Scenario::generate(ScenarioConfig::paper_default(n_aps, clients), seeds);
-        extend(&mut wifi_pair, wifi_page_loads(&scenario, seeds.child("wifi"), horizon));
-        extend(
-            &mut lte_pair,
+        (
+            wifi_page_loads(&scenario, seeds.child("wifi"), horizon),
             lte_page_loads(&scenario, ImMode::PlainLte, seeds.child("lte"), horizon),
-        );
-        extend(
-            &mut cellfi_pair,
             lte_page_loads(&scenario, ImMode::CellFi, seeds.child("cellfi"), horizon),
-        );
+        )
+    });
+    for (wifi, lte, cellfi) in per_topo {
+        extend(&mut wifi_pair, wifi);
+        extend(&mut lte_pair, lte);
+        extend(&mut cellfi_pair, cellfi);
     }
     // Headline: completed pages only — the paper's (ns-3) methodology.
     let wifi = Cdf::new(wifi_pair.0.clone());

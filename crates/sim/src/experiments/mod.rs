@@ -94,6 +94,31 @@ pub const ALL: &[&str] = &[
     "roaming",
 ];
 
+/// Run several experiments concurrently on the scoped thread pool
+/// ([`crate::parallel`]), returning reports in input order. Every name
+/// must be valid (see [`run`] / [`ALL`]); each experiment derives all
+/// randomness from its own [`SeedSeq`](cellfi_types::rng::SeedSeq)
+/// children of `config.seed`, so runs are independent and the reduced
+/// output is byte-identical to calling [`run`] serially in a loop.
+pub fn run_many(names: &[&str], config: ExpConfig) -> Vec<ExpReport> {
+    run_many_timed(names, config)
+        .into_iter()
+        .map(|(rep, _)| rep)
+        .collect()
+}
+
+/// As [`run_many`], also reporting each experiment's wall-clock seconds
+/// (its self time on whichever worker ran it — the `exp --bench` emitter
+/// consumes these).
+pub fn run_many_timed(names: &[&str], config: ExpConfig) -> Vec<(ExpReport, f64)> {
+    crate::parallel::map_indexed(names.len(), |i| {
+        let t0 = std::time::Instant::now();
+        let rep = run(names[i], config)
+            .unwrap_or_else(|| panic!("unknown experiment: {}", names[i]));
+        (rep, t0.elapsed().as_secs_f64())
+    })
+}
+
 /// Dispatch an experiment by name.
 pub fn run(name: &str, config: ExpConfig) -> Option<ExpReport> {
     Some(match name {

@@ -10,9 +10,7 @@
 
 use super::{ExpConfig, ExpReport};
 use crate::report::table;
-use cellfi_lte::prach::{
-    awgn_channel, noise_only, preamble, zc_root, PrachDetector, N_ZC, PREAMBLE_DURATION_US,
-};
+use cellfi_lte::prach::{awgn_channel, noise_only, preamble, zc_root, PrachDetector, N_ZC};
 use cellfi_types::rng::SeedSeq;
 use cellfi_types::units::Db;
 use rand::SeedableRng;
@@ -58,34 +56,21 @@ pub fn run(config: ExpConfig) -> ExpReport {
         .filter(|_| det.detect(&noise_only(N_ZC, &mut rng)).detected)
         .count();
 
-    // Speed: time one detection and compare with the 800 µs line rate.
-    let rx = {
-        let root = zc_root(129);
-        let tx = preamble(&root, 100);
-        awgn_channel(&tx, 50, Db(-10.0), &mut rng)
-    };
-    let reps = if config.quick { 3 } else { 10 };
-    let start = std::time::Instant::now();
-    let mut sink = 0usize;
-    for _ in 0..reps {
-        sink += usize::from(det.detect(&rx).detected);
-    }
-    let per_detect_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
-    let line_rate_ratio = PREAMBLE_DURATION_US / per_detect_us;
-    assert!(sink > 0);
-
+    // Speed (the paper's 16×-line-rate claim) is a wall-clock
+    // measurement, so it does not belong in this report: experiment
+    // output is byte-reproducible across runs and thread counts, and a
+    // timing never is. `exp --bench` (BENCH_engine.json) and the
+    // `prach_detector` Criterion bench carry the line-rate factor.
     rep.text = table(&["SNR (dB)", "detection"], &rows);
     rep.text.push_str(&format!(
         "\nDetection at -10 dB: {:.0}% (paper [21]: reliable at -10 dB)\n\
          False alarms on noise: {alarms}/{fa_trials}\n\
-         Detector speed: {per_detect_us:.0} µs per 800 µs occasion → {line_rate_ratio:.1}x \
-         line rate (paper: 16x on an i7; see the Criterion bench for an \
-         optimized-build figure).\n",
+         Detector speed: see BENCH_engine.json (`exp --bench`) or the \
+         prach_detector Criterion bench (paper: 16x line rate on an i7).\n",
         at_minus10 * 100.0
     ));
     rep.record("detection_at_minus10", at_minus10);
     rep.record("false_alarms", alarms as f64);
-    rep.record("line_rate_ratio", line_rate_ratio);
     rep
 }
 
@@ -111,6 +96,8 @@ mod tests {
         });
         assert!(r.values["detection_at_minus10"] >= 0.9);
         assert_eq!(r.values["false_alarms"], 0.0);
-        assert!(r.values["line_rate_ratio"] > 0.0);
+        // Speed is deliberately NOT in the report: timings are not
+        // byte-reproducible. BENCH_engine.json carries the line rate.
+        assert!(!r.values.contains_key("line_rate_ratio"));
     }
 }

@@ -17,6 +17,9 @@
 //! * [`wifi_engine`] — glue that runs the `cellfi-wifi` DCF simulator
 //!   over the same topologies and workloads.
 //! * [`metrics`] — CDFs, percentiles, starvation/coverage counters.
+//! * [`parallel`] — deterministic scoped-thread work splitting
+//!   (`CELLFI_THREADS`); the engine and experiment drivers fan out
+//!   through it with results reduced in fixed index order.
 //! * [`report`] — plain-text rendering of tables and CDF series.
 //! * [`experiments`] — one driver per paper table/figure.
 //!
@@ -29,6 +32,7 @@
 pub mod experiments;
 pub mod lte_engine;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod topology;
 pub mod wifi_engine;

@@ -130,7 +130,12 @@ pub struct LteEngine {
     epoch: Vec<UeEpoch>,
     free_streak: Vec<Vec<u32>>,
     dl_subframes_this_epoch: u64,
-    rng: StdRng,
+    /// Per-UE RNG streams (HARQ decode draws, sensing observation).
+    /// One independent stream per entity keeps draw sequences stable no
+    /// matter which order — or on which thread — entities are visited.
+    ue_rng: Vec<StdRng>,
+    /// Per-cell RNG streams (LBT backoff draws).
+    lbt_rng: Vec<StdRng>,
     /// Transmitting cells of the previous subframe, per subchannel.
     tx_last: Vec<Vec<usize>>,
     /// HARQ drops per UE.
@@ -148,6 +153,12 @@ pub struct LteEngine {
     /// fading coherence block.
     lin_mw: Vec<Vec<Vec<f64>>>,
     fading_block: u64,
+    /// Generation counter for `lin_mw`: bumped whenever any cached gain
+    /// changes (fading block roll, client move) so dependent caches can
+    /// tell stale from fresh without comparing the tensor itself.
+    gain_gen: u64,
+    /// Memoized per-subchannel interference accumulation over `lin_mw`.
+    interf: InterferenceCache,
     /// True conflict graph (static; used by the oracle).
     conflict: ConflictGraph,
     /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
@@ -199,6 +210,76 @@ pub const LBT_MCOT_SUBFRAMES: u32 = 8;
 
 /// LBT contention window (fixed, priority-class-3-like).
 pub const LBT_CW: u32 = 15;
+
+/// Memoized per-subchannel interference accumulation.
+///
+/// The engine's hottest loop sums, for every (UE, subchannel) pair, the
+/// received power from every concurrently transmitting cell. With a
+/// saturated PF scheduler the transmitter set of a subchannel is stable
+/// for long stretches (masks only change at epoch boundaries, and a
+/// backlogged cell transmits every subframe), and the gains themselves
+/// only change when the fading block rolls — so the same sums were being
+/// recomputed every CQI period. This cache keys each subchannel's column
+/// of per-UE power totals by `(gain generation, transmitter set)` and
+/// recomputes a column only when its key changes.
+///
+/// Totals include *every* transmitting cell — the serving cell too — so
+/// the cache stays valid across handovers; callers subtract the serving
+/// cell's own contribution when it is in the set.
+#[derive(Debug)]
+struct InterferenceCache {
+    /// Total received power (mW) per [subchannel][ue] summed over the
+    /// cached transmitter set.
+    total_mw: Vec<Vec<f64>>,
+    /// Cache key per subchannel: gain generation + transmitter set it
+    /// was accumulated for. `None` until first filled.
+    key: Vec<Option<(u64, Vec<usize>)>>,
+}
+
+impl InterferenceCache {
+    fn new(n_sub: usize, n_ue: usize) -> InterferenceCache {
+        InterferenceCache {
+            total_mw: vec![vec![0.0; n_ue]; n_sub],
+            key: vec![None; n_sub],
+        }
+    }
+
+    /// Ensure every subchannel's column matches `(gain_gen, tx[s])`,
+    /// recomputing stale columns in parallel (columns are disjoint).
+    /// After this, `total_mw[s][ue]` is exactly
+    /// `Self::direct_total(tx[s], lin_mw, ue, s)` for every pair.
+    fn refresh(&mut self, gain_gen: u64, tx: &[Vec<usize>], lin_mw: &[Vec<Vec<f64>>]) {
+        let stale: Vec<usize> = (0..tx.len())
+            .filter(|&s| {
+                !matches!(&self.key[s], Some((g, t)) if *g == gain_gen && t == &tx[s])
+            })
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        // Pull the stale columns out so each worker owns its rows.
+        let mut columns: Vec<(usize, Vec<f64>)> = stale
+            .iter()
+            .map(|&s| (s, std::mem::take(&mut self.total_mw[s])))
+            .collect();
+        crate::parallel::for_each_row(&mut columns, 16, |_, row| {
+            let (s, col) = (row.0, &mut row.1);
+            for (ue, slot) in col.iter_mut().enumerate() {
+                *slot = Self::direct_total(&tx[s], lin_mw, ue, s);
+            }
+        });
+        for (s, col) in columns {
+            self.total_mw[s] = col;
+            self.key[s] = Some((gain_gen, tx[s].clone()));
+        }
+    }
+
+    /// The unmemoized accumulation the cache must always agree with:
+    /// total power at `ue` on subchannel `s` over transmitters `tx`.
+    fn direct_total(tx: &[usize], lin_mw: &[Vec<Vec<f64>>], ue: usize, s: usize) -> f64 {
+        tx.iter().map(|&c| lin_mw[ue][c][s]).sum()
+    }
+}
 
 impl LteEngine {
     /// Build the engine over a scenario; every client attaches to its
@@ -357,7 +438,12 @@ impl LteEngine {
             ],
             free_streak: vec![vec![0; n_sub]; n_ue],
             dl_subframes_this_epoch: 0,
-            rng: StdRng::seed_from_u64(seeds.seed("engine")),
+            ue_rng: (0..n_ue)
+                .map(|u| StdRng::seed_from_u64(seeds.seed_indexed("engine-ue", u as u64)))
+                .collect(),
+            lbt_rng: (0..n_ap)
+                .map(|a| StdRng::seed_from_u64(seeds.seed_indexed("engine-lbt", a as u64)))
+                .collect(),
             tx_last: vec![Vec::new(); n_sub],
             harq_drops: vec![0; n_ue],
             dl_mean_dbm,
@@ -365,6 +451,8 @@ impl LteEngine {
             noise_mw,
             lin_mw: vec![vec![vec![0.0; n_sub]; n_ap]; n_ue],
             fading_block: u64::MAX,
+            gain_gen: 0,
+            interf: InterferenceCache::new(n_sub, n_ue),
             conflict,
             ap_mean_dbm,
             ul_mean_dbm,
@@ -401,6 +489,7 @@ impl LteEngine {
             return;
         }
         self.fading_block = block;
+        self.gain_gen += 1;
         let n_sub = self.grid.num_subchannels() as usize;
         // Downlink power is split across the carrier's RBs: a subchannel
         // receives only its share of the cell's total power.
@@ -412,22 +501,26 @@ impl LteEngine {
                     .value()
             })
             .collect();
-        for u in 0..self.scenario.n_ues() {
-            let ue_node = self.scenario.ues[u].node;
-            for a in 0..self.scenario.aps.len() {
-                let ap_node = self.scenario.aps[a].node;
-                for s in 0..n_sub {
-                    let f = self
-                        .scenario
+        // Per-UE rows of the gain tensor are disjoint and the fading
+        // process is a pure function of (nodes, subchannel, time), so the
+        // refresh fans out across UEs.
+        let scenario = &self.scenario;
+        let dl_mean_dbm = &self.dl_mean_dbm;
+        let now = self.now;
+        crate::parallel::for_each_row(&mut self.lin_mw, 8, |u, row| {
+            let ue_node = scenario.ues[u].node;
+            for (a, per_ap) in row.iter_mut().enumerate() {
+                let ap_node = scenario.aps[a].node;
+                for (s, slot) in per_ap.iter_mut().enumerate() {
+                    let f = scenario
                         .env
                         .fading
-                        .gain(ap_node, ue_node, SubchannelId::new(s as u32), self.now)
+                        .gain(ap_node, ue_node, SubchannelId::new(s as u32), now)
                         .value();
-                    self.lin_mw[u][a][s] =
-                        10f64.powf((self.dl_mean_dbm[u][a] + split_db[s] + f) / 10.0);
+                    *slot = 10f64.powf((dl_mean_dbm[u][a] + split_db[s] + f) / 10.0);
                 }
             }
-        }
+        });
     }
 
     /// Current simulation time.
@@ -531,7 +624,10 @@ impl LteEngine {
     }
 
     /// Instantaneous SINR for (ue, subchannel) given the transmitting
-    /// cell set, from the cached linear gains.
+    /// cell set, from the cached linear gains. Production paths read the
+    /// memoized [`InterferenceCache`] instead; this direct form is the
+    /// reference the cache property tests compare against.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn sinr_db(&self, ue: usize, s: usize, tx_cells: &[usize]) -> f64 {
         let ap = self.scenario.assoc[ue];
         let signal = self.lin_mw[ue][ap][s];
@@ -562,34 +658,83 @@ impl LteEngine {
     fn measure_cqi(&mut self) {
         let n_sub = self.grid.num_subchannels() as usize;
         let margin = self.config.interference_margin.value();
-        for ue in 0..self.scenario.n_ues() {
+        // Bring the per-subchannel interference columns up to date (a
+        // no-op when neither the fading block nor any transmitter set
+        // changed since the last accumulation).
+        self.interf
+            .refresh(self.gain_gen, &self.tx_last, &self.lin_mw);
+        let totals = &self.interf.total_mw;
+        let tx_last = &self.tx_last;
+        let lin_mw = &self.lin_mw;
+        let noise_mw = &self.noise_mw;
+        let assoc = &self.scenario.assoc;
+        let cells = &self.cells;
+        let table = &self.table;
+        let now = self.now;
+
+        // Everything below is per-UE: CQI rows, epoch interference flags
+        // and the RLF monitor touch only their own UE's state and draw no
+        // randomness, so the scan fans out across UE rows.
+        struct UeRow<'a> {
+            cqi: &'a mut Vec<Cqi>,
+            epoch: &'a mut UeEpoch,
+            bad_streak_ms: &'a mut u32,
+            outage_until: &'a mut Instant,
+            rrc_drops: &'a mut u64,
+        }
+        let mut rows: Vec<UeRow> = self
+            .ue_cqi
+            .iter_mut()
+            .zip(self.epoch.iter_mut())
+            .zip(self.bad_streak_ms.iter_mut())
+            .zip(self.outage_until.iter_mut())
+            .zip(self.rrc_drops.iter_mut())
+            .map(|((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops)| UeRow {
+                cqi,
+                epoch,
+                bad_streak_ms,
+                outage_until,
+                rrc_drops,
+            })
+            .collect();
+        // Each row is only ~n_sub float ops but this scan fires every
+        // CQI period (2 ms of sim time): below 64 rows per worker the
+        // spawn cost dwarfs the row work, so small scenarios stay serial.
+        crate::parallel::for_each_row(&mut rows, 64, |ue, row| {
+            let ap = assoc[ue];
             let mut any_usable = false;
             for s in 0..n_sub {
-                let sinr = self.sinr_db(ue, s, &self.tx_last[s]);
-                self.ue_cqi[ue][s] = self.table.cqi_for_sinr(Db(sinr));
-                any_usable |= self.ue_cqi[ue][s].usable();
-                if !self.tx_last[s].is_empty() {
-                    let clean = self.sinr_db(ue, s, &[]);
+                let signal = lin_mw[ue][ap][s];
+                // The cached column totals every transmitter including
+                // the serving cell; remove its share to get interference.
+                let own = if tx_last[s].contains(&ap) { signal } else { 0.0 };
+                let interference = (totals[s][ue] - own).max(0.0);
+                let sinr = 10.0 * (signal / (interference + noise_mw[s])).log10();
+                row.cqi[s] = table.cqi_for_sinr(Db(sinr));
+                any_usable |= row.cqi[s].usable();
+                if !tx_last[s].is_empty() {
+                    let clean = 10.0 * (signal / noise_mw[s]).log10();
                     if sinr < clean - margin {
-                        self.epoch[ue].interfered[s] = true;
+                        row.epoch.interfered[s] = true;
                     }
                 }
             }
             // RLF monitor.
-            if self.now < self.outage_until[ue] {
-                continue; // already reconnecting
+            if now < *row.outage_until {
+                return; // already reconnecting
             }
-            if !any_usable && self.queued_bits(ue) > 0 {
-                self.bad_streak_ms[ue] += Duration::CQI_PERIOD.as_millis() as u32;
-                if self.bad_streak_ms[ue] >= Self::RLF_TIMER_MS {
-                    self.outage_until[ue] = self.now + Self::RECONNECT;
-                    self.rrc_drops[ue] += 1;
-                    self.bad_streak_ms[ue] = 0;
+            let queued = cells[ap].queued_bits(UeId::new(ue as u32));
+            if !any_usable && queued > 0 {
+                *row.bad_streak_ms += Duration::CQI_PERIOD.as_millis() as u32;
+                if *row.bad_streak_ms >= Self::RLF_TIMER_MS {
+                    *row.outage_until = now + Self::RECONNECT;
+                    *row.rrc_drops += 1;
+                    *row.bad_streak_ms = 0;
                 }
             } else {
-                self.bad_streak_ms[ue] = 0;
+                *row.bad_streak_ms = 0;
             }
-        }
+        });
     }
 
     /// Bits one subchannel can carry for a UE this subframe at its CQI.
@@ -655,7 +800,11 @@ impl LteEngine {
                     }
                 }
             }
-            // 3. Resolve transport blocks per UE through HARQ.
+            // 3. Resolve transport blocks per UE through HARQ. The
+            // transmitter sets just built are exactly next subframe's
+            // `tx_last`, so warming the interference cache here makes the
+            // upcoming CQI scan a cache hit as well.
+            self.interf.refresh(self.gain_gen, &tx, &self.lin_mw);
             for (c, alloc) in allocations.iter().enumerate() {
                 let Some(a) = alloc else { continue };
                 let mut per_ue: std::collections::BTreeMap<usize, Vec<usize>> =
@@ -668,7 +817,15 @@ impl LteEngine {
                 for (ue, scs) in per_ue {
                     let mean_linear = scs
                         .iter()
-                        .map(|&s| 10f64.powf(self.sinr_db(ue, s, &tx[s]) / 10.0))
+                        .map(|&s| {
+                            // The serving cell `c` transmits on `s` by
+                            // construction; its share of the cached total
+                            // is the signal itself.
+                            let signal = self.lin_mw[ue][c][s];
+                            let interference =
+                                (self.interf.total_mw[s][ue] - signal).max(0.0);
+                            signal / (interference + self.noise_mw[s])
+                        })
                         .sum::<f64>()
                         / scs.len() as f64;
                     let eff_sinr = Db(10.0 * mean_linear.max(1e-12).log10());
@@ -685,7 +842,8 @@ impl LteEngine {
                         .map(|&s| self.rate_bits(ue, s, dl_capacity))
                         .sum();
                     let process = (self.now.as_millis() % 8) as usize;
-                    let outcome = self.harq[ue].transmit(process, cqi, eff_sinr, &mut self.rng);
+                    let outcome =
+                        self.harq[ue].transmit(process, cqi, eff_sinr, &mut self.ue_rng[ue]);
                     for &s in &scs {
                         self.epoch[ue].sched_subframes[s] += 1;
                     }
@@ -876,7 +1034,7 @@ impl LteEngine {
                 })
                 .sum();
             let process = (self.now.as_millis() % 8) as usize;
-            let outcome = self.ul_harq[u].transmit(process, cqi, eff_sinr, &mut self.rng);
+            let outcome = self.ul_harq[u].transmit(process, cqi, eff_sinr, &mut self.ue_rng[u]);
             if let HarqOutcome::Ack { .. } = outcome {
                 let drained = (bits as u64).min(self.ul_queue[u]);
                 self.ul_queue[u] -= drained;
@@ -919,7 +1077,9 @@ impl LteEngine {
                 )
                 .value();
         }
-        // Refresh the instantaneous gains for this UE immediately.
+        // Refresh the instantaneous gains for this UE immediately (and
+        // invalidate interference columns accumulated over the old row).
+        self.gain_gen += 1;
         let n_sub = self.grid.num_subchannels() as usize;
         let ue_node = self.scenario.ues[ue].node;
         for a in 0..self.scenario.aps.len() {
@@ -1016,7 +1176,7 @@ impl LteEngine {
             // Idle and backoff expired: seize the channel for one MCOT
             // and draw the next backoff.
             self.lbt[c].txop_remaining = LBT_MCOT_SUBFRAMES - 1;
-            self.lbt[c].backoff = self.rng.gen_range(0..=LBT_CW);
+            self.lbt[c].backoff = self.lbt_rng[c].gen_range(0..=LBT_CW);
             grant[c] = true;
         }
         grant
@@ -1084,7 +1244,10 @@ impl LteEngine {
                                 .map(|s| {
                                     self.config
                                         .sensing
-                                        .observe(self.epoch[ue].interfered[s], &mut self.rng)
+                                        .observe(
+                                            self.epoch[ue].interfered[s],
+                                            &mut self.ue_rng[ue],
+                                        )
                                 })
                                 .collect();
                             // Starvation rescue (extension; see DESIGN.md):
@@ -1422,6 +1585,73 @@ mod tests {
                     (direct - cached).abs() / direct < 1e-9,
                     "cache mismatch ue {u} ap {a}"
                 );
+            }
+        }
+    }
+
+    mod interference_cache_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// The incremental interference accumulator must agree with
+            /// direct recomputation for *any* transmitter sets presented
+            /// after an arbitrary stretch of simulation (mid-run fading
+            /// rolls, epoch mask changes, HARQ churn) — both the raw
+            /// power totals and the SINR assembled from them.
+            #[test]
+            fn interference_cache_matches_direct_recomputation(
+                seed in 0u64..1_000,
+                millis in 20u64..120,
+                txmask in proptest::collection::vec(any::<bool>(), 13 * 3),
+            ) {
+                let mut cfg = ScenarioConfig::paper_default(3, 2);
+                cfg.shadowing_sigma = 0.0;
+                cfg.fading = true;
+                let s = Scenario::generate(cfg, SeedSeq::new(seed));
+                let mut e = LteEngine::new(
+                    s,
+                    LteEngineConfig::paper_default(ImMode::CellFi),
+                    SeedSeq::new(seed ^ 0x5eed),
+                );
+                e.backlog_all(5_000_000);
+                for _ in 0..millis {
+                    let _ = e.step_subframe();
+                }
+                let n_sub = e.grid.num_subchannels() as usize;
+                let n_ap = e.scenario.aps.len();
+                let tx: Vec<Vec<usize>> = (0..n_sub)
+                    .map(|s| (0..n_ap).filter(|&c| txmask[s * n_ap + c]).collect())
+                    .collect();
+                e.interf.refresh(e.gain_gen, &tx, &e.lin_mw);
+                for s in 0..n_sub {
+                    for ue in 0..e.scenario.n_ues() {
+                        let direct = InterferenceCache::direct_total(&tx[s], &e.lin_mw, ue, s);
+                        let cached = e.interf.total_mw[s][ue];
+                        prop_assert!(
+                            (direct - cached).abs() <= direct.abs() * 1e-12,
+                            "total mismatch s={s} ue={ue}: cached {cached} direct {direct}"
+                        );
+                        let ap = e.scenario.assoc[ue];
+                        let signal = e.lin_mw[ue][ap][s];
+                        let own = if tx[s].contains(&ap) { signal } else { 0.0 };
+                        let from_cache = 10.0
+                            * (signal / ((cached - own).max(0.0) + e.noise_mw[s])).log10();
+                        let reference = e.sinr_db(ue, s, &tx[s]);
+                        prop_assert!(
+                            (from_cache - reference).abs() < 1e-6,
+                            "sinr mismatch s={s} ue={ue}: cache {from_cache} dB, \
+                             direct {reference} dB"
+                        );
+                    }
+                }
+                // A second refresh with unchanged keys must be a pure
+                // cache hit and leave every column intact.
+                let before = e.interf.total_mw.clone();
+                e.interf.refresh(e.gain_gen, &tx, &e.lin_mw);
+                prop_assert_eq!(&before, &e.interf.total_mw);
             }
         }
     }

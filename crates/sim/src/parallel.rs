@@ -1,0 +1,215 @@
+//! Deterministic scoped-thread work splitting.
+//!
+//! Every parallel construct in the simulator goes through this module:
+//! a hand-rolled chunked splitter over [`std::thread::scope`], with no
+//! external thread-pool dependency. Work items are split into contiguous
+//! index chunks, one per worker, and results always land in input order
+//! — so any reduction over the output is byte-identical to a serial run
+//! regardless of thread count or scheduling.
+//!
+//! The worker count comes from, in precedence order:
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    determinism tests to compare 1-thread and N-thread runs
+//!    in-process),
+//! 2. the `CELLFI_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nothing here affects *what* is computed — only who computes it. Code
+//! that consumes RNG state must therefore never run under these helpers;
+//! the engine keeps all random draws on the caller's thread (per-entity
+//! streams) and parallelises only pure math.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread worker-count override (see [`with_threads`]).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count parallel helpers will use on this thread.
+pub fn configured_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("CELLFI_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread (workers
+/// spawned by [`map_indexed`] receive their share of the pinned budget
+/// for their own nested splits). Restores the previous setting on exit,
+/// including on panic.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Split `0..n` into at most `threads` contiguous chunks of near-equal
+/// size. Returns `(start, end)` pairs covering the range in order.
+fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    (0..n)
+        .step_by(chunk.max(1))
+        .map(|start| (start, (start + chunk).min(n)))
+        .collect()
+}
+
+/// Ordered parallel map over `0..n`: `out[i] = f(i)`, computed on up to
+/// [`configured_threads`] workers. `f` must be pure with respect to
+/// invocation order — results are identical to `(0..n).map(f).collect()`
+/// for any thread count.
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = configured_threads();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    let bounds = chunk_bounds(n, threads);
+    // Workers split the caller's thread budget between them: once the
+    // fan-out saturates the budget, nested splits inside each worker
+    // stay serial instead of oversubscribing the machine.
+    let nested = (threads / bounds.len()).max(1);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut start = 0;
+        for (lo, hi) in bounds {
+            let (slots, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            scope.spawn(move || {
+                with_threads(nested, || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(start + j));
+                    }
+                })
+            });
+            start = hi;
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Parallel in-place update of disjoint rows: `f(i, &mut rows[i])` for
+/// every row, chunked across workers. Rows smaller than
+/// `min_rows_per_thread` per worker stay serial — spawning threads for
+/// trivial row work costs more than it saves.
+pub fn for_each_row<T, F>(rows: &mut [T], min_rows_per_thread: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = rows.len();
+    let threads = configured_threads()
+        .min(n / min_rows_per_thread.max(1))
+        .max(1);
+    if threads <= 1 {
+        for (i, row) in rows.iter_mut().enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = rows;
+        let mut start = 0;
+        for (lo, hi) in chunk_bounds(n, threads) {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            scope.spawn(move || {
+                // Row work is a leaf: nested helpers inside `f` must not
+                // re-spawn on top of an already-saturated fan-out.
+                with_threads(1, || {
+                    for (j, row) in chunk.iter_mut().enumerate() {
+                        f(start + j, row);
+                    }
+                })
+            });
+            start = hi;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        for n in [0usize, 1, 2, 7, 8, 9, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let bounds = chunk_bounds(n, threads);
+                let mut next = 0;
+                for (lo, hi) in &bounds {
+                    assert_eq!(*lo, next, "gap at n={n} threads={threads}");
+                    assert!(hi > lo);
+                    next = *hi;
+                }
+                assert_eq!(next, n, "coverage at n={n} threads={threads}");
+                assert!(bounds.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_results_are_ordered_for_any_thread_count() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 16] {
+            let parallel =
+                with_threads(threads, || map_indexed(97, |i| (i as u64) * 3 + 1));
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_row_touches_every_row_once() {
+        for threads in [1, 2, 5] {
+            let mut rows = vec![0u32; 53];
+            with_threads(threads, || {
+                for_each_row(&mut rows, 1, |i, row| *row += i as u32 + 1)
+            });
+            let expect: Vec<u32> = (0..53).map(|i| i + 1).collect();
+            assert_eq!(rows, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        // min_rows_per_thread larger than the input: must not spawn (we
+        // can't observe spawning directly, but the path must still work).
+        let mut rows = vec![1i32; 3];
+        with_threads(8, || for_each_row(&mut rows, 64, |_, row| *row *= 2));
+        assert_eq!(rows, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let outer = configured_threads();
+        with_threads(3, || {
+            assert_eq!(configured_threads(), 3);
+            with_threads(2, || assert_eq!(configured_threads(), 2));
+            assert_eq!(configured_threads(), 3);
+        });
+        assert_eq!(configured_threads(), outer);
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, full test suite, then the cross-thread
+# determinism contract under both a serial and a parallel worker count
+# (the engine must produce bit-identical results either way; see
+# tests/determinism.rs and crates/sim/src/parallel.rs).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier1: build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tier1: test suite =="
+cargo test --workspace --offline -q
+
+echo "== tier1: determinism, CELLFI_THREADS=1 =="
+CELLFI_THREADS=1 cargo test --offline -q --test determinism
+
+echo "== tier1: determinism, CELLFI_THREADS=4 =="
+CELLFI_THREADS=4 cargo test --offline -q --test determinism
+
+echo "== tier1: OK =="

@@ -51,6 +51,42 @@ fn different_seeds_change_stochastic_experiments() {
     );
 }
 
+/// The parallel engine contract: thread count changes who computes, not
+/// what. A 2-simulated-second CellFi run must produce bit-identical
+/// delivered bits, manager hop counts, and cell subchannel masks whether
+/// the row/column fan-out uses 1 worker or several.
+#[test]
+fn engine_run_is_identical_for_any_thread_count() {
+    use cellfi::sim::{parallel, ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
+    use cellfi::types::rng::SeedSeq;
+    use cellfi::types::time::Instant;
+
+    let run = |threads: usize| {
+        parallel::with_threads(threads, || {
+            let seeds = SeedSeq::new(4242).child("thread-determinism");
+            let scenario =
+                Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds);
+            let n_cells = scenario.aps.len();
+            let mut e = LteEngine::new(
+                scenario,
+                LteEngineConfig::paper_default(ImMode::CellFi),
+                seeds.child("engine"),
+            );
+            e.backlog_all(u64::MAX / 4);
+            e.run_until(Instant::from_secs(2));
+            let masks: Vec<Vec<bool>> = (0..n_cells).map(|c| e.cell_mask(c)).collect();
+            (e.delivered_bits().to_vec(), e.manager_hops(), masks)
+        })
+    };
+    let serial = run(1);
+    for threads in [2usize, 4] {
+        let parallel_run = run(threads);
+        assert_eq!(parallel_run.0, serial.0, "delivered bits, threads={threads}");
+        assert_eq!(parallel_run.1, serial.1, "manager hops, threads={threads}");
+        assert_eq!(parallel_run.2, serial.2, "cell masks, threads={threads}");
+    }
+}
+
 #[test]
 fn experiment_registry_is_complete_and_unique() {
     let mut names: Vec<&str> = experiments::ALL.to_vec();

@@ -1,0 +1,202 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this workspace only
+//! ever round-trips small config/protocol structs through `serde_json`
+//! strings, so the stand-in collapses the data model to one JSON-shaped
+//! [`Value`] tree. `#[derive(Serialize, Deserialize)]` (re-exported from
+//! the vendored `serde_derive`) generates `to_value`/`from_value` for
+//! plain structs and unit enums — exactly the shapes the workspace
+//! defines.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the single data model of the stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; u64/i64 round-trip exactly up to
+    /// 2^53, which covers every integer the workspace serializes).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an error.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Number(*self as f64)
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    match v {
+                        Value::Number(n) => Ok(*n as $t),
+                        other => Err(Error::msg(format!(
+                            "expected number, got {other:?}"
+                        ))),
+                    }
+                }
+            }
+        )+
+    };
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

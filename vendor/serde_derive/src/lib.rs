@@ -1,0 +1,309 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's `Serialize` (`to_value`) and
+//! `Deserialize` (`from_value`) for the item shapes this workspace
+//! defines: structs with named fields, single-field newtype structs, and
+//! enums of unit variants. Anything fancier (generics, data-carrying
+//! variants, serde attributes) is rejected with a compile error rather
+//! than silently mis-serialized. Built on bare `proc_macro` token
+//! parsing because the offline environment has no syn/quote.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item being derived.
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T);`
+    Newtype { name: String },
+    /// `enum Name { A, B, C }`
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip `#[...]` attribute groups (including expanded doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` visibility markers.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize/Deserialize) stand-in: generics on `{name}` unsupported"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if top_level_commas(&inner) > 0 {
+                    return Err(format!(
+                        "stand-in derive: multi-field tuple struct `{name}` unsupported"
+                    ));
+                }
+                Ok(Item::Newtype { name })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::UnitEnum {
+                    variants: parse_unit_variants(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                        &name,
+                    )?,
+                    name,
+                })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Count commas outside nested `<...>` runs (groups are already nested
+/// by the tokenizer, so only angle brackets need manual depth tracking).
+fn top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0;
+    // A trailing comma does not separate anything.
+    let last_meaningful = tokens
+        .iter()
+        .rposition(|t| !matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+        .map_or(0, |p| p + 1);
+    for t in &tokens[..last_meaningful] {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{field}`, got {other:?}")),
+        }
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(tokens: &[TokenTree], enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "stand-in derive: data-carrying variant `{enum_name}::{variant}` unsupported"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// Derive the stand-in `serde::Serialize` (`to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), serde::Serialize::to_value(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut map = std::collections::BTreeMap::new();\n\
+                         {inserts}\n\
+                         serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the stand-in `serde::Deserialize` (`from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(map.get({f:?}).ok_or_else(|| \
+                         serde::Error::msg(concat!(\"missing field `\", {f:?}, \"` in \", \
+                         {name:?})))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Object(map) => Ok({name} {{ {builds} }}),\n\
+                             other => Err(serde::Error::msg(format!(\n\
+                                 \"expected object for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             other => Err(serde::Error::msg(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

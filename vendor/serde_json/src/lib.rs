@@ -1,0 +1,381 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! serde's [`Value`] data model as real JSON text. Covers the calls the
+//! workspace makes — [`to_string`], [`to_string_pretty`], [`from_str`] —
+//! with strict RFC 8259 syntax (the PAWS tests round-trip through it, so
+//! the wire format stays honest).
+
+#![forbid(unsafe_code)]
+
+pub use serde::Error;
+pub use serde::Value;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-indented JSON (two spaces, like upstream).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; upstream errors, we emit null like JS.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        // Integral values print without a fraction ("38", not "38.0"),
+        // matching serde_json's integer formatting.
+        let _ = {
+            use std::fmt::Write as _;
+            write!(out, "{}", n as i64)
+        };
+    } else {
+        let _ = {
+            use std::fmt::Write as _;
+            write!(out, "{n}")
+        };
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected , or }} in object, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected , or ] in array, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        let text = std::str::from_utf8(self.bytes)
+            .map_err(|_| Error::msg("invalid UTF-8"))?;
+        let mut chars = text[self.pos..].char_indices();
+        while let Some((off, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += off + 1;
+                    return Ok(s);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, '/')) => s.push('/'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, 'r')) => s.push('\r'),
+                    Some((_, 't')) => s.push('\t'),
+                    Some((_, 'b')) => s.push('\u{8}'),
+                    Some((_, 'f')) => s.push('\u{c}'),
+                    Some((u_off, 'u')) => {
+                        let start = self.pos + u_off + 1;
+                        let hex = text
+                            .get(start..start + 4)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                        // Surrogate pairs are not needed by our writers.
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                        );
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    other => {
+                        return Err(Error::msg(format!("bad escape {other:?}")));
+                    }
+                },
+                c => s.push(c),
+            }
+        }
+        Err(Error::msg("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| Error::msg(format!("bad number at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn numbers_print_like_serde_json() {
+        assert_eq!(to_string(&38u32).unwrap(), "38");
+        assert_eq!(to_string(&-2i64).unwrap(), "-2");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1");
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("alpha".to_string(), 1.25f64);
+        m.insert("beta".to_string(), 2.0f64);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"alpha\":1.25,\"beta\":2}");
+        let back: BTreeMap<String, f64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 3f64);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert_eq!(pretty, "{\n  \"k\": 3\n}");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "a \"quoted\"\nline\\end".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn vectors_and_options_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let back: Vec<u32> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let none: Option<u32> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<f64>("[").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<f64>("nope").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [std::f64::consts::PI, 1e-17, 123456.789, -0.125] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+}

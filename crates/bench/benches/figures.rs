@@ -126,8 +126,11 @@ fn bench_fig9c(c: &mut Criterion) {
                 LteEngineConfig::paper_default(ImMode::CellFi),
                 SeedSeq::new(15),
             );
-            let mut web =
-                WebWorkload::new(WebWorkloadConfig::default(), scenario.n_ues(), SeedSeq::new(16));
+            let mut web = WebWorkload::new(
+                WebWorkloadConfig::default(),
+                scenario.n_ues(),
+                SeedSeq::new(16),
+            );
             while e.now() < Instant::from_secs(5) {
                 for (u, bytes) in web.poll(e.now()) {
                     e.enqueue(u, bytes * 8);

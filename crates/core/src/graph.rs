@@ -48,7 +48,10 @@ impl ConflictGraph {
     /// conflict with itself in this model).
     pub fn add_edge(&mut self, a: ApId, b: ApId) {
         assert_ne!(a, b, "self-loop on {a}");
-        assert!(a.index() < self.len() && b.index() < self.len(), "vertex out of range");
+        assert!(
+            a.index() < self.len() && b.index() < self.len(),
+            "vertex out of range"
+        );
         self.adj[a.index()].insert(b.0);
         self.adj[b.index()].insert(a.0);
     }
@@ -77,11 +80,7 @@ impl ConflictGraph {
     /// the local demand load that must fit into the channel.
     pub fn closed_neighborhood_weight(&self, v: ApId, weights: &[u32]) -> u32 {
         assert_eq!(weights.len(), self.len(), "one weight per vertex");
-        weights[v.index()]
-            + self
-                .neighbors(v)
-                .map(|u| weights[u.index()])
-                .sum::<u32>()
+        weights[v.index()] + self.neighbors(v).map(|u| weights[u.index()]).sum::<u32>()
     }
 
     /// The maximum closed-neighbourhood weight over all vertices: the

@@ -493,10 +493,7 @@ mod tests {
         h.adjust_to_share(5, &flat_utility);
         let mask = h.mask();
         for s in 0..13u32 {
-            assert_eq!(
-                mask[s as usize],
-                h.owned().contains(&SubchannelId::new(s))
-            );
+            assert_eq!(mask[s as usize], h.owned().contains(&SubchannelId::new(s)));
         }
     }
 }

@@ -45,7 +45,9 @@ pub mod share;
 pub mod theory;
 
 pub use graph::ConflictGraph;
-pub use manager::{ClientEpochStats, EpochDecision, EpochInput, InterferenceManager, ManagerConfig};
+pub use manager::{
+    ClientEpochStats, EpochDecision, EpochInput, InterferenceManager, ManagerConfig,
+};
 pub use oracle::OracleAllocator;
 pub use sensing::{CqiInterferenceDetector, ImperfectSensing, NeighborClientEstimator};
 pub use share::fair_share;

@@ -393,7 +393,11 @@ mod tests {
         };
         let _ = m.epoch(&input2);
         let owned = m.owned();
-        assert_eq!(owned[0], SubchannelId::new(0), "packed to lowest: {owned:?}");
+        assert_eq!(
+            owned[0],
+            SubchannelId::new(0),
+            "packed to lowest: {owned:?}"
+        );
     }
 
     #[test]

@@ -56,9 +56,8 @@ impl OracleAllocator {
                     .map(|u| graph.closed_neighborhood_weight(u, demands))
                     .max()
                     .unwrap_or(demands[v.index()]);
-                let share =
-                    (f64::from(demands[v.index()]) * f64::from(m) / f64::from(binding)).floor()
-                        as u32;
+                let share = (f64::from(demands[v.index()]) * f64::from(m) / f64::from(binding))
+                    .floor() as u32;
                 share.clamp(1, m)
             })
             .collect();
@@ -109,10 +108,6 @@ impl OracleAllocator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-
-    fn ids(v: &[u32]) -> Vec<SubchannelId> {
-        v.iter().map(|&s| SubchannelId::new(s)).collect()
-    }
 
     #[test]
     fn lone_ap_gets_everything() {

@@ -128,8 +128,20 @@ mod tests {
         let owned = [sc(5), sc(9)];
         let moves = packing_moves(&owned, 13, &|_, _| 10, 3);
         assert_eq!(moves.len(), 2);
-        assert_eq!(moves[0], PackingMove { from: sc(5), to: sc(0) });
-        assert_eq!(moves[1], PackingMove { from: sc(9), to: sc(1) });
+        assert_eq!(
+            moves[0],
+            PackingMove {
+                from: sc(5),
+                to: sc(0)
+            }
+        );
+        assert_eq!(
+            moves[1],
+            PackingMove {
+                from: sc(9),
+                to: sc(1)
+            }
+        );
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl HoppingProcess {
         // Each unsatisfied node picks its attempt based on the state at
         // the start of the round (synchronous model).
         let mut picks: Vec<Option<u32>> = vec![None; n];
-        for v in 0..n {
+        for (v, pick) in picks.iter_mut().enumerate() {
             if self.holdings[v].len() as u32 >= self.demands[v] {
                 continue;
             }
@@ -160,7 +160,7 @@ impl HoppingProcess {
                 continue;
             }
             free.shuffle(&mut self.rng);
-            picks[v] = Some(free[0]);
+            *pick = Some(free[0]);
         }
         // Resolve clashes and fading.
         for v in 0..n {
@@ -279,7 +279,11 @@ mod tests {
         for _ in 0..10 {
             p.step();
         }
-        assert_eq!(p.holdings(), &holdings_before[..], "stable after convergence");
+        assert_eq!(
+            p.holdings(),
+            &holdings_before[..],
+            "stable after convergence"
+        );
         assert!(r <= 5);
     }
 

@@ -1,0 +1,45 @@
+//! `cellfi-lint` — CellFi's workspace static-analysis pass.
+//!
+//! The simulation's headline claims (byte-identical parallel replay,
+//! ITU-style link budgets) rest on invariants the compiler cannot see:
+//! no nondeterministic iteration or wall-clock reads in engine code, no
+//! panics in library crates, no raw dB/linear mixing outside the
+//! `cellfi_types::units` newtypes. This crate enforces them with a
+//! dependency-free scanner — see [`rules`] for the catalogue and the
+//! `// cellfi-lint: allow(<rule>) — <reason>` escape hatch.
+//!
+//! Run it with `cargo run -p cellfi-lint` (add `--json` for machine
+//! output); `scripts/tier1.sh` runs it on every verification pass.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Finding;
+use rules::FileContext;
+use std::path::Path;
+
+/// Lint one file's source text under its workspace-relative path.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let ctx = FileContext::from_path(rel_path);
+    let scanned = lexer::scan(source);
+    rules::lint_scanned(&ctx, &scanned)
+}
+
+/// Lint the whole workspace under `root`. Returns findings plus the
+/// number of files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = walk::collect_files(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok((findings, files.len()))
+}

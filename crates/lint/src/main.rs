@@ -1,0 +1,129 @@
+//! CLI for `cellfi-lint`.
+//!
+//! ```text
+//! cellfi-lint [--json] [--root <dir>] [FILE...]
+//! ```
+//!
+//! With no file arguments, lints the whole workspace (found by walking
+//! up from the current directory to the first `[workspace]` manifest).
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use cellfi_lint::{lint_source, lint_workspace, report, walk};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: cellfi-lint [--json] [--root <dir>] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            file => files.push(file.to_owned()),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => return usage("no workspace root found (pass --root)"),
+    };
+
+    let (findings, scanned) = if files.is_empty() {
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cellfi-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        let mut scanned = 0;
+        for file in &files {
+            let rel = relative_to(&root, Path::new(file));
+            if !walk::is_lintable(&rel) {
+                eprintln!("cellfi-lint: skipping {rel} (outside the linted set)");
+                continue;
+            }
+            match std::fs::read_to_string(file) {
+                Ok(source) => {
+                    findings.extend(lint_source(&rel, &source));
+                    scanned += 1;
+                }
+                Err(e) => {
+                    eprintln!("cellfi-lint: {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (findings, scanned)
+    };
+
+    if json {
+        println!("{}", report::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "cellfi-lint: {} finding{} in {} file{} scanned",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            scanned,
+            if scanned == 1 { "" } else { "s" },
+        );
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cellfi-lint: {msg}");
+    eprintln!("usage: cellfi-lint [--json] [--root <dir>] [FILE...]");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the first `[workspace]` manifest.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn relative_to(root: &Path, path: &Path) -> String {
+    let abs = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::env::current_dir()
+            .map(|c| c.join(path))
+            .unwrap_or_else(|_| path.to_path_buf())
+    };
+    abs.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,463 @@
+//! The CellFi rule catalogue.
+//!
+//! Three families, named in findings and in allow directives:
+//!
+//! * **`determinism`** — byte-identical replay is a workspace contract
+//!   (`tests/determinism.rs`). Engine-path library code must not iterate
+//!   `HashMap`/`HashSet` (randomized iteration order), and library code
+//!   anywhere must not read wall clocks (`Instant::now`,
+//!   `SystemTime::now`) or draw OS entropy (`thread_rng`,
+//!   `from_entropy`). Benches and `bin/` targets are exempt: timing a
+//!   run and seeding a CLI from the OS are their job.
+//! * **`panic`** — library crates must not `.unwrap()`, `panic!`,
+//!   `todo!`, or `unimplemented!`. `.expect("...")` is the sanctioned
+//!   escape for provably-infallible cases, and its message must state
+//!   the invariant (at least [`MIN_EXPECT_MSG`] bytes).
+//! * **`units`** — dB/linear conversions belong to
+//!   `crates/types/src/units.rs` (`Dbm`/`Db`/`MilliWatts`). Raw
+//!   `10f64.powf(x / 10.0)`-style conversions, and multiplying or
+//!   dividing a `*_db`/`*_dbm`-named binding (dB is logarithmic; scaling
+//!   it is almost always a link-budget bug), are flagged everywhere
+//!   else.
+//!
+//! Any finding can be waived line-by-line with
+//! `// cellfi-lint: allow(<rule>) — <reason>`; a directive with an
+//! unknown rule, a missing reason, or nothing to suppress is itself a
+//! finding (`lint-allow`), so the escape hatch cannot rot silently.
+
+use crate::lexer::{find_word, ScannedFile};
+use crate::report::Finding;
+
+/// Shortest `.expect()` message that can plausibly state an invariant.
+pub const MIN_EXPECT_MSG: usize = 8;
+
+/// Rule names accepted in `allow(...)` directives.
+pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units"];
+
+/// Crates whose library code must not use order-randomized collections.
+const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "lte", "sim", "spectrum"];
+
+/// Where a file sits in the workspace, driving rule applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The `crates/<name>` component, or `None` for the root crate.
+    pub crate_name: Option<String>,
+    /// `src/bin/` targets and `main.rs` files.
+    pub is_bin: bool,
+}
+
+impl FileContext {
+    /// Classify a workspace-relative path.
+    pub fn from_path(path: &str) -> FileContext {
+        let norm = path.replace('\\', "/");
+        let crate_name = norm
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_owned);
+        let is_bin = norm.contains("/bin/") || norm.ends_with("/main.rs") || norm == "main.rs";
+        FileContext {
+            path: norm,
+            crate_name,
+            is_bin,
+        }
+    }
+
+    fn order_sensitive(&self) -> bool {
+        !self.is_bin
+            && self
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| ORDER_SENSITIVE_CRATES.contains(&c))
+    }
+
+    fn is_units_module(&self) -> bool {
+        self.path.ends_with("types/src/units.rs")
+    }
+}
+
+/// Run every applicable rule over one already-scanned file.
+pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
+    let mut sink = Sink::new(ctx, scanned);
+
+    if ctx.order_sensitive() {
+        check_collections(&mut sink);
+    }
+    if !ctx.is_bin {
+        check_clocks_and_entropy(&mut sink);
+        check_panics(&mut sink);
+    }
+    if !ctx.is_units_module() {
+        check_unit_conversions(&mut sink);
+        check_db_scaling(&mut sink);
+    }
+    check_allow_hygiene(&mut sink);
+    sink.findings
+}
+
+/// Collects findings, applying test-code exclusion and allow directives.
+struct Sink<'a> {
+    ctx: &'a FileContext,
+    scanned: &'a ScannedFile,
+    findings: Vec<Finding>,
+    /// Indices into `scanned.allows` that suppressed something.
+    used_allows: Vec<bool>,
+}
+
+impl<'a> Sink<'a> {
+    fn new(ctx: &'a FileContext, scanned: &'a ScannedFile) -> Sink<'a> {
+        Sink {
+            ctx,
+            scanned,
+            findings: Vec::new(),
+            used_allows: vec![false; scanned.allows.len()],
+        }
+    }
+
+    /// Report `rule` at byte `offset` unless the line is test code or a
+    /// valid allow directive covers it.
+    fn report(&mut self, rule: &'static str, offset: usize, message: String) {
+        let line = self.scanned.line_of(offset);
+        if self.scanned.in_test_code(line) {
+            return;
+        }
+        for (i, allow) in self.scanned.allows.iter().enumerate() {
+            if allow.applies_to_line == line
+                && allow.rules.iter().any(|r| r == rule)
+                && !allow.reason.is_empty()
+            {
+                self.used_allows[i] = true;
+                return;
+            }
+        }
+        self.findings.push(Finding {
+            rule,
+            path: self.ctx.path.clone(),
+            line,
+            message,
+        });
+    }
+
+    fn masked(&self) -> &'a str {
+        &self.scanned.masked
+    }
+}
+
+/// determinism: `HashMap`/`HashSet` in order-sensitive library code.
+fn check_collections(sink: &mut Sink) {
+    for name in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(sink.masked(), name, from) {
+            sink.report(
+                "determinism",
+                pos,
+                format!(
+                    "{name} has a randomized iteration order; use BTreeMap/BTreeSet \
+                     or a hasher seeded from the run seed in engine-path code"
+                ),
+            );
+            from = pos + name.len();
+        }
+    }
+}
+
+/// determinism: wall clocks and OS entropy in library code.
+fn check_clocks_and_entropy(sink: &mut Sink) {
+    for path in [&["Instant", "now"][..], &["SystemTime", "now"][..]] {
+        let mut from = 0;
+        while let Some((pos, end)) = find_qualified(sink.masked(), path, from) {
+            sink.report(
+                "determinism",
+                pos,
+                format!(
+                    "{}::{} reads the wall clock; simulation state must only \
+                     depend on cellfi_types::time and the run seed",
+                    path[0], path[1]
+                ),
+            );
+            from = end;
+        }
+    }
+    for name in ["thread_rng", "from_entropy"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(sink.masked(), name, from) {
+            sink.report(
+                "determinism",
+                pos,
+                format!(
+                    "{name} draws OS entropy; derive randomness from the run \
+                     seed via cellfi_types::rng::SeedSeq"
+                ),
+            );
+            from = pos + name.len();
+        }
+    }
+}
+
+/// panic: `.unwrap()`, weak `.expect()`, and panicking macros.
+fn check_panics(sink: &mut Sink) {
+    let masked = sink.masked();
+    let bytes = masked.as_bytes();
+
+    let mut from = 0;
+    while let Some(pos) = find_word(masked, "unwrap", from) {
+        from = pos + "unwrap".len();
+        let is_method = pos > 0 && bytes[pos - 1] == b'.';
+        let is_call = bytes.get(from) == Some(&b'(');
+        if is_method && is_call {
+            sink.report(
+                "panic",
+                pos,
+                ".unwrap() in library code: return a Result or use \
+                 .expect(\"<invariant>\")"
+                    .to_owned(),
+            );
+        }
+    }
+
+    let mut from = 0;
+    while let Some(pos) = find_word(masked, "expect", from) {
+        from = pos + "expect".len();
+        let is_method = pos > 0 && bytes[pos - 1] == b'.';
+        if !is_method || bytes.get(from) != Some(&b'(') {
+            continue;
+        }
+        if let Some(len) = string_literal_len(masked, from + 1) {
+            if len < MIN_EXPECT_MSG {
+                sink.report(
+                    "panic",
+                    pos,
+                    format!(
+                        ".expect() message is too short to state an invariant \
+                         ({len} bytes < {MIN_EXPECT_MSG})"
+                    ),
+                );
+            }
+        }
+    }
+
+    for mac in ["panic", "todo", "unimplemented"] {
+        let mut from = 0;
+        while let Some(pos) = find_word(masked, mac, from) {
+            from = pos + mac.len();
+            if bytes.get(from) == Some(&b'!') {
+                sink.report(
+                    "panic",
+                    pos,
+                    format!(
+                        "{mac}! in library code: return a Result or encode the invariant in types"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// units: `10f64.powf(...)`-style raw dB→linear conversion.
+fn check_unit_conversions(sink: &mut Sink) {
+    let masked = sink.masked();
+    let mut from = 0;
+    while let Some(rel) = masked[from..].find(".powf") {
+        let pos = from + rel;
+        from = pos + ".powf".len();
+        if preceding_literal_is_ten(masked.as_bytes(), pos) {
+            sink.report(
+                "units",
+                pos,
+                "raw 10^(x/10) conversion: use Dbm::to_milliwatts / \
+                 Db::to_linear from cellfi_types::units"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Whether the token ending at `end` is a literal `10` (any float form).
+fn preceding_literal_is_ten(bytes: &[u8], end: usize) -> bool {
+    let mut start = end;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let token = std::str::from_utf8(&bytes[start..end]).unwrap_or("");
+    if token.is_empty() || !token.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    // Strip a numeric suffix and underscores: 10, 10.0, 10f64, 10_f64...
+    let cleaned: String = token
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .chars()
+        .filter(|&c| c != '_')
+        .collect();
+    cleaned == "10" || cleaned == "10." || cleaned == "10.0"
+}
+
+/// units: multiplying or dividing a `*_db`/`*_dbm`-named binding.
+fn check_db_scaling(sink: &mut Sink) {
+    let masked = sink.masked();
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_start(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let mut end = i;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        let ident = &masked[i..end];
+        if ident.ends_with("_db") || ident.ends_with("_dbm") {
+            let next = next_nonspace(bytes, end);
+            let prev = prev_nonspace(bytes, i);
+            let scaled =
+                matches!(next, Some(b'*') | Some(b'/')) || matches!(prev, Some(b'*') | Some(b'/'));
+            // `x * 2` vs `x *= 2`: *= on a dB binding is also scaling.
+            if scaled {
+                sink.report(
+                    "units",
+                    i,
+                    format!(
+                        "`{ident}` is a decibel quantity; multiplying or dividing \
+                         it is a log/linear mixup — convert with \
+                         cellfi_types::units first"
+                    ),
+                );
+            }
+        }
+        i = end;
+    }
+}
+
+fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<u8> {
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_whitespace() {
+            return Some(bytes[i]);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_nonspace(bytes: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some(bytes[j]);
+        }
+    }
+    None
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// lint-allow: every directive must be well-formed, reasoned, and used.
+fn check_allow_hygiene(sink: &mut Sink) {
+    // Walk by index: reporting borrows the sink mutably.
+    for i in 0..sink.scanned.allows.len() {
+        let allow = &sink.scanned.allows[i];
+        let line = allow.directive_line;
+        let rules = allow.rules.clone();
+        let reason_empty = allow.reason.is_empty();
+        let used = sink.used_allows[i];
+        if rules.is_empty() {
+            push_hygiene(
+                sink,
+                line,
+                "malformed directive: expected `cellfi-lint: allow(<rule>) — <reason>`".to_owned(),
+            );
+            continue;
+        }
+        for rule in &rules {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                push_hygiene(
+                    sink,
+                    line,
+                    format!("unknown rule `{rule}` (known: {})", RULE_NAMES.join(", ")),
+                );
+            }
+        }
+        if reason_empty {
+            push_hygiene(
+                sink,
+                line,
+                "allow directive needs a reason: `allow(<rule>) — <why this is sound>`".to_owned(),
+            );
+        } else if !used && rules.iter().all(|r| RULE_NAMES.contains(&r.as_str())) {
+            push_hygiene(
+                sink,
+                line,
+                format!(
+                    "unused allow({}) — nothing on the target line triggers it; delete the directive",
+                    rules.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+fn push_hygiene(sink: &mut Sink, line: usize, message: String) {
+    sink.findings.push(Finding {
+        rule: "lint-allow",
+        path: sink.ctx.path.clone(),
+        line,
+        message,
+    });
+}
+
+/// Find `a :: b` (whitespace-tolerant); returns (start of `a`, end of `b`).
+fn find_qualified(masked: &str, path: &[&str], from: usize) -> Option<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut search = from;
+    loop {
+        let pos = find_word(masked, path[0], search)?;
+        search = pos + path[0].len();
+        let mut j = search;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b':') || bytes.get(j + 1) != Some(&b':') {
+            continue;
+        }
+        j += 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if masked[j..].starts_with(path[1]) {
+            let end = j + path[1].len();
+            let boundary = bytes.get(end).is_none_or(|&b| !is_ident_byte(b));
+            if boundary {
+                return Some((pos, end));
+            }
+        }
+    }
+}
+
+/// If `masked[at..]` (after optional whitespace) opens a string literal,
+/// return its content length in bytes. `None` for non-literal arguments.
+fn string_literal_len(masked: &str, at: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let mut i = at;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let open = i;
+    let close = masked[open + 1..].find('"')? + open + 1;
+    Some(close - open - 1)
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads and OS entropy in library code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn jitter() -> u64 {
+    let _rng = thread_rng();
+    0
+}

@@ -1,0 +1,14 @@
+//! Fixture: HashMap in order-sensitive engine code must be flagged.
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_id: HashMap<u32, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<&String> {
+        // Iteration order here is randomized per process — the exact bug
+        // class that breaks byte-identical replay.
+        self.by_id.values().collect()
+    }
+}

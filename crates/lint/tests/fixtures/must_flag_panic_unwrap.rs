@@ -1,0 +1,13 @@
+//! Fixture: panic-hygiene violations.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    // Message too short to state an invariant.
+    *xs.get(1).expect("bad")
+}
+
+pub fn third() -> u32 {
+    panic!("boom");
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw dB/linear mixing.
+pub fn to_linear(snr_db: f64) -> f64 {
+    10f64.powf(snr_db / 10.0)
+}
+
+pub fn half_power(level_dbm: f64) -> f64 {
+    level_dbm / 2.0
+}

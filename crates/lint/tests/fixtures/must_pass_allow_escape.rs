@@ -1,0 +1,20 @@
+//! Fixture: every violation is waived by a reasoned allow directive.
+use std::collections::HashMap; // cellfi-lint: allow(determinism) — keyed lookups only, never iterated
+
+pub struct Cache {
+    // cellfi-lint: allow(determinism) — keyed lookups only, never iterated
+    inner: HashMap<u32, f64>,
+}
+
+impl Cache {
+    pub fn get(&self, k: u32) -> f64 {
+        // cellfi-lint: allow(panic) — fixture demonstrating the escape hatch
+        *self.inner.get(&k).unwrap()
+    }
+}
+
+pub fn voltage_ratio(gain_db: f64) -> f64 {
+    // cellfi-lint: allow(units) — amplitude conversion uses 10^(dB/20), a
+    // form the units newtypes deliberately do not offer
+    10f64.powf(gain_db / 20.0)
+}

@@ -1,0 +1,47 @@
+//! Fixture: idiomatic engine code that every rule accepts.
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    by_id: BTreeMap<u32, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<&String> {
+        self.by_id.values().collect()
+    }
+
+    pub fn first(&self) -> Option<&String> {
+        self.by_id.values().next()
+    }
+}
+
+pub fn combine_gains(a_db: f64, b_db: f64) -> f64 {
+    // Adding decibel gains is legal log-domain arithmetic.
+    a_db + b_db
+}
+
+pub fn amplitude(x: f64) -> f64 {
+    // powf with a non-10 base is not a dB conversion.
+    2f64.powf(x)
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn invariant(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap and use HashMap freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_is_fine_here() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(*m.get(&1).unwrap(), 2);
+    }
+}

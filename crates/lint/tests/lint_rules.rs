@@ -1,0 +1,341 @@
+//! The linter's own verification suite: inline must-flag / must-pass
+//! snippets per rule, on-disk fixtures, the allow-comment escape hatch,
+//! and the guarantee that `vendor/` (and test code generally) is never
+//! scanned.
+
+use cellfi_lint::report::Finding;
+use cellfi_lint::{lint_source, walk};
+use std::path::{Path, PathBuf};
+
+/// Lint a snippet as if it lived at an engine-crate library path.
+fn lint_core(src: &str) -> Vec<Finding> {
+    lint_source("crates/core/src/snippet.rs", src)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- rule D
+
+#[test]
+fn determinism_flags_hash_collections_in_engine_crates() {
+    let f = lint_core("use std::collections::HashMap;\n");
+    assert_eq!(rules(&f), ["determinism"], "{f:?}");
+    let f = lint_core("fn f(s: std::collections::HashSet<u32>) {}\n");
+    assert_eq!(rules(&f), ["determinism"], "{f:?}");
+}
+
+#[test]
+fn determinism_accepts_btree_collections() {
+    let f = lint_core("use std::collections::{BTreeMap, BTreeSet};\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn determinism_hash_rule_is_scoped_to_order_sensitive_crates() {
+    // propagation is not an engine-iteration crate; the collection rule
+    // does not apply there (the clock/entropy rule still does).
+    let f = lint_source(
+        "crates/propagation/src/snippet.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn determinism_flags_wall_clocks_and_entropy_everywhere_but_bins() {
+    for src in [
+        "fn t() { let _ = std::time::Instant::now(); }\n",
+        "fn t() { let _ = std::time::SystemTime::now(); }\n",
+        "fn t() { let _ = thread_rng(); }\n",
+        "fn t() { let _ = rand::rngs::StdRng::from_entropy(); }\n",
+    ] {
+        let f = lint_source("crates/types/src/snippet.rs", src);
+        assert_eq!(rules(&f), ["determinism"], "{src}: {f:?}");
+        let f = lint_source("crates/sim/src/bin/exp.rs", src);
+        assert!(f.is_empty(), "bins may read clocks: {src}: {f:?}");
+    }
+}
+
+#[test]
+fn determinism_accepts_simulation_time_instants() {
+    // cellfi_types::time::Instant has no now(); constructing and
+    // comparing sim-time instants must not be flagged.
+    let f = lint_core("fn t(i: Instant) -> u64 { i.as_micros() }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- rule P
+
+#[test]
+fn panic_flags_unwrap_expect_and_macros() {
+    let f = lint_core("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    assert_eq!(rules(&f), ["panic"], "{f:?}");
+    let f = lint_core("fn f(x: Option<u32>) -> u32 { x.expect(\"no\") }\n");
+    assert_eq!(rules(&f), ["panic"], "short expect message: {f:?}");
+    let f = lint_core("fn f() { panic!(\"boom\"); }\n");
+    assert_eq!(rules(&f), ["panic"], "{f:?}");
+    let f = lint_core("fn f() { todo!() }\n");
+    assert_eq!(rules(&f), ["panic"], "{f:?}");
+    let f = lint_core("fn f() { unimplemented!() }\n");
+    assert_eq!(rules(&f), ["panic"], "{f:?}");
+}
+
+#[test]
+fn panic_accepts_invariant_expects_and_non_panicking_unwraps() {
+    for src in [
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"grid rows are always square\") }\n",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n",
+    ] {
+        let f = lint_core(src);
+        assert!(f.is_empty(), "{src}: {f:?}");
+    }
+}
+
+#[test]
+fn panic_ignores_strings_comments_and_test_code() {
+    let f = lint_core("fn f() -> &'static str { \"do not panic!(now)\" }\n");
+    assert!(f.is_empty(), "string contents are opaque: {f:?}");
+    let f = lint_core("// a comment may say .unwrap() freely\nfn f() {}\n");
+    assert!(f.is_empty(), "comments are opaque: {f:?}");
+    let f = lint_core(
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n",
+    );
+    assert!(f.is_empty(), "test modules are exempt: {f:?}");
+    let f = lint_core("#[test]\nfn t() { None::<u32>.unwrap(); }\n");
+    assert!(f.is_empty(), "#[test] items are exempt: {f:?}");
+}
+
+#[test]
+fn panic_rule_skips_binaries() {
+    let f = lint_source(
+        "crates/sim/src/bin/exp.rs",
+        "fn main() { std::fs::read(\"x\").unwrap(); }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- rule U
+
+#[test]
+fn units_flags_raw_db_to_linear_conversions() {
+    for src in [
+        "fn f(x: f64) -> f64 { 10f64.powf(x / 10.0) }\n",
+        "fn f(x: f64) -> f64 { 10.0_f64.powf(x / 10.0) }\n",
+        "fn f(x: f64) -> f64 { 10_f64.powf(x / 20.0) }\n",
+    ] {
+        let f = lint_core(src);
+        assert_eq!(rules(&f), ["units"], "{src}: {f:?}");
+    }
+}
+
+#[test]
+fn units_accepts_non_decibel_powf_and_newtype_conversions() {
+    for src in [
+        "fn f(x: f64) -> f64 { 2f64.powf(x) }\n",
+        "fn f(x: f64) -> f64 { x.powf(2.0) }\n",
+        "fn f(d: Dbm) -> f64 { d.to_milliwatts().value() }\n",
+        "fn f(g: Db) -> f64 { g.to_linear() }\n",
+    ] {
+        let f = lint_core(src);
+        assert!(f.is_empty(), "{src}: {f:?}");
+    }
+}
+
+#[test]
+fn units_flags_scaling_of_decibel_bindings() {
+    let f = lint_core("fn f(snr_db: f64) -> f64 { snr_db * 2.0 }\n");
+    assert_eq!(rules(&f), ["units"], "{f:?}");
+    let f = lint_core("fn f(p_dbm: f64) -> f64 { p_dbm / 2.0 }\n");
+    assert_eq!(rules(&f), ["units"], "{f:?}");
+}
+
+#[test]
+fn units_accepts_additive_decibel_arithmetic() {
+    let f = lint_core("fn f(tx_dbm: f64, gain_db: f64) -> f64 { tx_dbm + gain_db }\n");
+    assert!(f.is_empty(), "{f:?}");
+    let f = lint_core("fn f(a_db: f64, b_db: f64) -> f64 { a_db - b_db }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn units_module_itself_is_exempt() {
+    let f = lint_source(
+        "crates/types/src/units.rs",
+        "pub fn to_linear(db: f64) -> f64 { 10f64.powf(db / 10.0) }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ------------------------------------------------------- allow directives
+
+#[test]
+fn allow_comment_suppresses_on_the_same_line() {
+    let f = lint_core(
+        "use std::collections::HashMap; // cellfi-lint: allow(determinism) — lookups only\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn allow_comment_suppresses_on_the_next_line() {
+    let f = lint_core(
+        "// cellfi-lint: allow(panic) — fixture-proven infallible\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn allow_without_reason_does_not_suppress() {
+    let f = lint_core("fn f(x: Option<u32>) -> u32 { x.unwrap() } // cellfi-lint: allow(panic)\n");
+    let r = rules(&f);
+    assert!(r.contains(&"panic"), "violation must survive: {f:?}");
+    assert!(
+        r.contains(&"lint-allow"),
+        "and the bare allow is flagged: {f:?}"
+    );
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let f = lint_core(
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // cellfi-lint: allow(units) — wrong rule\n",
+    );
+    let r = rules(&f);
+    assert!(r.contains(&"panic"), "{f:?}");
+    assert!(
+        r.contains(&"lint-allow"),
+        "unused allow(units) is flagged: {f:?}"
+    );
+}
+
+#[test]
+fn unknown_rule_and_unused_allow_are_flagged() {
+    let f = lint_core("fn f() {} // cellfi-lint: allow(sorcery) — hm\n");
+    assert_eq!(rules(&f), ["lint-allow"], "{f:?}");
+    let f = lint_core("fn f() {} // cellfi-lint: allow(panic) — nothing here panics\n");
+    assert_eq!(rules(&f), ["lint-allow"], "{f:?}");
+}
+
+// ---------------------------------------------------------------- fixtures
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Every `must_flag_<rule>_*.rs` fixture produces at least one finding of
+/// its named rule; every `must_pass_*.rs` fixture produces none.
+#[test]
+fn disk_fixtures_behave_as_named() {
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture names are UTF-8")
+            .to_owned();
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        // Fixtures are linted as engine-crate library code.
+        let findings = lint_core(&src);
+        if let Some(rest) = name.strip_prefix("must_flag_") {
+            let rule = rest.split('_').next().expect("fixture name carries a rule");
+            assert!(
+                findings.iter().any(|f| f.rule == rule),
+                "{name}: expected a `{rule}` finding, got {findings:?}"
+            );
+        } else if name.starts_with("must_pass_") {
+            assert!(
+                findings.is_empty(),
+                "{name}: expected clean, got {findings:?}"
+            );
+        } else {
+            panic!("fixture {name} must start with must_flag_ or must_pass_");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 6, "fixture sweep found only {checked} files");
+}
+
+// ------------------------------------------------------------- exclusions
+
+/// The workspace walker never descends into `vendor/`, `target/`, test
+/// trees, benches, examples, or the bench crate.
+#[test]
+fn vendor_and_test_trees_are_never_scanned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let files = walk::collect_files(&root).expect("workspace walk succeeds");
+    assert!(!files.is_empty());
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .expect("collected files live under the root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        for banned in [
+            "vendor/",
+            "target/",
+            "/tests/",
+            "/benches/",
+            "/examples/",
+            "crates/bench/",
+        ] {
+            assert!(
+                !rel.contains(banned),
+                "{rel} must not be scanned (matched {banned})"
+            );
+        }
+    }
+    // Spot-check that real engine files are in the scanned set.
+    let rels: Vec<String> = files
+        .iter()
+        .map(|f| {
+            f.strip_prefix(&root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    for expected in [
+        "crates/sim/src/lte_engine.rs",
+        "crates/spectrum/src/selection.rs",
+        "crates/types/src/units.rs",
+        "src/lib.rs",
+    ] {
+        assert!(
+            rels.iter().any(|r| r == expected),
+            "{expected} missing from scan"
+        );
+    }
+}
+
+/// The shipped workspace itself stays lint-clean: every remaining
+/// violation carries a reasoned allow, so the tier-1 gate holds.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let (findings, scanned) = cellfi_lint::lint_workspace(&root).expect("workspace lints");
+    assert!(
+        scanned > 50,
+        "expected to scan the whole workspace, got {scanned}"
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean: {findings:#?}"
+    );
+}

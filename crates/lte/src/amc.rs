@@ -274,9 +274,7 @@ mod tests {
     #[test]
     fn efficiency_matches_modulation_times_rate() {
         for e in T.entries() {
-            let expect = e.modulation.bits_per_symbol()
-                * f64::from(e.code_rate_x1024)
-                / 1024.0;
+            let expect = e.modulation.bits_per_symbol() * f64::from(e.code_rate_x1024) / 1024.0;
             assert!(
                 (e.efficiency - expect).abs() < 0.01,
                 "CQI {}: {} vs {}",

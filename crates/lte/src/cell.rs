@@ -152,10 +152,7 @@ impl Cell {
 
     /// Enqueue downlink data for a UE (bits).
     pub fn enqueue(&mut self, ue: UeId, bits: u64) {
-        assert!(
-            self.attached.contains(&ue),
-            "enqueue for unattached {ue}"
-        );
+        assert!(self.attached.contains(&ue), "enqueue for unattached {ue}");
         *self.queues.get_mut(&ue).expect("attached UEs have queues") += bits;
     }
 

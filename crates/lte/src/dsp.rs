@@ -18,7 +18,7 @@
 //! caches [`pow2_plan`] / [`bluestein_plan`] hand out shared plans per
 //! length so repeated detector construction never rebuilds them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A complex sample. Local minimal implementation — the workspace has no
@@ -48,19 +48,6 @@ impl Complex {
         Complex::new(self.re, -self.im)
     }
 
-    /// Product.
-    pub fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
-    }
-
-    /// Sum.
-    pub fn add(self, rhs: Complex) -> Complex {
-        Complex::new(self.re + rhs.re, self.im + rhs.im)
-    }
-
     /// Squared magnitude.
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
@@ -72,12 +59,33 @@ impl Complex {
     }
 }
 
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
 
 /// In-place iterative radix-2 Cooley–Tukey FFT. `data.len()` must be a
 /// power of two. `inverse` selects the IDFT (including the 1/N scale).
 pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -104,10 +112,10 @@ pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = data[start + k];
-                let v = data[start + k + len / 2].mul(w);
-                data[start + k] = u.add(v);
-                data[start + k + len / 2] = u.add(v.scale(-1.0));
-                w = w.mul(wlen);
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u + v.scale(-1.0);
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -137,11 +145,13 @@ pub struct Pow2Plan {
 impl Pow2Plan {
     /// Build a plan for a power-of-two length `n`.
     pub fn new(n: usize) -> Pow2Plan {
-        assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "radix-2 FFT needs a power of two, got {n}"
+        );
         let mut bitrev = vec![0u32; n];
         for i in 1..n {
-            bitrev[i] =
-                (bitrev[i >> 1] >> 1) | if i & 1 == 1 { (n >> 1) as u32 } else { 0 };
+            bitrev[i] = (bitrev[i >> 1] >> 1) | if i & 1 == 1 { (n >> 1) as u32 } else { 0 };
         }
         let twiddle = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
@@ -185,9 +195,9 @@ impl Pow2Plan {
                         w = w.conj();
                     }
                     let u = data[start + k];
-                    let v = data[start + k + half].mul(w);
-                    data[start + k] = u.add(v);
-                    data[start + k + half] = u.add(v.scale(-1.0));
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u + v.scale(-1.0);
                 }
             }
             len <<= 1;
@@ -203,7 +213,7 @@ impl Pow2Plan {
 
 /// Process-wide plan cache: one shared [`Pow2Plan`] per length.
 pub fn pow2_plan(n: usize) -> Arc<Pow2Plan> {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Pow2Plan>>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, Arc<Pow2Plan>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut map = cache.lock().expect("plan cache poisoned");
     Arc::clone(map.entry(n).or_insert_with(|| Arc::new(Pow2Plan::new(n))))
@@ -211,10 +221,13 @@ pub fn pow2_plan(n: usize) -> Arc<Pow2Plan> {
 
 /// Process-wide plan cache: one shared [`BluesteinPlan`] per length.
 pub fn bluestein_plan(n: usize) -> Arc<BluesteinPlan> {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<BluesteinPlan>>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, Arc<BluesteinPlan>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut map = cache.lock().expect("plan cache poisoned");
-    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(BluesteinPlan::new(n))))
+    Arc::clone(
+        map.entry(n)
+            .or_insert_with(|| Arc::new(BluesteinPlan::new(n))),
+    )
 }
 
 /// Precomputed Bluestein plan for DFTs of arbitrary length `n`.
@@ -297,22 +310,19 @@ impl BluesteinPlan {
             } else {
                 self.chirp[k]
             };
-            y[k] = input[k].mul(c);
+            y[k] = input[k] * c;
         }
         self.pow2.fft(&mut y, false);
         for (yk, fk) in y.iter_mut().zip(filter.iter()) {
-            *yk = yk.mul(*fk);
+            *yk = *yk * *fk;
         }
         self.pow2.fft(&mut y, true);
-        // Post-multiply by the same chirp factor and trim.
+        // Post-multiply by the same chirp factor and trim (the chirp
+        // table has length n, so the zip drops the padding tail of y).
         let mut out = Vec::with_capacity(self.n);
-        for k in 0..self.n {
-            let c = if pre_conj {
-                self.chirp[k].conj()
-            } else {
-                self.chirp[k]
-            };
-            out.push(y[k].mul(c));
+        for (yk, ck) in y.iter().zip(self.chirp.iter()) {
+            let c = if pre_conj { ck.conj() } else { *ck };
+            out.push(*yk * c);
         }
         if inverse {
             let scale = 1.0 / self.n as f64;
@@ -343,9 +353,13 @@ pub fn dft_naive(input: &[Complex], inverse: bool) -> Vec<Complex> {
         let mut acc = Complex::default();
         for (i, x) in input.iter().enumerate() {
             let ang = sign * 2.0 * std::f64::consts::PI * (k * i % n) as f64 / n as f64;
-            acc = acc.add(x.mul(Complex::cis(ang)));
+            acc = acc + *x * Complex::cis(ang);
         }
-        out.push(if inverse { acc.scale(1.0 / n as f64) } else { acc });
+        out.push(if inverse {
+            acc.scale(1.0 / n as f64)
+        } else {
+            acc
+        });
     }
     out
 }
@@ -366,9 +380,7 @@ mod tests {
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
         a.iter()
             .zip(b)
-            .map(|(x, y)| {
-                ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt()
-            })
+            .map(|(x, y)| ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt())
             .fold(0.0, f64::max)
     }
 

@@ -167,8 +167,8 @@ impl ResourceGrid {
         total: cellfi_types::units::Dbm,
         subchannel: SubchannelId,
     ) -> cellfi_types::units::Dbm {
-        let frac = f64::from(self.rb_count(subchannel))
-            / f64::from(self.bandwidth.resource_blocks());
+        let frac =
+            f64::from(self.rb_count(subchannel)) / f64::from(self.bandwidth.resource_blocks());
         total + cellfi_types::units::Db(10.0 * frac.log10())
     }
 }
@@ -230,14 +230,8 @@ mod tests {
     #[test]
     fn subchannel_bandwidth_is_rb_multiple() {
         let g = ResourceGrid::new(ChannelBandwidth::Mhz5);
-        assert_eq!(
-            g.subchannel_bandwidth(SubchannelId::new(0)).value(),
-            360e3
-        );
-        assert_eq!(
-            g.subchannel_bandwidth(SubchannelId::new(12)).value(),
-            180e3
-        );
+        assert_eq!(g.subchannel_bandwidth(SubchannelId::new(0)).value(), 360e3);
+        assert_eq!(g.subchannel_bandwidth(SubchannelId::new(12)).value(), 180e3);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub fn awgn_channel<R: Rng>(
         .map(|i| {
             let s = tx[(i + time_offset) % n];
             let (g1, g2) = gaussian_pair(rng);
-            s.add(Complex::new(g1 * sigma, g2 * sigma))
+            s + Complex::new(g1 * sigma, g2 * sigma)
         })
         .collect()
 }
@@ -183,7 +183,7 @@ impl PrachDetector {
         }
         self.plan.fft(&mut y, false);
         for (a, b) in y.iter_mut().zip(&self.kernel_fft) {
-            *a = a.mul(*b);
+            *a = *a * *b;
         }
         self.plan.fft(&mut y, true);
         y[N_ZC - 1..2 * N_ZC - 1]
@@ -201,7 +201,7 @@ impl PrachDetector {
         for (s, p) in profile.iter_mut().enumerate() {
             let mut acc = Complex::default();
             for i in 0..n {
-                acc = acc.add(rx[(i + s) % n].mul(self.root_conj[i]));
+                acc = acc + rx[(i + s) % n] * self.root_conj[i];
             }
             *p = acc.norm_sq();
         }
@@ -271,7 +271,7 @@ mod tests {
         for lag in [1usize, 7, 100, 418] {
             let mut acc = Complex::default();
             for n in 0..N_ZC {
-                acc = acc.add(root[(n + lag) % N_ZC].mul(root[n].conj()));
+                acc = acc + root[(n + lag) % N_ZC] * root[n].conj();
             }
             assert!(
                 acc.norm_sq() < 1e-12 * (N_ZC as f64).powi(2),

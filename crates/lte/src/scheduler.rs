@@ -15,7 +15,7 @@
 //! subchannel during the last epoch, §5.3).
 
 use cellfi_types::{SubchannelId, UeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Scheduler discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +67,7 @@ impl Allocation {
 pub struct Scheduler {
     kind: SchedulerKind,
     /// EWMA of served rate per UE (bits/subframe), the PF denominator.
-    avg_rate: HashMap<UeId, f64>,
+    avg_rate: BTreeMap<UeId, f64>,
     /// EWMA smoothing factor (standard PF window ≈ 100 subframes).
     alpha: f64,
     /// Round-robin pointer.
@@ -79,7 +79,7 @@ impl Scheduler {
     pub fn new(kind: SchedulerKind) -> Scheduler {
         Scheduler {
             kind,
-            avg_rate: HashMap::new(),
+            avg_rate: BTreeMap::new(),
             alpha: 0.01,
             rr_next: 0,
         }
@@ -126,7 +126,7 @@ impl Scheduler {
                         }
                         let avg = self.avg_rate.get(&d.ue).copied().unwrap_or(1.0).max(1.0);
                         let metric = rate / avg;
-                        if best.map_or(true, |(_, m)| metric > m) {
+                        if best.is_none_or(|(_, m)| metric > m) {
                             best = Some((i, metric));
                         }
                     }

@@ -131,8 +131,15 @@ impl Ue {
     }
 
     /// Finish attachment.
+    ///
+    /// # Panics
+    /// If the UE is not in `Connecting`: the RRC state machine makes
+    /// that transition impossible, so reaching it is engine corruption.
     pub fn attach_complete(&mut self) {
         let RrcState::Connecting { cell, .. } = self.state else {
+            // cellfi-lint: allow(panic) — RRC contract violation is a
+            // programming error; silently ignoring it would let a UE
+            // "connect" to a cell it never set up with.
             panic!("attach_complete outside Connecting");
         };
         self.state = RrcState::Connected { cell };
@@ -150,8 +157,7 @@ impl Ue {
     pub fn may_transmit(&self, sib: Option<&SystemInformation>, power: Dbm) -> bool {
         match (self.state, sib) {
             (RrcState::Connected { .. }, Some(sib)) => {
-                power.value() <= self.max_tx_power.value()
-                    && sib.permits_uplink(sib.uplink, power)
+                power.value() <= self.max_tx_power.value() && sib.permits_uplink(sib.uplink, power)
             }
             _ => false,
         }
@@ -164,11 +170,7 @@ mod tests {
     use crate::earfcn::{Band, Earfcn};
 
     fn sib() -> SystemInformation {
-        SystemInformation::tdd(
-            Instant::ZERO,
-            Earfcn::new(Band::Tvws, 100_500),
-            Dbm(20.0),
-        )
+        SystemInformation::tdd(Instant::ZERO, Earfcn::new(Band::Tvws, 100_500), Dbm(20.0))
     }
 
     fn connected_ue() -> Ue {

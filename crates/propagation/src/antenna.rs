@@ -61,8 +61,7 @@ impl Antenna {
                 let theta = wrap_angle(bearing - boresight);
                 // 12·(θ/θ3dB)² with θ3dB = beamwidth; at θ = ±beamwidth/2
                 // the attenuation is exactly 3 dB.
-                let attenuation =
-                    (12.0 * (theta / beamwidth).powi(2)).min(front_to_back.value());
+                let attenuation = (12.0 * (theta / beamwidth).powi(2)).min(front_to_back.value());
                 gain - Db(attenuation)
             }
         }

@@ -119,13 +119,7 @@ impl RadioEnvironment {
 
     /// Mean SNR (no fading, no interference) — the quantity the paper's
     /// Fig 2 equalizes between the 802.11ac and 802.11af scenarios.
-    pub fn mean_snr(
-        &self,
-        tx: &LinkEnd,
-        tx_power: Dbm,
-        rx: &LinkEnd,
-        bandwidth: Hertz,
-    ) -> Db {
+    pub fn mean_snr(&self, tx: &LinkEnd, tx_power: Dbm, rx: &LinkEnd, bandwidth: Hertz) -> Db {
         self.mean_rx_power(tx, tx_power, rx) - self.noise.floor(bandwidth)
     }
 
@@ -172,11 +166,8 @@ mod tests {
         let ap = ap_at(0, 0.0, 0.0);
         let ue = ue_at(1, 500.0, 0.0);
         let rx = env.mean_rx_power(&ap, Dbm(29.0), &ue);
-        let expected = 29.0 + 6.0 + 0.0
-            - env
-                .pathloss
-                .path_loss(env.frequency, Meters(500.0))
-                .value();
+        let expected =
+            29.0 + 6.0 + 0.0 - env.pathloss.path_loss(env.frequency, Meters(500.0)).value();
         assert!((rx.value() - expected).abs() < 1e-9, "rx {rx}");
     }
 

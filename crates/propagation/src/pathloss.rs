@@ -85,6 +85,9 @@ impl PathLossModel {
         match *self {
             PathLossModel::FreeSpace => {
                 let d = C / (4.0 * std::f64::consts::PI * freq.value())
+                    // cellfi-lint: allow(units) — inverse free-space solve:
+                    // 10^(L/20) is an amplitude (distance) factor, not a
+                    // dB→power conversion, so no units helper applies.
                     * 10f64.powf(target.value() / 20.0);
                 (d > 0.0).then_some(Meters(d))
             }
@@ -97,6 +100,9 @@ impl PathLossModel {
                     return None;
                 }
                 let d = reference.value()
+                    // cellfi-lint: allow(units) — closed-form inversion of
+                    // 10·n·log10(d/d0): the exponent-scaled power is a
+                    // distance ratio, not a dB→power conversion.
                     * 10f64.powf((target.value() - base.value()) / (10.0 * exponent));
                 Some(Meters(d))
             }
@@ -183,7 +189,9 @@ mod tests {
         let models = [
             PathLossModel::FreeSpace,
             PathLossModel::tvws_urban(),
-            PathLossModel::IndoorOffice { wall_loss: Db(10.0) },
+            PathLossModel::IndoorOffice {
+                wall_loss: Db(10.0),
+            },
         ];
         for m in models {
             let d0 = Meters(400.0);
@@ -208,7 +216,9 @@ mod tests {
     fn indoor_lossier_than_urban_at_same_distance() {
         // Fig 2 setup: the home-Wi-Fi network has worse propagation, so its
         // range shrinks relative to outdoor TVWS at equal loss budget.
-        let indoor = PathLossModel::IndoorOffice { wall_loss: Db(10.0) };
+        let indoor = PathLossModel::IndoorOffice {
+            wall_loss: Db(10.0),
+        };
         let urban = PathLossModel::tvws_urban();
         let d = Meters(150.0);
         assert!(indoor.path_loss(F700, d).value() > urban.path_loss(F700, d).value());

@@ -113,8 +113,7 @@ mod tests {
             .map(|i| f.link_shadow(i, i + 100_000).value())
             .collect();
         let mean = samples.iter().sum::<f64>() / f64::from(n);
-        let var =
-            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / f64::from(n - 1);
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / f64::from(n - 1);
         assert!(mean.abs() < 0.3, "mean {mean} too far from 0");
         assert!(
             (var.sqrt() - 6.0).abs() < 0.3,

@@ -1,3 +1,5 @@
+//! Debug harness: prints per-client web-workload progress over a short run.
+
 use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi_sim::topology::{Scenario, ScenarioConfig};
 use cellfi_sim::workload::{WebWorkload, WebWorkloadConfig};
@@ -9,7 +11,11 @@ fn main() {
     let scenario = Scenario::generate(ScenarioConfig::paper_default(14, 6), seeds);
     let n = scenario.n_ues();
     let assoc = scenario.assoc.clone();
-    let mut e = LteEngine::new(scenario, LteEngineConfig::paper_default(ImMode::CellFi), seeds.child("cellfi"));
+    let mut e = LteEngine::new(
+        scenario,
+        LteEngineConfig::paper_default(ImMode::CellFi),
+        seeds.child("cellfi"),
+    );
     let mut web = WebWorkload::new(WebWorkloadConfig::default(), n, seeds.child("web"));
     let mut bit_acc = vec![0u64; n];
     let mut handed = vec![0u64; n];
@@ -34,11 +40,23 @@ fn main() {
             let p = &web.completed[logged];
             let (t0, bytes, mask0) = page_start[p.client].unwrap();
             let mask_now = e.cell_mask(assoc[p.client]).iter().filter(|&&b| b).count();
-            println!("t={:6.1} ue{:3} cell{:2} page {:7}B load {:5.2}s mask {}->{} eff {:.0} kbps",
-                t0, p.client, assoc[p.client], bytes, p.duration().as_secs_f64(), mask0, mask_now,
-                bytes as f64 * 8.0 / p.duration().as_secs_f64().max(1e-9) / 1e3);
+            println!(
+                "t={:6.1} ue{:3} cell{:2} page {:7}B load {:5.2}s mask {}->{} eff {:.0} kbps",
+                t0,
+                p.client,
+                assoc[p.client],
+                bytes,
+                p.duration().as_secs_f64(),
+                mask0,
+                mask_now,
+                bytes as f64 * 8.0 / p.duration().as_secs_f64().max(1e-9) / 1e3
+            );
             logged += 1;
         }
     }
-    println!("completed {} outstanding {}", web.completed.len(), web.outstanding());
+    println!(
+        "completed {} outstanding {}",
+        web.completed.len(),
+        web.outstanding()
+    );
 }

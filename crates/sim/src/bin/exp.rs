@@ -43,9 +43,7 @@ fn engine_subframes_per_sec(seed: u64) -> f64 {
 /// PRACH detector line-rate factor: how many 800 µs occasions one core
 /// clears per occasion time (paper: 16× on an i7).
 fn prach_line_rate_factor(seed: u64) -> f64 {
-    use cellfi_lte::prach::{
-        awgn_channel, preamble, zc_root, PrachDetector, PREAMBLE_DURATION_US,
-    };
+    use cellfi_lte::prach::{awgn_channel, preamble, zc_root, PrachDetector, PREAMBLE_DURATION_US};
     use cellfi_types::units::Db;
     use rand::SeedableRng;
     let det = PrachDetector::new(129);
@@ -85,8 +83,7 @@ fn write_bench(timed: &[(experiments::ExpReport, f64)], config: ExpConfig) {
         "prach_line_rate_factor".to_owned(),
         Value::Number(prach_line_rate_factor(config.seed)),
     );
-    let json = serde_json::to_string_pretty(&Value::Object(root))
-        .expect("bench report serializes");
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("bench report serializes");
     match std::fs::write("BENCH_engine.json", json + "\n") {
         Ok(()) => eprintln!("wrote BENCH_engine.json"),
         Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),

@@ -140,8 +140,7 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
                 name: v.name,
                 median_bps: cdf.median(),
                 starved: starved_fraction(&tputs, 10_000.0),
-                hops_per_ap_min: hops as f64 / ap_count as f64
-                    / (horizon_s as f64 / 60.0),
+                hops_per_ap_min: hops as f64 / ap_count as f64 / (horizon_s as f64 / 60.0),
             }
         })
         .collect()
@@ -162,10 +161,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
             ]
         })
         .collect();
-    rep.text = table(
-        &["variant", "median tput", "starved", "hops/AP/min"],
-        &rows,
-    );
+    rep.text = table(&["variant", "median tput", "starved", "hops/AP/min"], &rows);
     for o in &outcomes {
         let key: String = o
             .name

@@ -71,10 +71,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
             vec!["APs observed".into(), total_aps.to_string()],
             vec!["median hops per AP".into(), median.to_string()],
             vec!["max hops per AP".into(), max.to_string()],
-            vec![
-                "APs with few hops".into(),
-                format!("{:.0}%", few * 100.0),
-            ],
+            vec!["APs with few hops".into(), format!("{:.0}%", few * 100.0)],
             vec![
                 "non-converged APs".into(),
                 format!("{:.1}% (paper: 1-2%)", frac_nc * 100.0),

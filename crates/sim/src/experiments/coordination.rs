@@ -52,8 +52,7 @@ pub fn run_matrix(config: ExpConfig) -> Vec<ModeOutcome> {
                 let seeds = SeedSeq::new(config.seed)
                     .child("coordination")
                     .child(&format!("topo{t}"));
-                let scenario =
-                    Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
+                let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
                 let mut e = LteEngine::new(
                     scenario,
                     LteEngineConfig::paper_default(mode),
@@ -75,9 +74,7 @@ pub fn run_matrix(config: ExpConfig) -> Vec<ModeOutcome> {
             ModeOutcome {
                 name,
                 tputs,
-                x2_rate: msgs as f64
-                    / (topos * n_aps) as f64
-                    / horizon_s as f64,
+                x2_rate: msgs as f64 / (topos * n_aps) as f64 / horizon_s as f64,
             }
         })
         .collect()
@@ -99,10 +96,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
             ]
         })
         .collect();
-    rep.text = table(
-        &["system", "median tput", "starved", "X2 msgs/AP/s"],
-        &rows,
-    );
+    rep.text = table(&["system", "median tput", "starved", "X2 msgs/AP/s"], &rows);
     let median = |i: usize| Cdf::new(outcomes[i].tputs.clone()).median();
     rep.text.push_str(&format!(
         "\nCellFi reaches {:.0}% of explicit X2 coordination's median and {:.0}% of \
@@ -116,10 +110,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
     rep.record("median_x2", median(1));
     rep.record("median_oracle", median(2));
     rep.record("x2_msgs_per_ap_s", outcomes[1].x2_rate);
-    rep.record(
-        "cellfi_vs_x2",
-        median(0) / median(1).max(1.0),
-    );
+    rep.record("cellfi_vs_x2", median(0) / median(1).max(1.0));
     rep
 }
 

@@ -93,8 +93,7 @@ fn measure_location(
                 let p = env.rx_power(ap, sc_power, &ue, s, now);
                 sinrs.push(p - env.noise.floor(grid.subchannel_bandwidth(s)));
             }
-            let mean_linear =
-                sinrs.iter().map(|s| s.to_linear()).sum::<f64>() / sinrs.len() as f64;
+            let mean_linear = sinrs.iter().map(|s| s.to_linear()).sum::<f64>() / sinrs.len() as f64;
             let eff_sinr = Db(10.0 * mean_linear.max(1e-12).log10());
             // Outer-loop link adaptation runs slightly hot (a +1.5 dB
             // offset), trusting HARQ to mop up the ~10–30 % first-attempt
@@ -169,11 +168,7 @@ pub fn drive_test(config: ExpConfig) -> Vec<DrivePoint> {
         frequency: cellfi_types::units::Hertz(700e6),
     };
     // 30 dBm + 6 dBi isotropic = the paper's 36 dBm EIRP.
-    let ap = LinkEnd::new(
-        0,
-        Point::ORIGIN,
-        Antenna::Isotropic { gain: Db(6.0) },
-    );
+    let ap = LinkEnd::new(0, Point::ORIGIN, Antenna::Isotropic { gain: Db(6.0) });
     let step = if config.quick { 150 } else { 25 };
     let duration = Duration::from_secs(if config.quick { 1 } else { 2 });
     (1..=(1_400 / step))
@@ -195,11 +190,8 @@ pub fn run_a(config: ExpConfig) -> ExpReport {
         })
         .collect();
     rep.text = table(&["distance (m)", "TCP throughput (Mbps)"], &rows);
-    let above_1m = points
-        .iter()
-        .filter(|p| p.dl_tcp_bps >= 1e6)
-        .count() as f64
-        / points.len() as f64;
+    let above_1m =
+        points.iter().filter(|p| p.dl_tcp_bps >= 1e6).count() as f64 / points.len() as f64;
     let range_1mbps = points
         .iter()
         .filter(|p| p.dl_tcp_bps >= 1e6)
@@ -224,8 +216,14 @@ pub fn run_a(config: ExpConfig) -> ExpReport {
 pub fn run_b(config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("fig1b");
     let points = drive_test(config);
-    let dl: Vec<f64> = points.iter().flat_map(|p| p.dl_code_rates.clone()).collect();
-    let ul: Vec<f64> = points.iter().flat_map(|p| p.ul_code_rates.clone()).collect();
+    let dl: Vec<f64> = points
+        .iter()
+        .flat_map(|p| p.dl_code_rates.clone())
+        .collect();
+    let ul: Vec<f64> = points
+        .iter()
+        .flat_map(|p| p.ul_code_rates.clone())
+        .collect();
     let dl_cdf = Cdf::new(dl);
     let ul_cdf = Cdf::new(ul);
     rep.text = cdf_plot(
@@ -244,8 +242,10 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
     // HARQ usage beyond 500 m (paper: 25 %).
     let far: Vec<&DrivePoint> = points.iter().filter(|p| p.distance > 500.0).collect();
     let harq = far.iter().map(|p| p.harq_usage).sum::<f64>() / far.len().max(1) as f64;
-    rep.text
-        .push_str(&format!("HARQ usage beyond 500 m: {:.0}% (paper: 25%).\n", harq * 100.0));
+    rep.text.push_str(&format!(
+        "HARQ usage beyond 500 m: {:.0}% (paper: 25%).\n",
+        harq * 100.0
+    ));
     rep.record("median_dl_code_rate", dl_cdf.median());
     rep.record("median_ul_code_rate", ul_cdf.median());
     rep.record("harq_usage_beyond_500m", harq);

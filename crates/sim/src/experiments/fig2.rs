@@ -68,7 +68,9 @@ pub fn run(config: ExpConfig) -> ExpReport {
         // the *per-link mean SNR matches* the outdoor case (checked in
         // tests), isolating the MAC-vs-range interaction.
         let mut indoor = shrink_cells(&outdoor, 1.0 / 7.0);
-        indoor.env.pathloss = PathLossModel::IndoorOffice { wall_loss: Db(10.0) };
+        indoor.env.pathloss = PathLossModel::IndoorOffice {
+            wall_loss: Db(10.0),
+        };
         indoor.env.shadowing = Shadowing::disabled(run_seeds.child("ind-shadow"));
         indoor.env.fading = BlockFading::pedestrian(run_seeds.child("ind-fading"));
         indoor.env.noise = NoiseModel::typical();
@@ -157,7 +159,9 @@ mod tests {
         cfg.shadowing_sigma = 0.0;
         let outdoor = Scenario::generate(cfg, seeds);
         let mut indoor = shrink_cells(&outdoor, 1.0 / 7.0);
-        indoor.env.pathloss = PathLossModel::IndoorOffice { wall_loss: Db(10.0) };
+        indoor.env.pathloss = PathLossModel::IndoorOffice {
+            wall_loss: Db(10.0),
+        };
         indoor.env.frequency = Hertz(5.2e9);
         let bw = Hertz::from_mhz(20.0);
         let mut diffs = Vec::new();

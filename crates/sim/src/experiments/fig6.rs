@@ -52,10 +52,15 @@ pub fn timeline() -> Vec<Event> {
     // Bootstrap: grant, operate, attach (before the recorded window).
     client.refresh(&db, Instant::ZERO);
     let channel = client.grants()[0].channel;
-    client.start_operation(&mut db, channel, 36.0, Instant::ZERO);
+    client
+        .start_operation(&mut db, channel, 36.0, Instant::ZERO)
+        .expect("bootstrap channel comes straight from the grant list");
     let carrier = Earfcn::from_frequency(
         Band::Tvws,
-        ChannelPlan::Eu.channel(channel.0).expect("granted").centre,
+        ChannelPlan::Eu
+            .channel(channel.0)
+            .expect("granted channels are always in the plan")
+            .centre,
     );
     cell.set_carrier(carrier, Dbm(20.0), Instant::ZERO);
     ue.cell_found(ApId::new(0), Instant::ZERO);
@@ -108,16 +113,20 @@ pub fn timeline() -> Vec<Event> {
                     what: "AP radio off; client transmissions stop".into(),
                 });
             }
-            ClientState::Idle if client.grants().iter().any(|g| g.channel == channel) => {
-                if reboot_done.is_none() && !cell.radio_on() {
-                    // Channel is back: start the (slow) reboot.
-                    client.start_operation(&mut db, channel, 36.0, t);
-                    reboot_done = Some(t + AP_REBOOT);
-                    events.push(Event {
-                        at: t,
-                        what: format!("{channel} reinstated; AP reboot started"),
-                    });
-                }
+            ClientState::Idle
+                if client.grants().iter().any(|g| g.channel == channel)
+                    && reboot_done.is_none()
+                    && !cell.radio_on() =>
+            {
+                // Channel is back: start the (slow) reboot.
+                client
+                    .start_operation(&mut db, channel, 36.0, t)
+                    .expect("reacquired channel comes straight from the grant list");
+                reboot_done = Some(t + AP_REBOOT);
+                events.push(Event {
+                    at: t,
+                    what: format!("{channel} reinstated; AP reboot started"),
+                });
             }
             _ => {}
         }
@@ -205,7 +214,11 @@ mod tests {
     #[test]
     fn reboot_and_reconnect_match_paper_timings() {
         let r = run(ExpConfig::default());
-        assert!((r.values["reboot_s"] - 96.0).abs() <= 4.0, "{}", r.values["reboot_s"]);
+        assert!(
+            (r.values["reboot_s"] - 96.0).abs() <= 4.0,
+            "{}",
+            r.values["reboot_s"]
+        );
         assert!(
             (r.values["reconnect_s"] - 56.0).abs() <= 4.0,
             "{}",

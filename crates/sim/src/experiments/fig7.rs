@@ -87,8 +87,8 @@ pub fn walk(config: ExpConfig) -> Vec<PathPoint> {
             let clean = goodput(&table, snr, snr);
             // Signalling-only: control REs of the idle neighbour hit
             // IDLE_CELL_ACTIVITY of symbols at full power.
-            let signalling =
-                (1.0 - IDLE_CELL_ACTIVITY) * clean + IDLE_CELL_ACTIVITY * goodput(&table, snr, sinr);
+            let signalling = (1.0 - IDLE_CELL_ACTIVITY) * clean
+                + IDLE_CELL_ACTIVITY * goodput(&table, snr, sinr);
             // Full: every symbol interfered; the radio adapts to the
             // interfered quality. Below the disconnect threshold the
             // paper observed session loss.
@@ -127,7 +127,12 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
         .collect();
     rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
     rep.text = table(
-        &["RSSI (dBm)", "SINR (dB)", "clean (b/sym)", "signalling (b/sym)"],
+        &[
+            "RSSI (dBm)",
+            "SINR (dB)",
+            "clean (b/sym)",
+            "signalling (b/sym)",
+        ],
         &rows,
     );
     // Worst-case relative loss from signalling interference.
@@ -154,11 +159,14 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
     rep.text = cdf_plot(
         "Fig 7(c): goodput CDF at SINR < 10 dB",
         "goodput (bit/symbol)",
-        &[("full interference", &full), ("signalling only", &signalling)],
+        &[
+            ("full interference", &full),
+            ("signalling only", &signalling),
+        ],
         60,
     );
-    let disconnects = low.iter().filter(|p| p.full.is_none()).count() as f64
-        / low.len().max(1) as f64;
+    let disconnects =
+        low.iter().filter(|p| p.full.is_none()).count() as f64 / low.len().max(1) as f64;
     // The paper reports the throughput reduction ("as much as 50%") and
     // the disconnections separately, so the loss statistic is over the
     // points that stay connected.
@@ -197,7 +205,10 @@ mod tests {
     #[test]
     fn path_sweeps_wide_sinr_range() {
         let pts = walk(quick());
-        let min = pts.iter().map(|p| p.sinr.value()).fold(f64::INFINITY, f64::min);
+        let min = pts
+            .iter()
+            .map(|p| p.sinr.value())
+            .fold(f64::INFINITY, f64::min);
         let max = pts
             .iter()
             .map(|p| p.sinr.value())

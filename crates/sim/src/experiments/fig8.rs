@@ -55,8 +55,20 @@ pub fn run_timeline(config: ExpConfig) -> Vec<Sample> {
         noise: NoiseModel::typical(),
         frequency: Hertz(700e6),
     };
-    let serving = LinkEnd::new(0, Point::ORIGIN, Antenna::Isotropic { gain: cellfi_types::units::Db(6.0) });
-    let interferer = LinkEnd::new(1, Point::new(400.0, 50.0), Antenna::Isotropic { gain: cellfi_types::units::Db(6.0) });
+    let serving = LinkEnd::new(
+        0,
+        Point::ORIGIN,
+        Antenna::Isotropic {
+            gain: cellfi_types::units::Db(6.0),
+        },
+    );
+    let interferer = LinkEnd::new(
+        1,
+        Point::new(400.0, 50.0),
+        Antenna::Isotropic {
+            gain: cellfi_types::units::Db(6.0),
+        },
+    );
     let ue = LinkEnd::new(1_000, Point::new(200.0, 0.0), Antenna::client());
     let grid = ResourceGrid::new(ChannelBandwidth::Mhz5);
     let table = CqiTable;
@@ -112,8 +124,15 @@ pub fn run_timeline(config: ExpConfig) -> Vec<Sample> {
                         power: i.power + scale,
                     })
                     .collect();
-                env.subchannel_sinr(&serving_sc, &ue, &interferers_sc, s, t, grid.subchannel_bandwidth(s))
-                    .to_linear()
+                env.subchannel_sinr(
+                    &serving_sc,
+                    &ue,
+                    &interferers_sc,
+                    s,
+                    t,
+                    grid.subchannel_bandwidth(s),
+                )
+                .to_linear()
             })
             .sum::<f64>()
             / f64::from(grid.num_subchannels());
@@ -176,19 +195,16 @@ pub fn run(config: ExpConfig) -> ExpReport {
         .iter()
         .filter(|s| (1.3..2.4).contains(&s.at.as_secs_f64()))
         .collect();
-    let off: Vec<&Sample> = samples
-        .iter()
-        .filter(|s| !s.interferer_on)
-        .collect();
+    let off: Vec<&Sample> = samples.iter().filter(|s| !s.interferer_on).collect();
     let faded: Vec<&Sample> = samples
         .iter()
         .filter(|s| s.at.as_secs_f64() >= 3.7)
         .collect();
-    let detection = strong_on.iter().filter(|s| s.detected).count() as f64
-        / strong_on.len().max(1) as f64;
+    let detection =
+        strong_on.iter().filter(|s| s.detected).count() as f64 / strong_on.len().max(1) as f64;
     let false_pos = off.iter().filter(|s| s.detected).count() as f64 / off.len().max(1) as f64;
-    let faded_tput = faded.iter().map(|s| s.throughput_mbps).sum::<f64>()
-        / faded.len().max(1) as f64;
+    let faded_tput =
+        faded.iter().map(|s| s.throughput_mbps).sum::<f64>() / faded.len().max(1) as f64;
     let off_tput = off.iter().map(|s| s.throughput_mbps).sum::<f64>() / off.len().max(1) as f64;
 
     rep.text.push_str(&format!(

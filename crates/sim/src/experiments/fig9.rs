@@ -106,10 +106,8 @@ pub fn run_systems(
         let seeds = SeedSeq::new(master_seed)
             .child("fig9")
             .child(&format!("topo-{n_aps}-{clients_per_ap}-{t}"));
-        let scenario = Scenario::generate(
-            ScenarioConfig::paper_default(n_aps, clients_per_ap),
-            seeds,
-        );
+        let scenario =
+            Scenario::generate(ScenarioConfig::paper_default(n_aps, clients_per_ap), seeds);
         let wifi = wifi_throughputs(&scenario, seeds.child("wifi"), warmup, horizon);
         let lte = lte_throughputs(
             &scenario,
@@ -156,17 +154,17 @@ pub fn run_systems(
 /// Fig 9(a): coverage vs density.
 pub fn run_a(config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("fig9a");
-    let (densities, topos, warmup, horizon): (&[usize], usize, Duration, Instant) =
-        if config.quick {
-            (&[6, 10], 1, Duration::from_secs(3), Instant::from_secs(7))
-        } else {
-            (
-                &[6, 8, 10, 12, 14],
-                8,
-                Duration::from_secs(20),
-                Instant::from_secs(30),
-            )
-        };
+    let (densities, topos, warmup, horizon): (&[usize], usize, Duration, Instant) = if config.quick
+    {
+        (&[6, 10], 1, Duration::from_secs(3), Instant::from_secs(7))
+    } else {
+        (
+            &[6, 8, 10, 12, 14],
+            8,
+            Duration::from_secs(20),
+            Instant::from_secs(30),
+        )
+    };
     let mut rows = Vec::new();
     let mut last = None;
     for &n_aps in densities {
@@ -174,18 +172,10 @@ pub fn run_a(config: ExpConfig) -> ExpReport {
         let w = coverage_fraction(&run.wifi, CONNECT_THRESHOLD_BPS);
         let l = coverage_fraction(&run.lte, CONNECT_THRESHOLD_BPS);
         let c = coverage_fraction(&run.cellfi, CONNECT_THRESHOLD_BPS);
-        rows.push(vec![
-            n_aps.to_string(),
-            fmt_pct(w),
-            fmt_pct(l),
-            fmt_pct(c),
-        ]);
+        rows.push(vec![n_aps.to_string(), fmt_pct(w), fmt_pct(l), fmt_pct(c)]);
         last = Some((w, l, c));
     }
-    rep.text = table(
-        &["APs", "802.11af", "LTE", "CellFi"],
-        &rows,
-    );
+    rep.text = table(&["APs", "802.11af", "LTE", "CellFi"], &rows);
     let (w, l, c) = last.expect("at least one density");
     rep.text.push_str(&format!(
         "\nAt the densest point: CellFi {} vs LTE {} vs 802.11af {} — gains of \
@@ -307,7 +297,11 @@ fn lte_page_loads(
         LteEngineConfig::paper_default(mode),
         seeds,
     );
-    let mut web = WebWorkload::new(WebWorkloadConfig::default(), scenario.n_ues(), seeds.child("web"));
+    let mut web = WebWorkload::new(
+        WebWorkloadConfig::default(),
+        scenario.n_ues(),
+        seeds.child("web"),
+    );
     // Accumulate bits and hand whole bytes to the workload; per-delivery
     // truncation would leak a few bits per subframe and pages would never
     // quite complete.
@@ -347,7 +341,11 @@ fn wifi_page_loads(scenario: &Scenario, seeds: SeedSeq, horizon: Instant) -> (Ve
         ..WifiConfig::af_default()
     };
     let mut e = WifiEngine::new(scenario, cfg, seeds);
-    let mut web = WebWorkload::new(WebWorkloadConfig::default(), scenario.n_ues(), seeds.child("web"));
+    let mut web = WebWorkload::new(
+        WebWorkloadConfig::default(),
+        scenario.n_ues(),
+        seeds.child("web"),
+    );
     let mut t = Instant::ZERO;
     let tick = Duration::from_millis(10);
     let mut last_delivered = vec![0u64; scenario.n_ues()];
@@ -357,11 +355,11 @@ fn wifi_page_loads(scenario: &Scenario, seeds: SeedSeq, horizon: Instant) -> (Ve
         }
         t += tick;
         e.run_until(t);
-        for u in 0..scenario.n_ues() {
+        for (u, last) in last_delivered.iter_mut().enumerate() {
             let d = e.delivered_bytes()[u];
-            if d > last_delivered[u] {
-                web.delivered(u, d - last_delivered[u], t);
-                last_delivered[u] = d;
+            if d > *last {
+                web.delivered(u, d - *last, t);
+                *last = d;
             }
         }
     }
@@ -401,8 +399,7 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
         let seeds = SeedSeq::new(config.seed)
             .child("fig9c")
             .child(&format!("topo{t}"));
-        let scenario =
-            Scenario::generate(ScenarioConfig::paper_default(n_aps, clients), seeds);
+        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, clients), seeds);
         (
             wifi_page_loads(&scenario, seeds.child("wifi"), horizon),
             lte_page_loads(&scenario, ImMode::PlainLte, seeds.child("lte"), horizon),

@@ -63,7 +63,9 @@ pub fn run(config: ExpConfig) -> ExpReport {
         ("CellFi", ImMode::CellFi, Vec::new()),
     ];
     for t in 0..topos {
-        let seeds = SeedSeq::new(config.seed).child("laa").child(&format!("topo{t}"));
+        let seeds = SeedSeq::new(config.seed)
+            .child("laa")
+            .child(&format!("topo{t}"));
         let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
         for (name, mode, acc) in by_mode.iter_mut() {
             acc.extend(throughputs(
@@ -103,14 +105,8 @@ pub fn run(config: ExpConfig) -> ExpReport {
     rep.record("median_cellfi", median(2));
     rep.record("mean_laa", mean(1));
     rep.record("mean_cellfi", mean(2));
-    rep.record(
-        "starved_laa",
-        starved_fraction(&by_mode[1].2, 1_000.0),
-    );
-    rep.record(
-        "starved_cellfi",
-        starved_fraction(&by_mode[2].2, 1_000.0),
-    );
+    rep.record("starved_laa", starved_fraction(&by_mode[1].2, 1_000.0));
+    rep.record("starved_cellfi", starved_fraction(&by_mode[2].2, 1_000.0));
     rep
 }
 

@@ -25,7 +25,7 @@ pub fn run(_config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("overhead");
     let grid = ResourceGrid::new(ChannelBandwidth::Mhz5);
     let reporter = CqiReporter::default();
-    let report = reporter.report(Instant::ZERO, &vec![Db(10.0); 13]);
+    let report = reporter.report(Instant::ZERO, &[Db(10.0); 13]);
 
     let paper_bps = overhead_bps(PAPER_REPORT_BITS, Duration::CQI_PERIOD);
     let raw_bps = overhead_bps(report.raw_bits(), Duration::CQI_PERIOD);
@@ -39,10 +39,22 @@ pub fn run(_config: ExpConfig) -> ExpReport {
     rep.text = table(
         &["quantity", "value"],
         &[
-            vec!["sub-bands on 5 MHz".into(), report.subband_diff.len().to_string()],
-            vec!["raw report bits (4 + 13×2)".into(), report.raw_bits().to_string()],
-            vec!["paper-quoted report bits".into(), PAPER_REPORT_BITS.to_string()],
-            vec!["reporting period".into(), format!("{}", Duration::CQI_PERIOD)],
+            vec![
+                "sub-bands on 5 MHz".into(),
+                report.subband_diff.len().to_string(),
+            ],
+            vec![
+                "raw report bits (4 + 13×2)".into(),
+                report.raw_bits().to_string(),
+            ],
+            vec![
+                "paper-quoted report bits".into(),
+                PAPER_REPORT_BITS.to_string(),
+            ],
+            vec![
+                "reporting period".into(),
+                format!("{}", Duration::CQI_PERIOD),
+            ],
             vec!["paper overhead".into(), fmt_bps(paper_bps)],
             vec!["raw-layout overhead".into(), fmt_bps(raw_bps)],
             vec!["uplink capacity (CQI 7)".into(), fmt_bps(ul_capacity)],

@@ -53,7 +53,11 @@ pub fn lte_drive(config: ExpConfig) -> (Vec<f64>, u64) {
     e.enqueue(0, u64::MAX / 4);
     // Quick mode drives faster so the corridor (and the Wi-Fi cliff) fits
     // in a shorter run.
-    let (speed_mps, secs): (f64, u64) = if config.quick { (25.0, 60) } else { (15.0, 140) };
+    let (speed_mps, secs): (f64, u64) = if config.quick {
+        (25.0, 60)
+    } else {
+        (15.0, 140)
+    };
     let mut trace = Vec::new();
     let mut last = 0u64;
     for t in 0..secs {
@@ -73,7 +77,11 @@ pub fn lte_drive(config: ExpConfig) -> (Vec<f64>, u64) {
 
 /// The same drive on Wi-Fi with the station pinned to its first AP.
 pub fn wifi_drive(config: ExpConfig) -> Vec<f64> {
-    let (speed_mps, secs): (f64, u64) = if config.quick { (25.0, 60) } else { (15.0, 140) };
+    let (speed_mps, secs): (f64, u64) = if config.quick {
+        (25.0, 60)
+    } else {
+        (15.0, 140)
+    };
     let seeds = SeedSeq::new(config.seed).child("roaming-wifi");
     let mut trace = Vec::new();
     let mut last = 0u64;
@@ -104,18 +112,12 @@ pub fn run(config: ExpConfig) -> ExpReport {
         .zip(&wifi_trace)
         .enumerate()
         .step_by(10)
-        .map(|(t, (l, w))| {
-            vec![
-                format!("{}", t * 15),
-                fmt_bps(*l),
-                fmt_bps(*w),
-            ]
-        })
+        .map(|(t, (l, w))| vec![format!("{}", t * 15), fmt_bps(*l), fmt_bps(*w)])
         .collect();
     rep.text = table(&["position (m)", "CellFi", "Wi-Fi (pinned)"], &rows);
     let lte_min = lte_trace.iter().cloned().fold(f64::INFINITY, f64::min);
-    let outage_wifi = wifi_trace.iter().filter(|&&v| v < 1_000.0).count() as f64
-        / wifi_trace.len() as f64;
+    let outage_wifi =
+        wifi_trace.iter().filter(|&&v| v < 1_000.0).count() as f64 / wifi_trace.len() as f64;
     let outage_lte =
         lte_trace.iter().filter(|&&v| v < 1_000.0).count() as f64 / lte_trace.len() as f64;
     rep.text.push_str(&format!(

@@ -45,8 +45,14 @@ pub fn run(_config: ExpConfig) -> ExpReport {
     ];
     rep.text = table(
         &[
-            "", "Design", "Freq. chunks", "Coding rate", "Hybrid ARQ", "Access",
-            "TX duration", "Mode",
+            "",
+            "Design",
+            "Freq. chunks",
+            "Coding rate",
+            "Hybrid ARQ",
+            "Access",
+            "TX duration",
+            "Mode",
         ],
         &rows,
     );
@@ -60,7 +66,10 @@ pub fn run(_config: ExpConfig) -> ExpReport {
     ));
     rep.record("lte_min_code_rate", lte_min_rate);
     rep.record("wifi_min_code_rate", wifi_min_rate);
-    rep.record("subchannels_5mhz", f64::from(ChannelBandwidth::Mhz5.subchannels()));
+    rep.record(
+        "subchannels_5mhz",
+        f64::from(ChannelBandwidth::Mhz5.subchannels()),
+    );
     rep
 }
 

@@ -34,7 +34,7 @@ fn median_rounds(n: u32, m: u32, demand: u32, p: f64, reps: u32, seeds: SeedSeq)
         })
         .collect();
     results.sort_unstable();
-    f64::from(results[results.len() as usize / 2])
+    f64::from(results[results.len() / 2])
 }
 
 /// Run the Theorem 1 verification.

@@ -42,7 +42,7 @@ use cellfi_lte::scheduler::SchedulerKind;
 use cellfi_lte::tdd::TddConfig;
 use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
-use cellfi_types::units::Db;
+use cellfi_types::units::{Db, Dbm};
 use cellfi_types::{ApId, SubchannelId, UeId};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -250,9 +250,7 @@ impl InterferenceCache {
     /// `Self::direct_total(tx[s], lin_mw, ue, s)` for every pair.
     fn refresh(&mut self, gain_gen: u64, tx: &[Vec<usize>], lin_mw: &[Vec<Vec<f64>>]) {
         let stale: Vec<usize> = (0..tx.len())
-            .filter(|&s| {
-                !matches!(&self.key[s], Some((g, t)) if *g == gain_gen && t == &tx[s])
-            })
+            .filter(|&s| !matches!(&self.key[s], Some((g, t)) if *g == gain_gen && t == &tx[s]))
             .collect();
         if stale.is_empty() {
             return;
@@ -401,8 +399,8 @@ impl LteEngine {
                     } else {
                         return false;
                     };
-                    let s_mw = 10f64.powf(dl_mean_dbm[u][ap] / 10.0);
-                    let i_mw = 10f64.powf(dl_mean_dbm[u][other] / 10.0);
+                    let s_mw = Dbm(dl_mean_dbm[u][ap]).to_milliwatts().value();
+                    let i_mw = Dbm(dl_mean_dbm[u][other]).to_milliwatts().value();
                     // Full-channel signal/interference powers against the
                     // full-channel noise floor (the per-subchannel power
                     // split cancels out of the ratio).
@@ -496,7 +494,9 @@ impl LteEngine {
         let split_db: Vec<f64> = (0..n_sub)
             .map(|s| {
                 let sc = SubchannelId::new(s as u32);
-                (self.grid.subchannel_tx_power(self.scenario.config.ap_power, sc)
+                (self
+                    .grid
+                    .subchannel_tx_power(self.scenario.config.ap_power, sc)
                     - self.scenario.config.ap_power)
                     .value()
             })
@@ -517,7 +517,9 @@ impl LteEngine {
                         .fading
                         .gain(ap_node, ue_node, SubchannelId::new(s as u32), now)
                         .value();
-                    *slot = 10f64.powf((dl_mean_dbm[u][a] + split_db[s] + f) / 10.0);
+                    *slot = Dbm(dl_mean_dbm[u][a] + split_db[s] + f)
+                        .to_milliwatts()
+                        .value();
                 }
             }
         });
@@ -689,13 +691,15 @@ impl LteEngine {
             .zip(self.bad_streak_ms.iter_mut())
             .zip(self.outage_until.iter_mut())
             .zip(self.rrc_drops.iter_mut())
-            .map(|((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops)| UeRow {
-                cqi,
-                epoch,
-                bad_streak_ms,
-                outage_until,
-                rrc_drops,
-            })
+            .map(
+                |((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops)| UeRow {
+                    cqi,
+                    epoch,
+                    bad_streak_ms,
+                    outage_until,
+                    rrc_drops,
+                },
+            )
             .collect();
         // Each row is only ~n_sub float ops but this scan fires every
         // CQI period (2 ms of sim time): below 64 rows per worker the
@@ -707,7 +711,11 @@ impl LteEngine {
                 let signal = lin_mw[ue][ap][s];
                 // The cached column totals every transmitter including
                 // the serving cell; remove its share to get interference.
-                let own = if tx_last[s].contains(&ap) { signal } else { 0.0 };
+                let own = if tx_last[s].contains(&ap) {
+                    signal
+                } else {
+                    0.0
+                };
                 let interference = (totals[s][ue] - own).max(0.0);
                 let sinr = 10.0 * (signal / (interference + noise_mw[s])).log10();
                 row.cqi[s] = table.cqi_for_sinr(Db(sinr));
@@ -822,8 +830,7 @@ impl LteEngine {
                             // construction; its share of the cached total
                             // is the signal itself.
                             let signal = self.lin_mw[ue][c][s];
-                            let interference =
-                                (self.interf.total_mw[s][ue] - signal).max(0.0);
+                            let interference = (self.interf.total_mw[s][ue] - signal).max(0.0);
                             signal / (interference + self.noise_mw[s])
                         })
                         .sum::<f64>()
@@ -849,8 +856,7 @@ impl LteEngine {
                     }
                     match outcome {
                         HarqOutcome::Ack { .. } => {
-                            let drained =
-                                self.cells[c].deliver(UeId::new(ue as u32), bits as u64);
+                            let drained = self.cells[c].deliver(UeId::new(ue as u32), bits as u64);
                             self.delivered[ue] += drained;
                             if drained > 0 {
                                 deliveries.push((ue, drained));
@@ -917,7 +923,9 @@ impl LteEngine {
         let mut signal = 0.0f64;
         let mut interference = 0.0f64;
         for &(u, offset) in &tx[s] {
-            let p = 10f64.powf((self.ul_mean_dbm[u][cell] + offset + fade(u)) / 10.0);
+            let p = Dbm(self.ul_mean_dbm[u][cell] + offset + fade(u))
+                .to_milliwatts()
+                .value();
             if u == ue {
                 signal = p;
             } else {
@@ -941,8 +949,7 @@ impl LteEngine {
             if !self.cells[c].radio_on() {
                 continue;
             }
-            let ues: Vec<UeId> = self
-                .cells[c]
+            let ues: Vec<UeId> = self.cells[c]
                 .attached_ues()
                 .iter()
                 .copied()
@@ -970,13 +977,11 @@ impl LteEngine {
                                     self.now,
                                 )
                                 .value();
-                            let snr =
-                                self.ul_mean_dbm[u.index()][c] + fade
-                                    - 10.0 * self.noise_mw[s].log10();
+                            let snr = self.ul_mean_dbm[u.index()][c] + fade
+                                - 10.0 * self.noise_mw[s].log10();
                             let cqi = self.table.cqi_for_sinr(Db(snr));
                             if cqi.usable() {
-                                self.table.efficiency(cqi)
-                                    * self.grid.data_res_per_subframe(sc)
+                                self.table.efficiency(cqi) * self.grid.data_res_per_subframe(sc)
                             } else {
                                 0.0
                             }
@@ -1009,28 +1014,26 @@ impl LteEngine {
             }
         }
         // 3. Resolve per UE through uplink HARQ.
-        for u in 0..self.scenario.n_ues() {
-            if grants[u].is_empty() {
+        for (u, ue_grants) in grants.iter().enumerate() {
+            if ue_grants.is_empty() {
                 continue;
             }
             let cell = self.scenario.assoc[u];
-            let mean_linear = grants[u]
+            let mean_linear = ue_grants
                 .iter()
-                .map(|&s| 10f64.powf(self.ul_sinr_db(cell, u, s, &tx) / 10.0))
+                .map(|&s| Db(self.ul_sinr_db(cell, u, s, &tx)).to_linear())
                 .sum::<f64>()
-                / grants[u].len() as f64;
+                / ue_grants.len() as f64;
             let eff_sinr = Db(10.0 * mean_linear.max(1e-12).log10());
             let cqi = self.table.cqi_for_sinr(eff_sinr);
             if !cqi.usable() {
                 continue;
             }
-            let bits: f64 = grants[u]
+            let bits: f64 = ue_grants
                 .iter()
                 .map(|&s| {
                     self.table.efficiency(cqi)
-                        * self
-                            .grid
-                            .data_res_per_subframe(SubchannelId::new(s as u32))
+                        * self.grid.data_res_per_subframe(SubchannelId::new(s as u32))
                 })
                 .sum();
             let process = (self.now.as_millis() % 8) as usize;
@@ -1085,13 +1088,10 @@ impl LteEngine {
         for a in 0..self.scenario.aps.len() {
             let ap_node = self.scenario.aps[a].node;
             for sc in 0..n_sub {
-                let split = (self
-                    .grid
-                    .subchannel_tx_power(
-                        self.scenario.config.ap_power,
-                        SubchannelId::new(sc as u32),
-                    )
-                    - self.scenario.config.ap_power)
+                let split = (self.grid.subchannel_tx_power(
+                    self.scenario.config.ap_power,
+                    SubchannelId::new(sc as u32),
+                ) - self.scenario.config.ap_power)
                     .value();
                 let f = self
                     .scenario
@@ -1099,8 +1099,9 @@ impl LteEngine {
                     .fading
                     .gain(ap_node, ue_node, SubchannelId::new(sc as u32), self.now)
                     .value();
-                self.lin_mw[ue][a][sc] =
-                    10f64.powf((self.dl_mean_dbm[ue][a] + split + f) / 10.0);
+                self.lin_mw[ue][a][sc] = Dbm(self.dl_mean_dbm[ue][a] + split + f)
+                    .to_milliwatts()
+                    .value();
             }
         }
     }
@@ -1115,7 +1116,7 @@ impl LteEngine {
         let (best, best_dbm) = (0..self.cells.len())
             .filter(|&c| self.cells[c].radio_on())
             .map(|c| (c, self.dl_mean_dbm[ue][c]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?;
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
         if best == serving || best_dbm < self.dl_mean_dbm[ue][serving] + hysteresis_db {
             return None;
         }
@@ -1149,7 +1150,7 @@ impl LteEngine {
             }
         }
         let mut grant = vec![false; n];
-        for c in 0..n {
+        for (c, granted) in grant.iter_mut().enumerate() {
             if self.cells[c].total_queued_bits() == 0 {
                 // Idle cells release any TXOP and keep a fresh backoff.
                 self.lbt[c].txop_remaining = 0;
@@ -1157,13 +1158,13 @@ impl LteEngine {
             }
             if self.lbt[c].txop_remaining > 0 {
                 self.lbt[c].txop_remaining -= 1;
-                grant[c] = true;
+                *granted = true;
                 continue;
             }
             // Energy detect against everyone who radiated last subframe.
             let busy_mw: f64 = (0..n)
                 .filter(|&o| o != c && active_last[o])
-                .map(|o| 10f64.powf(self.ap_mean_dbm[c][o] / 10.0))
+                .map(|o| Dbm(self.ap_mean_dbm[c][o]).to_milliwatts().value())
                 .sum();
             let busy = 10.0 * busy_mw.max(1e-30).log10() >= LBT_THRESHOLD_DBM;
             if busy {
@@ -1177,7 +1178,7 @@ impl LteEngine {
             // and draw the next backoff.
             self.lbt[c].txop_remaining = LBT_MCOT_SUBFRAMES - 1;
             self.lbt[c].backoff = self.lbt_rng[c].gen_range(0..=LBT_CW);
-            grant[c] = true;
+            *granted = true;
         }
         grant
     }
@@ -1244,10 +1245,7 @@ impl LteEngine {
                                 .map(|s| {
                                     self.config
                                         .sensing
-                                        .observe(
-                                            self.epoch[ue].interfered[s],
-                                            &mut self.ue_rng[ue],
-                                        )
+                                        .observe(self.epoch[ue].interfered[s], &mut self.ue_rng[ue])
                                 })
                                 .collect();
                             // Starvation rescue (extension; see DESIGN.md):
@@ -1258,8 +1256,8 @@ impl LteEngine {
                             // no drain weight and the AP never hops. Weight
                             // such backlogged-but-unserved clients by the
                             // fair time share they should have received.
-                            let unserved = frac.iter().all(|&f| f == 0.0)
-                                && self.queued_bits(ue) > 0;
+                            let unserved =
+                                frac.iter().all(|&f| f == 0.0) && self.queued_bits(ue) > 0;
                             if unserved {
                                 let fair = 1.0 / own.max(1) as f64;
                                 for s in 0..n_sub {
@@ -1323,9 +1321,8 @@ impl LteEngine {
                         .map(|a| self.conflict.closed_neighborhood_weight(a, &demands))
                         .max()
                         .unwrap_or(demands[c]);
-                    let share = ((f64::from(demands[c]) * n_sub as f64
-                        / f64::from(binding.max(1)))
-                    .floor() as usize)
+                    let share = ((f64::from(demands[c]) * n_sub as f64 / f64::from(binding.max(1)))
+                        .floor() as usize)
                         .clamp(1, n_sub);
                     let blocked: Vec<bool> = (0..n_sub)
                         .map(|s| {
@@ -1400,8 +1397,16 @@ mod tests {
         use cellfi_types::geo::Point;
         let mut s = small_scenario(2, 0, 1);
         s.aps = vec![
-            LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
-            LinkEnd::new(1, Point::new(800.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+            LinkEnd::new(
+                0,
+                Point::new(0.0, 0.0),
+                Antenna::Isotropic { gain: Db(6.0) },
+            ),
+            LinkEnd::new(
+                1,
+                Point::new(800.0, 0.0),
+                Antenna::Isotropic { gain: Db(6.0) },
+            ),
         ];
         // Each client sits *closer to the other cell* than to its own
         // (a routine outcome of shadowed association in dense unplanned
@@ -1422,10 +1427,8 @@ mod tests {
     #[test]
     fn lone_cell_hits_near_peak_throughput() {
         let mut s = small_scenario(1, 1, 2);
-        s.ues[0].position = cellfi_types::geo::Point::new(
-            s.aps[0].position.x + 100.0,
-            s.aps[0].position.y,
-        );
+        s.ues[0].position =
+            cellfi_types::geo::Point::new(s.aps[0].position.x + 100.0, s.aps[0].position.y);
         let mut e = engine(s, ImMode::PlainLte, 3);
         e.enqueue(0, 200_000_000);
         e.run_until(Instant::from_secs(2));
@@ -1573,11 +1576,15 @@ mod tests {
         let env = &e.scenario.env;
         for u in 0..e.scenario.n_ues() {
             for a in 0..e.scenario.aps.len() {
-                let sc_power = e
-                    .grid
-                    .subchannel_tx_power(e.scenario.config.ap_power, sc);
+                let sc_power = e.grid.subchannel_tx_power(e.scenario.config.ap_power, sc);
                 let direct = env
-                    .rx_power(&e.scenario.aps[a], sc_power, &e.scenario.ues[u], sc, Instant::ZERO)
+                    .rx_power(
+                        &e.scenario.aps[a],
+                        sc_power,
+                        &e.scenario.ues[u],
+                        sc,
+                        Instant::ZERO,
+                    )
                     .to_milliwatts()
                     .value();
                 let cached = e.lin_mw[u][a][sc.index()];
@@ -1626,9 +1633,9 @@ mod tests {
                     .map(|s| (0..n_ap).filter(|&c| txmask[s * n_ap + c]).collect())
                     .collect();
                 e.interf.refresh(e.gain_gen, &tx, &e.lin_mw);
-                for s in 0..n_sub {
+                for (s, tx_s) in tx.iter().enumerate() {
                     for ue in 0..e.scenario.n_ues() {
-                        let direct = InterferenceCache::direct_total(&tx[s], &e.lin_mw, ue, s);
+                        let direct = InterferenceCache::direct_total(tx_s, &e.lin_mw, ue, s);
                         let cached = e.interf.total_mw[s][ue];
                         prop_assert!(
                             (direct - cached).abs() <= direct.abs() * 1e-12,
@@ -1636,10 +1643,10 @@ mod tests {
                         );
                         let ap = e.scenario.assoc[ue];
                         let signal = e.lin_mw[ue][ap][s];
-                        let own = if tx[s].contains(&ap) { signal } else { 0.0 };
+                        let own = if tx_s.contains(&ap) { signal } else { 0.0 };
                         let from_cache = 10.0
                             * (signal / ((cached - own).max(0.0) + e.noise_mw[s])).log10();
-                        let reference = e.sinr_db(ue, s, &tx[s]);
+                        let reference = e.sinr_db(ue, s, tx_s);
                         prop_assert!(
                             (from_cache - reference).abs() < 1e-6,
                             "sinr mismatch s={s} ue={ue}: cache {from_cache} dB, \
@@ -1664,8 +1671,16 @@ mod tests {
         use cellfi_propagation::link::LinkEnd;
         use cellfi_types::geo::Point;
         s.aps = vec![
-            LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
-            LinkEnd::new(1, Point::new(200.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+            LinkEnd::new(
+                0,
+                Point::new(0.0, 0.0),
+                Antenna::Isotropic { gain: Db(6.0) },
+            ),
+            LinkEnd::new(
+                1,
+                Point::new(200.0, 0.0),
+                Antenna::Isotropic { gain: Db(6.0) },
+            ),
         ];
         s.ues = vec![
             LinkEnd::new(1000, Point::new(50.0, 80.0), Antenna::client()),
@@ -1703,8 +1718,14 @@ mod tests {
             .cloned()
             .fold(f64::INFINITY, f64::min);
         // Gaps rescue the victims relative to plain LTE...
-        assert!(plain_worst < 100_000.0, "premise: plain LTE starves, got {plain_worst}");
-        assert!(t.iter().all(|&v| v > 500_000.0), "LAA gaps should serve both: {t:?}");
+        assert!(
+            plain_worst < 100_000.0,
+            "premise: plain LTE starves, got {plain_worst}"
+        );
+        assert!(
+            t.iter().all(|&v| v > 500_000.0),
+            "LAA gaps should serve both: {t:?}"
+        );
         // ...but each cell is capped near the ~52 % duty cycle of the
         // 12.8 Mbps lone-cell ceiling (and loses more to residual
         // collisions during TXOP overlap).
@@ -1719,10 +1740,8 @@ mod tests {
     #[test]
     fn uplink_delivers_and_conserves() {
         let mut s = small_scenario(1, 1, 41);
-        s.ues[0].position = cellfi_types::geo::Point::new(
-            s.aps[0].position.x + 150.0,
-            s.aps[0].position.y,
-        );
+        s.ues[0].position =
+            cellfi_types::geo::Point::new(s.aps[0].position.x + 150.0, s.aps[0].position.y);
         let mut e = engine(s, ImMode::PlainLte, 43);
         e.enqueue_ul(0, 2_000_000);
         e.run_until(Instant::from_secs(3));
@@ -1739,10 +1758,8 @@ mod tests {
         // TDD config 4 gives the uplink 2 of 10 subframes: a backlogged
         // near client should see roughly 0.2/0.77 of the downlink rate.
         let mut s = small_scenario(1, 1, 45);
-        s.ues[0].position = cellfi_types::geo::Point::new(
-            s.aps[0].position.x + 100.0,
-            s.aps[0].position.y,
-        );
+        s.ues[0].position =
+            cellfi_types::geo::Point::new(s.aps[0].position.x + 100.0, s.aps[0].position.y);
         let mut e = engine(s, ImMode::PlainLte, 47);
         e.enqueue(0, u64::MAX / 4);
         e.enqueue_ul(0, u64::MAX / 4);
@@ -1764,10 +1781,8 @@ mod tests {
         // OFDMA advantage. The scheduler grants only what the small ACK
         // stream needs, so the edge uplink still flows.
         let mut s = small_scenario(1, 1, 49);
-        s.ues[0].position = cellfi_types::geo::Point::new(
-            s.aps[0].position.x + 950.0,
-            s.aps[0].position.y,
-        );
+        s.ues[0].position =
+            cellfi_types::geo::Point::new(s.aps[0].position.x + 950.0, s.aps[0].position.y);
         let mut e = engine(s, ImMode::PlainLte, 51);
         e.enqueue_ul(0, 100_000); // a thin ACK-like stream
         e.run_until(Instant::from_secs(3));

@@ -30,7 +30,7 @@ impl Cdf {
             samples.iter().all(|v| !v.is_nan()),
             "NaN sample in CDF input"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 

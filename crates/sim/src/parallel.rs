@@ -175,8 +175,7 @@ mod tests {
     fn map_results_are_ordered_for_any_thread_count() {
         let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
         for threads in [1, 2, 3, 4, 16] {
-            let parallel =
-                with_threads(threads, || map_indexed(97, |i| (i as u64) * 3 + 1));
+            let parallel = with_threads(threads, || map_indexed(97, |i| (i as u64) * 3 + 1));
             assert_eq!(parallel, serial, "threads={threads}");
         }
     }

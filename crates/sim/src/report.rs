@@ -56,13 +56,17 @@ pub fn cdf_plot(title: &str, x_label: &str, series: &[(&str, &Cdf)], width: usiz
         .iter()
         .map(|(_, c)| c.samples().last().copied().unwrap_or(0.0))
         .fold(f64::NEG_INFINITY, f64::max);
-    let hi = if (hi - lo).abs() < 1e-12 { lo + 1.0 } else { hi };
+    let hi = if (hi - lo).abs() < 1e-12 {
+        lo + 1.0
+    } else {
+        hi
+    };
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];
     let mut canvas = vec![vec![' '; width]; height];
     for (si, (_, cdf)) in series.iter().enumerate() {
         let g = glyphs[si % glyphs.len()];
-        for col in 0..width {
-            let x = lo + (hi - lo) * col as f64 / (width - 1) as f64;
+        let xs = (0..width).map(|c| lo + (hi - lo) * c as f64 / (width - 1) as f64);
+        for (col, x) in xs.enumerate() {
             let f = cdf.fraction_at_or_below(x);
             let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
             canvas[row.min(height - 1)][col] = g;

@@ -243,12 +243,7 @@ mod tests {
     #[test]
     fn node_keys_unique() {
         let s = scenario(5);
-        let mut keys: Vec<u32> = s
-            .aps
-            .iter()
-            .chain(s.ues.iter())
-            .map(|e| e.node)
-            .collect();
+        let mut keys: Vec<u32> = s.aps.iter().chain(s.ues.iter()).map(|e| e.node).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), s.aps.len() + s.ues.len());

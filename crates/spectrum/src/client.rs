@@ -19,6 +19,46 @@ use cellfi_types::ChannelId;
 /// The ETSI EN 301 598 vacate deadline.
 pub const ETSI_VACATE_DEADLINE: Duration = Duration::from_secs(60);
 
+/// Why [`DatabaseClient::start_operation`] refused to begin transmitting.
+///
+/// Both cases are *regulatory* failures — a compliant AP must treat them
+/// as "do not radiate", not as bugs, which is why the API returns them
+/// instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperationError {
+    /// No currently-valid grant covers the requested channel.
+    NoValidGrant {
+        /// The channel the caller asked to operate on.
+        channel: ChannelId,
+    },
+    /// Requested EIRP exceeds the grant's cap.
+    EirpExceedsGrant {
+        /// The EIRP the caller asked for, dBm.
+        requested_dbm: f64,
+        /// The grant's maximum permitted EIRP, dBm.
+        cap_dbm: f64,
+    },
+}
+
+impl std::fmt::Display for OperationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            OperationError::NoValidGrant { channel } => {
+                write!(f, "no valid grant for {channel}")
+            }
+            OperationError::EirpExceedsGrant {
+                requested_dbm,
+                cap_dbm,
+            } => write!(
+                f,
+                "EIRP {requested_dbm} dBm exceeds grant cap {cap_dbm} dBm"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OperationError {}
+
 /// Lease state of the client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ClientState {
@@ -129,25 +169,29 @@ impl DatabaseClient {
         self.state
     }
 
-    /// Begin operating on `channel` (must hold a valid grant for it).
-    /// Sends the mandatory `SPECTRUM_USE_NOTIFY`.
+    /// Begin operating on `channel`. Requires a currently-valid grant
+    /// whose EIRP cap covers `eirp_dbm`; on success sends the mandatory
+    /// `SPECTRUM_USE_NOTIFY` and enters [`ClientState::Operating`]. On
+    /// failure the client state is unchanged and nothing is notified —
+    /// the AP simply may not radiate.
     pub fn start_operation(
         &mut self,
         db: &mut SpectrumDatabase,
         channel: ChannelId,
         eirp_dbm: f64,
         now: Instant,
-    ) {
+    ) -> Result<(), OperationError> {
         let grant = self
             .grants
             .iter()
             .find(|g| g.channel == channel && g.valid_at(now))
-            .unwrap_or_else(|| panic!("no valid grant for {channel} at {now}"));
-        assert!(
-            eirp_dbm <= grant.max_eirp_dbm,
-            "EIRP {eirp_dbm} exceeds grant cap {}",
-            grant.max_eirp_dbm
-        );
+            .ok_or(OperationError::NoValidGrant { channel })?;
+        if eirp_dbm > grant.max_eirp_dbm {
+            return Err(OperationError::EirpExceedsGrant {
+                requested_dbm: eirp_dbm,
+                cap_dbm: grant.max_eirp_dbm,
+            });
+        }
         db.notify_use(SpectrumUseNotify {
             device: self.device.clone(),
             channel,
@@ -157,6 +201,7 @@ impl DatabaseClient {
             channel,
             expires: Instant::from_micros(grant.expires_us),
         };
+        Ok(())
     }
 
     /// The radio has actually been turned off; lease released.
@@ -218,18 +263,37 @@ mod tests {
         c.refresh(&db, Instant::from_secs(1));
         assert!(!c.grants().is_empty());
         let ch = c.grants()[0].channel;
-        c.start_operation(&mut db, ch, 36.0, Instant::from_secs(1));
+        c.start_operation(&mut db, ch, 36.0, Instant::from_secs(1))
+            .expect("granted channel accepts operation");
         assert!(c.may_transmit(Instant::from_secs(2)));
         assert_eq!(db.notifications().len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds grant cap")]
     fn overpowered_operation_rejected() {
         let (mut db, mut c) = setup();
         c.refresh(&db, Instant::ZERO);
         let ch = c.grants()[0].channel;
-        c.start_operation(&mut db, ch, 40.0, Instant::ZERO);
+        let err = c.start_operation(&mut db, ch, 40.0, Instant::ZERO);
+        assert!(
+            matches!(err, Err(OperationError::EirpExceedsGrant { .. })),
+            "{err:?}"
+        );
+        // Refusal is a compliance outcome, not a crash: state unchanged,
+        // nothing notified to the database.
+        assert_eq!(c.state(), ClientState::Idle);
+        assert!(db.notifications().is_empty());
+        assert!(!c.may_transmit(Instant::ZERO));
+    }
+
+    #[test]
+    fn operation_without_grant_rejected() {
+        let (mut db, mut c) = setup();
+        c.refresh(&db, Instant::ZERO);
+        let bogus = ChannelId::new(9_999);
+        let err = c.start_operation(&mut db, bogus, 36.0, Instant::ZERO);
+        assert_eq!(err, Err(OperationError::NoValidGrant { channel: bogus }));
+        assert_eq!(c.state(), ClientState::Idle);
     }
 
     #[test]
@@ -238,7 +302,8 @@ mod tests {
         let (mut db, mut c) = setup();
         c.refresh(&db, Instant::from_secs(0));
         let ch = c.grants()[0].channel;
-        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
         db.withdraw_channel(ch, None);
         let t = Instant::from_secs(57);
         let state = c.refresh(&db, t);
@@ -262,7 +327,8 @@ mod tests {
         db = db.with_lease_validity(Duration::from_secs(30));
         c.refresh(&db, Instant::ZERO);
         let ch = c.grants()[0].channel;
-        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
         assert!(c.may_transmit(Instant::from_secs(29)));
         // Grant expires at t=30 with no poll in between.
         let state = c.tick(Instant::from_secs(30));
@@ -275,7 +341,8 @@ mod tests {
         let (mut db, mut c) = setup();
         c.refresh(&db, Instant::ZERO);
         let ch = c.grants()[0].channel;
-        c.start_operation(&mut db, ch, 36.0, Instant::ZERO);
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
         let before = match c.state() {
             ClientState::Operating { expires, .. } => expires,
             _ => unreachable!(),

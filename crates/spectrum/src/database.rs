@@ -269,9 +269,7 @@ mod tests {
         let d = db().with_lease_validity(Duration::from_secs(600));
         let p = Point::new(100_000.0, 0.0);
         let avail = d.available_channels(p, Instant::from_secs(100));
-        assert!(avail
-            .iter()
-            .all(|a| a.expires == Instant::from_secs(700)));
+        assert!(avail.iter().all(|a| a.expires == Instant::from_secs(700)));
         assert!(avail.iter().all(|a| (a.max_eirp_dbm - 36.0).abs() < 1e-9));
     }
 

@@ -65,10 +65,7 @@ impl Incumbent {
                 protected_radius,
                 events,
                 ..
-            } => {
-                site_active(events, time)
-                    && venue.distance(location).value() <= *protected_radius
-            }
+            } => site_active(events, time) && venue.distance(location).value() <= *protected_radius,
         }
     }
 
@@ -131,7 +128,10 @@ mod tests {
         assert!(!m.blocks(venue_edge, Instant::from_secs(99)));
         assert!(m.blocks(venue_edge, Instant::from_secs(100)));
         assert!(m.blocks(venue_edge, Instant::from_secs(199)));
-        assert!(!m.blocks(venue_edge, Instant::from_secs(200)), "end is exclusive");
+        assert!(
+            !m.blocks(venue_edge, Instant::from_secs(200)),
+            "end is exclusive"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod paws;
 pub mod plan;
 pub mod selection;
 
-pub use client::{ClientState, DatabaseClient};
+pub use client::{ClientState, DatabaseClient, OperationError};
 pub use database::{ChannelAvailability, SpectrumDatabase};
 pub use incumbent::Incumbent;
 pub use paws::{AvailSpectrumReq, AvailSpectrumResp, DeviceDescriptor, GeoLocation};

@@ -156,6 +156,56 @@ impl SpectrumGrant {
     }
 }
 
+/// A PAWS wire-format failure.
+///
+/// Malformed JSON from a spectrum database is a *protocol* failure, not
+/// a programming error: an AP must survive it (keep the old grants,
+/// re-query later), so parsing returns this instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PawsError {
+    /// Which PAWS message failed to parse or serialize.
+    pub message_type: &'static str,
+    /// The underlying JSON error, rendered.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PawsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PAWS {}: {}", self.message_type, self.detail)
+    }
+}
+
+impl std::error::Error for PawsError {}
+
+/// Implement the fallible wire codec for a PAWS message type.
+macro_rules! paws_wire {
+    ($ty:ident) => {
+        impl $ty {
+            /// Parse from the PAWS JSON wire form.
+            pub fn from_json(json: &str) -> Result<$ty, PawsError> {
+                serde_json::from_str(json).map_err(|e| PawsError {
+                    message_type: stringify!($ty),
+                    detail: e.to_string(),
+                })
+            }
+
+            /// Serialize to the PAWS JSON wire form.
+            pub fn to_json(&self) -> Result<String, PawsError> {
+                serde_json::to_string(self).map_err(|e| PawsError {
+                    message_type: stringify!($ty),
+                    detail: e.to_string(),
+                })
+            }
+        }
+    };
+}
+
+paws_wire!(InitReq);
+paws_wire!(InitResp);
+paws_wire!(AvailSpectrumReq);
+paws_wire!(AvailSpectrumResp);
+paws_wire!(SpectrumUseNotify);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +277,31 @@ mod tests {
     }
 
     #[test]
+    fn wire_codec_round_trips() {
+        let resp = AvailSpectrumResp {
+            grants: vec![SpectrumGrant {
+                channel: ChannelId::new(38),
+                max_eirp_dbm: 36.0,
+                expires_us: 1_000_000,
+            }],
+            response_time_us: 10,
+        };
+        let json = resp.to_json().expect("wire serialization is total");
+        let back = AvailSpectrumResp::from_json(&json).expect("round trip");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn malformed_wire_json_is_an_error_not_a_panic() {
+        let err = AvailSpectrumResp::from_json("{not json").unwrap_err();
+        assert_eq!(err.message_type, "AvailSpectrumResp");
+        assert!(!err.detail.is_empty());
+        // A truncated but syntactically plausible message also errors.
+        assert!(AvailSpectrumResp::from_json("{}").is_err());
+        assert!(InitResp::from_json("[1,2,3]").is_err());
+    }
+
+    #[test]
     fn init_messages_round_trip() {
         let req = InitReq {
             device: DeviceDescriptor::master_with_clients("ap", 1),
@@ -238,8 +313,7 @@ mod tests {
             max_polling_secs: 900,
             ruleset: "ETSI-EN-301-598-1.1.1".into(),
         };
-        let back: InitResp =
-            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        let back: InitResp = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
         assert_eq!(back, resp);
     }
 }

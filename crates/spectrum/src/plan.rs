@@ -68,8 +68,7 @@ impl ChannelPlan {
             return None;
         }
         let w = self.width().mhz();
-        let centre =
-            Hertz::from_mhz(self.band_start().mhz() + w * f64::from(n - lo) + w / 2.0);
+        let centre = Hertz::from_mhz(self.band_start().mhz() + w * f64::from(n - lo) + w / 2.0);
         Some(TvChannel {
             id: ChannelId::new(n),
             centre,
@@ -80,7 +79,12 @@ impl ChannelPlan {
     /// All channels of the plan, ascending.
     pub fn channels(self) -> Vec<TvChannel> {
         let (lo, hi) = self.channel_range();
-        (lo..=hi).map(|n| self.channel(n).unwrap()).collect()
+        (lo..=hi)
+            .map(|n| {
+                self.channel(n)
+                    .expect("channel_range() yields only in-plan numbers")
+            })
+            .collect()
     }
 
     /// Number of channels in the plan.

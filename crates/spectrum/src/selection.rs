@@ -129,7 +129,7 @@ impl ChannelSelector {
             };
             class(a)
                 .cmp(&class(b))
-                .then(energy(a).partial_cmp(&energy(b)).expect("finite energies"))
+                .then(energy(a).total_cmp(&energy(b)))
                 .then(a.channel.cmp(&b.channel))
         });
         candidates.into_iter().next()
@@ -196,24 +196,24 @@ impl ChannelSelector {
             }
         };
         // Scan all runs of length n_channels; maximize the minimum.
+        // (class, energy) scores are totally ordered via total_cmp, so no
+        // NaN energy can panic the selector — it just sorts last.
+        let cmp_score = |a: &(u8, f64), b: &(u8, f64)| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1));
         let nums: Vec<u32> = eligible.keys().copied().collect();
         let mut best: Option<(Vec<u32>, (u8, f64))> = None;
         for w in nums.windows(n_channels as usize) {
-            let (first, last) = (
-                *w.first().expect("windows(n>=1) is non-empty"),
-                *w.last().expect("windows(n>=1) is non-empty"),
-            );
+            let (first, last) = (w[0], w[w.len() - 1]);
             if last - first != n_channels - 1 {
                 continue; // not contiguous
             }
             let worst = w
                 .iter()
                 .map(|&n| score(n))
-                .max_by(|a, b| a.partial_cmp(b).expect("finite"))
-                .expect("non-empty window");
+                .max_by(cmp_score)
+                .expect("windows() slices are non-empty");
             if best
                 .as_ref()
-                .map_or(true, |(_, b)| worst.partial_cmp(b) == Some(std::cmp::Ordering::Less))
+                .is_none_or(|(_, b)| cmp_score(&worst, b) == std::cmp::Ordering::Less)
             {
                 best = Some((w.to_vec(), worst));
             }

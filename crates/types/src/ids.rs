@@ -68,7 +68,7 @@ id_type!(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn ids_round_trip_index() {
@@ -87,9 +87,14 @@ mod tests {
     }
 
     #[test]
-    fn ids_are_ordered_and_hashable() {
+    fn ids_are_ordered_and_collectable() {
         assert!(SubchannelId::new(2) < SubchannelId::new(10));
-        let set: HashSet<ApId> = [ApId::new(1), ApId::new(1), ApId::new(2)].into_iter().collect();
+        // BTreeSet, not HashSet: engine-path code must never depend on
+        // randomized iteration order (cellfi-lint rule `determinism`),
+        // and the tests model the same discipline.
+        let set: BTreeSet<ApId> = [ApId::new(1), ApId::new(1), ApId::new(2)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 

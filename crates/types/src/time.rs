@@ -83,7 +83,7 @@ impl Instant {
 
     /// True when this instant lies on a boundary of `period` (including 0).
     pub fn is_multiple_of(self, period: Duration) -> bool {
-        period.micros != 0 && self.micros % period.micros == 0
+        period.micros != 0 && self.micros.is_multiple_of(period.micros)
     }
 }
 
@@ -158,7 +158,10 @@ impl Sub<Duration> for Instant {
     type Output = Instant;
     fn sub(self, rhs: Duration) -> Instant {
         Instant {
-            micros: self.micros.checked_sub(rhs.micros).expect("instant underflow"),
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("instant underflow"),
         }
     }
 }
@@ -189,7 +192,10 @@ impl Sub for Duration {
     type Output = Duration;
     fn sub(self, rhs: Duration) -> Duration {
         Duration {
-            micros: self.micros.checked_sub(rhs.micros).expect("duration underflow"),
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("duration underflow"),
         }
     }
 }

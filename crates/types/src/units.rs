@@ -40,11 +40,13 @@ impl Dbm {
     pub const FLOOR: Dbm = Dbm(-300.0);
 
     /// Convert to linear milliwatts: `10^(dBm/10)`.
+    #[inline]
     pub fn to_milliwatts(self) -> MilliWatts {
         MilliWatts(10f64.powf(self.0 / 10.0))
     }
 
     /// Raw dBm value.
+    #[inline]
     pub fn value(self) -> f64 {
         self.0
     }
@@ -74,6 +76,7 @@ impl MilliWatts {
 
     /// Convert to dBm: `10·log10(mW)`. Zero or negative power maps to
     /// [`Dbm::FLOOR`] rather than −∞ so downstream comparisons stay finite.
+    #[inline]
     pub fn to_dbm(self) -> Dbm {
         if self.0 <= 0.0 {
             Dbm::FLOOR
@@ -83,6 +86,7 @@ impl MilliWatts {
     }
 
     /// Raw milliwatt value.
+    #[inline]
     pub fn value(self) -> f64 {
         self.0
     }
@@ -93,6 +97,7 @@ impl Db {
     pub const ZERO: Db = Db(0.0);
 
     /// Convert a ratio in dB to a linear factor: `10^(dB/10)`.
+    #[inline]
     pub fn to_linear(self) -> f64 {
         10f64.powf(self.0 / 10.0)
     }
@@ -104,6 +109,7 @@ impl Db {
     }
 
     /// Raw dB value.
+    #[inline]
     pub fn value(self) -> f64 {
         self.0
     }
@@ -126,6 +132,7 @@ impl Hertz {
     }
 
     /// Raw hertz value.
+    #[inline]
     pub fn value(self) -> f64 {
         self.0
     }
@@ -133,6 +140,7 @@ impl Hertz {
 
 impl Meters {
     /// Raw metre value.
+    #[inline]
     pub fn value(self) -> f64 {
         self.0
     }

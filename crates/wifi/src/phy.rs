@@ -48,15 +48,15 @@ const fn mcs(index: u8, bits: u8, code_rate: f64, thr: f64) -> Mcs {
 
 /// VHT MCS 0–9 with standard waterfall thresholds.
 const MCS_TABLE: [Mcs; 10] = [
-    mcs(0, 1, 0.5, 2.0),       // BPSK 1/2 — the lowest 802.11 can go
-    mcs(1, 2, 0.5, 5.0),       // QPSK 1/2
-    mcs(2, 2, 0.75, 9.0),      // QPSK 3/4
-    mcs(3, 4, 0.5, 11.0),      // 16QAM 1/2
-    mcs(4, 4, 0.75, 15.0),     // 16QAM 3/4
+    mcs(0, 1, 0.5, 2.0),        // BPSK 1/2 — the lowest 802.11 can go
+    mcs(1, 2, 0.5, 5.0),        // QPSK 1/2
+    mcs(2, 2, 0.75, 9.0),       // QPSK 3/4
+    mcs(3, 4, 0.5, 11.0),       // 16QAM 1/2
+    mcs(4, 4, 0.75, 15.0),      // 16QAM 3/4
     mcs(5, 6, 2.0 / 3.0, 18.0), // 64QAM 2/3
-    mcs(6, 6, 0.75, 20.0),     // 64QAM 3/4
+    mcs(6, 6, 0.75, 20.0),      // 64QAM 3/4
     mcs(7, 6, 5.0 / 6.0, 25.0), // 64QAM 5/6
-    mcs(8, 8, 0.75, 29.0),     // 256QAM 3/4
+    mcs(8, 8, 0.75, 29.0),      // 256QAM 3/4
     mcs(9, 8, 5.0 / 6.0, 31.0), // 256QAM 5/6
 ];
 
@@ -135,7 +135,8 @@ impl McsTable {
     /// Airtime of a data frame of `bytes` at MCS `m`, including preamble.
     pub fn frame_duration(&self, bytes: usize, m: &Mcs) -> Duration {
         let bits = bytes as f64 * 8.0;
-        let symbols = (bits / (f64::from(self.data_subcarriers()) * f64::from(m.bits) * m.code_rate))
+        let symbols = (bits
+            / (f64::from(self.data_subcarriers()) * f64::from(m.bits) * m.code_rate))
             .ceil() as u64;
         self.preamble() + self.symbol_duration() * symbols.max(1)
     }
@@ -188,7 +189,9 @@ mod tests {
         let t = McsTable::new(WifiBand::Af6);
         let mut last = -1i16;
         for s in -5..40 {
-            let idx = t.select(Db(f64::from(s))).map_or(-1, |m| i16::from(m.index));
+            let idx = t
+                .select(Db(f64::from(s)))
+                .map_or(-1, |m| i16::from(m.index));
             assert!(idx >= last, "not monotone at {s} dB");
             last = idx;
         }
@@ -239,9 +242,8 @@ mod tests {
         let t = McsTable::new(WifiBand::Af6);
         let m = &t.entries()[5];
         let one_big = t.frame_duration(65_000, m);
-        let many_small: Duration = (0..65).fold(Duration::ZERO, |acc, _| {
-            acc + t.frame_duration(1_000, m)
-        });
+        let many_small: Duration =
+            (0..65).fold(Duration::ZERO, |acc, _| acc + t.frame_duration(1_000, m));
         let ratio = many_small.as_secs_f64() / one_big.as_secs_f64();
         assert!(ratio > 1.15, "aggregation gain only {ratio}");
     }

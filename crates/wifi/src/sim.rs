@@ -218,7 +218,10 @@ impl WifiSimulator {
         seed: u64,
     ) -> WifiSimulator {
         assert_eq!(stas.len(), assoc.len(), "one association per station");
-        assert!(assoc.iter().all(|&a| a < aps.len()), "association out of range");
+        assert!(
+            assoc.iter().all(|&a| a < aps.len()),
+            "association out of range"
+        );
         let table = McsTable::new(config.band);
         let sta_mcs: Vec<Option<Mcs>> = stas
             .iter()
@@ -365,7 +368,9 @@ impl WifiSimulator {
                     .mean_rx_power(self.find_end(iv.node), iv.power, &self.stas[sta])
                     .value()
             })
-            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p))))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
     }
 
     /// Whether the receiver can hold sync on the frame: no overlapping
@@ -451,8 +456,13 @@ impl WifiSimulator {
         let ctrl_slots = self.slots_of(self.table.control_duration(20));
         let (phase, phase_end, exchange_end) = if self.config.rts_cts {
             let rts_end = self.slot_now + ctrl_slots;
-            let end = rts_end + sifs_slots + ctrl_slots + sifs_slots + data_slots
-                + sifs_slots + ctrl_slots;
+            let end = rts_end
+                + sifs_slots
+                + ctrl_slots
+                + sifs_slots
+                + data_slots
+                + sifs_slots
+                + ctrl_slots;
             (Phase::Rts, rts_end, end)
         } else {
             let data_end = self.slot_now + data_slots;
@@ -532,16 +542,14 @@ impl WifiSimulator {
                                 &self.aps[a],
                             );
                             if p.value() >= self.config.cs_threshold.value() {
-                                self.macs[a].nav_until =
-                                    self.macs[a].nav_until.max(e.exchange_end);
+                                self.macs[a].nav_until = self.macs[a].nav_until.max(e.exchange_end);
                             }
                         }
                         // Advance to the data phase.
                         let sifs = self.slots_of(self.config.sifs);
                         let ctrl = self.slots_of(self.table.control_duration(20));
-                        let data_slots = e.exchange_end
-                            - (e.phase_end + sifs + ctrl + sifs)
-                            - (sifs + ctrl);
+                        let data_slots =
+                            e.exchange_end - (e.phase_end + sifs + ctrl + sifs) - (sifs + ctrl);
                         let ex = &mut self.exchanges[i];
                         ex.phase = Phase::Data;
                         ex.phase_start = e.phase_end + sifs + ctrl + sifs;
@@ -556,16 +564,14 @@ impl WifiSimulator {
                 }
                 Phase::Data => {
                     let sinr = self.window_sinr(e.ap, e.sta, e.phase_start, e.phase_end);
-                    let captured =
-                        self.window_captured(e.ap, e.sta, e.phase_start, e.phase_end);
+                    let captured = self.window_captured(e.ap, e.sta, e.phase_start, e.phase_end);
                     self.exchanges.remove(i);
                     if sinr >= e.mcs.sinr_threshold.value() && captured {
                         let drained = (e.bytes as u64).min(self.queue[e.sta]);
                         self.queue[e.sta] -= drained;
                         self.stats.delivered_bytes[e.sta] += drained;
                         // Rate adapter: probe one MCS up after a clean run.
-                        self.success_streak[e.sta] =
-                            self.success_streak[e.sta].saturating_add(1);
+                        self.success_streak[e.sta] = self.success_streak[e.sta].saturating_add(1);
                         if self.success_streak[e.sta] >= RATE_UP_STREAK
                             && self.mcs_backoff[e.sta] > 0
                         {
@@ -659,7 +665,7 @@ impl WifiSimulator {
             self.macs[ap].pending = Some((sta, bytes)); // kept until success/drop
             self.start_exchange(ap, sta, bytes);
         }
-        if self.slot_now % 1024 == 0 {
+        if self.slot_now.is_multiple_of(1024) {
             self.compact_air();
         }
     }
@@ -697,7 +703,11 @@ mod tests {
     }
 
     fn ap(node: u32, x: f64) -> LinkEnd {
-        LinkEnd::new(node, Point::new(x, 0.0), Antenna::Isotropic { gain: Db(6.0) })
+        LinkEnd::new(
+            node,
+            Point::new(x, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        )
     }
 
     fn sta(node: u32, x: f64, y: f64) -> LinkEnd {

@@ -42,7 +42,8 @@ fn main() {
     let morning = Instant::from_secs(9 * 3600);
     dbc.refresh(&db, morning);
     assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
-    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, morning);
+    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, morning)
+        .expect("channel 36 was just confirmed granted");
     let centre = ChannelPlan::Eu.channel(36).expect("in plan").centre;
     let carrier = Earfcn::from_frequency(Band::Tvws, centre);
     cell.set_carrier(carrier, Dbm(20.0), morning);
@@ -87,7 +88,8 @@ fn main() {
     let late = show_end + Duration::from_secs(60);
     dbc.refresh(&db, late);
     assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
-    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, late);
+    dbc.start_operation(&mut db, ChannelId::new(36), 36.0, late)
+        .expect("channel 36 was just confirmed granted again");
     cell.set_carrier(carrier, Dbm(20.0), late);
     ue.cell_found(ApId::new(0), late);
     ue.attach_complete();

@@ -39,7 +39,10 @@ fn main() {
     client.refresh(&db, now);
     println!("database granted {} channels", client.grants().len());
     assert!(
-        client.grants().iter().all(|g| g.channel != ChannelId::new(30)),
+        client
+            .grants()
+            .iter()
+            .all(|g| g.channel != ChannelId::new(30)),
         "protected channel must not be granted"
     );
 
@@ -64,7 +67,9 @@ fn main() {
         "selected {} at {} (occupant: {:?}, max EIRP {} dBm)",
         choice.channel, choice.centre, choice.occupant, choice.max_eirp_dbm
     );
-    client.start_operation(&mut db, choice.channel, choice.max_eirp_dbm, now);
+    client
+        .start_operation(&mut db, choice.channel, choice.max_eirp_dbm, now)
+        .expect("the selector only returns granted channels");
 
     // --- 3. LTE cell up, clients attach. ------------------------------
     let mut cell = Cell::new(CellConfig::paper_default(ApId::new(0)));

@@ -25,8 +25,16 @@ fn two_operator_scenario() -> Scenario {
     // Operator A at x=0, operator B at x=800 m; each serves two clients,
     // one comfortable and one at the contested edge.
     s.aps = vec![
-        LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
-        LinkEnd::new(1, Point::new(800.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+        LinkEnd::new(
+            0,
+            Point::new(0.0, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        ),
+        LinkEnd::new(
+            1,
+            Point::new(800.0, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        ),
     ];
     s.ues = vec![
         LinkEnd::new(1000, Point::new(120.0, 50.0), Antenna::client()), // A, near

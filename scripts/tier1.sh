@@ -7,8 +7,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== tier1: format =="
+cargo fmt --all -- --check
+
 echo "== tier1: build (release) =="
 cargo build --workspace --release --offline
+
+echo "== tier1: clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier1: cellfi-lint (determinism / panic hygiene / unit safety) =="
+cargo run -q -p cellfi-lint --offline
 
 echo "== tier1: test suite =="
 cargo test --workspace --offline -q

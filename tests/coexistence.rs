@@ -22,9 +22,21 @@ fn chain_scenario() -> Scenario {
     cfg.fading = false;
     let mut s = Scenario::generate(cfg, SeedSeq::new(17));
     s.aps = vec![
-        LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
-        LinkEnd::new(1, Point::new(900.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
-        LinkEnd::new(2, Point::new(1_800.0, 0.0), Antenna::Isotropic { gain: Db(6.0) }),
+        LinkEnd::new(
+            0,
+            Point::new(0.0, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        ),
+        LinkEnd::new(
+            1,
+            Point::new(900.0, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        ),
+        LinkEnd::new(
+            2,
+            Point::new(1_800.0, 0.0),
+            Antenna::Isotropic { gain: Db(6.0) },
+        ),
     ];
     s.ues = vec![
         LinkEnd::new(1000, Point::new(300.0, 40.0), Antenna::client()),

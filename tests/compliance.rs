@@ -41,8 +41,13 @@ fn bring_up(
 ) -> ChannelId {
     client.refresh(db, at);
     let ch = client.grants()[0].channel;
-    client.start_operation(db, ch, 36.0, at);
-    let centre = ChannelPlan::Eu.channel(ch.0).expect("granted channel").centre;
+    client
+        .start_operation(db, ch, 36.0, at)
+        .expect("channel comes from the grant list just fetched");
+    let centre = ChannelPlan::Eu
+        .channel(ch.0)
+        .expect("granted channel")
+        .centre;
     cell.set_carrier(Earfcn::from_frequency(Band::Tvws, centre), Dbm(20.0), at);
     ue.cell_found(ApId::new(0), at);
     ue.attach_complete();

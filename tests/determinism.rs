@@ -12,15 +12,14 @@ fn run_twice(name: &str) -> (String, String) {
     };
     let a = experiments::run(name, cfg).expect("known experiment");
     let b = experiments::run(name, cfg).expect("known experiment");
-    (
-        format!("{:?}", a.values),
-        format!("{:?}", b.values),
-    )
+    (format!("{:?}", a.values), format!("{:?}", b.values))
 }
 
 #[test]
 fn fast_experiments_are_bit_reproducible() {
-    for name in ["table1", "fig6", "fig7b", "fig7c", "fig8", "overhead", "theorem1"] {
+    for name in [
+        "table1", "fig6", "fig7b", "fig7c", "fig8", "overhead", "theorem1",
+    ] {
         let (a, b) = run_twice(name);
         assert_eq!(a, b, "{name} not reproducible");
     }
@@ -64,8 +63,7 @@ fn engine_run_is_identical_for_any_thread_count() {
     let run = |threads: usize| {
         parallel::with_threads(threads, || {
             let seeds = SeedSeq::new(4242).child("thread-determinism");
-            let scenario =
-                Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds);
+            let scenario = Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds);
             let n_cells = scenario.aps.len();
             let mut e = LteEngine::new(
                 scenario,
@@ -81,7 +79,10 @@ fn engine_run_is_identical_for_any_thread_count() {
     let serial = run(1);
     for threads in [2usize, 4] {
         let parallel_run = run(threads);
-        assert_eq!(parallel_run.0, serial.0, "delivered bits, threads={threads}");
+        assert_eq!(
+            parallel_run.0, serial.0,
+            "delivered bits, threads={threads}"
+        );
         assert_eq!(parallel_run.1, serial.1, "manager hops, threads={threads}");
         assert_eq!(parallel_run.2, serial.2, "cell masks, threads={threads}");
     }
@@ -98,10 +99,7 @@ fn experiment_registry_is_complete_and_unique() {
     for n in experiments::ALL {
         // Don't run the heavy ones; just check the name resolves by
         // probing the dispatcher with an unknown-name contrast.
-        assert!(
-            experiments::ALL.contains(n),
-            "registry self-consistency"
-        );
+        assert!(experiments::ALL.contains(n), "registry self-consistency");
     }
     assert!(experiments::run("no-such-figure", ExpConfig::default()).is_none());
 }

@@ -52,7 +52,8 @@ fn full_pipeline_from_database_to_scheduled_bits() {
         .choose(dbc.grants(), dbc.grants(), &listen, Instant::ZERO)
         .expect("channels granted");
     assert_eq!(choice.channel, ChannelId::new(15));
-    dbc.start_operation(&mut db, choice.channel, 36.0, Instant::ZERO);
+    dbc.start_operation(&mut db, choice.channel, 36.0, Instant::ZERO)
+        .expect("the selector only returns granted channels");
     assert_eq!(db.notifications().len(), 1, "SPECTRUM_USE_NOTIFY sent");
 
     // 3. LTE bring-up on the selected carrier.
@@ -81,7 +82,10 @@ fn full_pipeline_from_database_to_scheduled_bits() {
             .collect(),
     };
     let decision = im.epoch(&input);
-    assert_eq!(decision.share, 6, "2 of 4 heard clients → half of 13, floored");
+    assert_eq!(
+        decision.share, 6,
+        "2 of 4 heard clients → half of 13, floored"
+    );
     cell.set_allowed_mask(decision.mask.clone());
 
     // 5. The stock scheduler serves within the mask and bits flow.

@@ -146,6 +146,7 @@ fn fmt_duration(d: Duration) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Run every benchmark target registered in this group.
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+

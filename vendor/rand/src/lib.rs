@@ -229,10 +229,7 @@ pub mod rngs {
 
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -340,7 +337,7 @@ mod tests {
             let c = r.gen_range(-1.0f64..1.0);
             assert!((-1.0..1.0).contains(&c));
             let d = r.gen_range(f64::EPSILON..1.0);
-            assert!(d >= f64::EPSILON && d < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&d));
         }
     }
 

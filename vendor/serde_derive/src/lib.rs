@@ -90,15 +90,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Item::UnitEnum {
-                    variants: parse_unit_variants(
-                        &g.stream().into_iter().collect::<Vec<_>>(),
-                        &name,
-                    )?,
-                    name,
-                })
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::UnitEnum {
+                variants: parse_unit_variants(&g.stream().into_iter().collect::<Vec<_>>(), &name)?,
+                name,
+            }),
             other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
         },
         other => Err(format!("cannot derive for `{other}`")),
@@ -195,7 +190,9 @@ fn parse_unit_variants(tokens: &[TokenTree], enum_name: &str) -> Result<Vec<Stri
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("error tokens")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
 }
 
 /// Derive the stand-in `serde::Serialize` (`to_value`).
@@ -210,9 +207,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let inserts: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "map.insert({f:?}.to_string(), serde::Serialize::to_value(&self.{f}));"
-                    )
+                    format!("map.insert({f:?}.to_string(), serde::Serialize::to_value(&self.{f}));")
                 })
                 .collect();
             format!(

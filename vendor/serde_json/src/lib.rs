@@ -33,10 +33,7 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
     }
     T::from_value(&v)
 }
@@ -251,8 +248,7 @@ impl Parser<'_> {
     fn string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
         let mut s = String::new();
-        let text = std::str::from_utf8(self.bytes)
-            .map_err(|_| Error::msg("invalid UTF-8"))?;
+        let text = std::str::from_utf8(self.bytes).map_err(|_| Error::msg("invalid UTF-8"))?;
         let mut chars = text[self.pos..].char_indices();
         while let Some((off, c)) = chars.next() {
             match c {
@@ -278,8 +274,7 @@ impl Parser<'_> {
                             .map_err(|_| Error::msg("bad \\u escape"))?;
                         // Surrogate pairs are not needed by our writers.
                         s.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            char::from_u32(code).ok_or_else(|| Error::msg("bad \\u code point"))?,
                         );
                         for _ in 0..4 {
                             chars.next();

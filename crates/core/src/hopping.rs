@@ -46,13 +46,20 @@ pub struct SubchannelFeedback {
     pub clients: Vec<ClientObservation>,
 }
 
-/// A hop taken during an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A hop taken during an epoch, with the utilities that drove it —
+/// recorded so convergence traces can show *why* the hopper moved, not
+/// just where.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hop {
     /// Subchannel given up.
     pub from: SubchannelId,
     /// Subchannel acquired instead.
     pub to: SubchannelId,
+    /// Utility of the drained subchannel at hop time.
+    pub from_utility: f64,
+    /// Utility of the acquired subchannel (the maximum over unowned
+    /// candidates, ties broken randomly).
+    pub to_utility: f64,
 }
 
 /// The hopping state of one access point.
@@ -190,6 +197,8 @@ impl Hopper {
                     hops.push(Hop {
                         from: fb.subchannel,
                         to,
+                        from_utility: utility(fb.subchannel),
+                        to_utility: utility(to),
                     });
                     self.total_hops += 1;
                 }

@@ -19,6 +19,8 @@
 use crate::hopping::{ClientObservation, Hop, Hopper, SubchannelFeedback};
 use crate::reuse::{packing_moves, PackingMove};
 use crate::share::fair_share;
+use cellfi_obs::trace::{Event, Tracer};
+use cellfi_types::time::Instant;
 use cellfi_types::{SubchannelId, UeId};
 
 /// Configuration of the interference manager.
@@ -130,6 +132,20 @@ impl InterferenceManager {
 
     /// Run one 1 s epoch.
     pub fn epoch(&mut self, input: &EpochInput) -> EpochDecision {
+        self.epoch_traced(input, Instant::ZERO, 0, &mut Tracer::disabled())
+    }
+
+    /// Run one 1 s epoch, emitting share/hop/packing events into
+    /// `tracer` stamped with simulation time `now` and this AP's `cell`
+    /// index. [`InterferenceManager::epoch`] is this with a disabled
+    /// tracer (which allocates nothing).
+    pub fn epoch_traced(
+        &mut self,
+        input: &EpochInput,
+        now: Instant,
+        cell: u32,
+        tracer: &mut Tracer,
+    ) -> EpochDecision {
         self.epochs_run += 1;
         // An idle cell transmits nothing, so it interferes with nobody;
         // it *retains* its reservation rather than releasing it, so a
@@ -148,6 +164,15 @@ impl InterferenceManager {
             };
         }
         let share = fair_share(self.n_subchannels, input.own_active, input.heard_active);
+        tracer.emit(
+            now,
+            Event::Share {
+                cell,
+                own_active: input.own_active,
+                heard_active: input.heard_active,
+                share,
+            },
+        );
 
         // Utility of a candidate subchannel: Σ over clients of the
         // throughput achievable there (per their CQI), weighted by how
@@ -188,6 +213,18 @@ impl InterferenceManager {
             })
             .collect();
         let hops = self.hopper.apply_feedback(&feedback, &utility);
+        for h in &hops {
+            tracer.emit(
+                now,
+                Event::Hop {
+                    cell,
+                    from: h.from.0,
+                    to: h.to.0,
+                    from_utility: h.from_utility,
+                    to_utility: h.to_utility,
+                },
+            );
+        }
 
         // 3. Channel re-use packing.
         let packing = if self.config.enable_reuse {
@@ -209,6 +246,14 @@ impl InterferenceManager {
             );
             for m in &moves {
                 self.hopper.relocate(m.from, m.to);
+                tracer.emit(
+                    now,
+                    Event::Pack {
+                        cell,
+                        from: m.from.0,
+                        to: m.to.0,
+                    },
+                );
             }
             moves
         } else {

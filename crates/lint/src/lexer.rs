@@ -36,6 +36,9 @@ pub struct AllowDirective {
 /// The masked view of one source file plus everything the mask removed.
 #[derive(Debug)]
 pub struct ScannedFile {
+    /// The unmodified source, for rules that must read literal contents
+    /// (byte offsets in `masked` map 1:1 onto it).
+    pub raw: String,
     /// Same length as the input; comments and string contents are spaces.
     pub masked: String,
     /// Byte offset of the start of each line (index 0 = line 1).
@@ -77,6 +80,7 @@ pub fn scan(source: &str) -> ScannedFile {
     let allows = collect_allows(&comments, &masked, &line_starts);
     let test_ranges = test_line_ranges(&masked, &line_starts);
     ScannedFile {
+        raw: source.to_owned(),
         masked,
         line_starts,
         allows,

@@ -1,6 +1,6 @@
 //! The CellFi rule catalogue.
 //!
-//! Three families, named in findings and in allow directives:
+//! Four families, named in findings and in allow directives:
 //!
 //! * **`determinism`** — byte-identical replay is a workspace contract
 //!   (`tests/determinism.rs`). Engine-path library code must not iterate
@@ -11,14 +11,23 @@
 //!   run and seeding a CLI from the OS are their job.
 //! * **`panic`** — library crates must not `.unwrap()`, `panic!`,
 //!   `todo!`, or `unimplemented!`. `.expect("...")` is the sanctioned
-//!   escape for provably-infallible cases, and its message must state
-//!   the invariant (at least [`MIN_EXPECT_MSG`] bytes).
+//!   escape for provably-infallible cases; its message must state the
+//!   invariant: at least [`MIN_EXPECT_MSG`] bytes *and* phrased with the
+//!   curated invariant vocabulary ([`INVARIANT_STEMS`]) so it asserts
+//!   why failure is impossible rather than naming the failure.
 //! * **`units`** — dB/linear conversions belong to
 //!   `crates/types/src/units.rs` (`Dbm`/`Db`/`MilliWatts`). Raw
 //!   `10f64.powf(x / 10.0)`-style conversions, and multiplying or
 //!   dividing a `*_db`/`*_dbm`-named binding (dB is logarithmic; scaling
 //!   it is almost always a link-budget bug), are flagged everywhere
-//!   else.
+//!   else. Decibel-ness also propagates through simple `let` chains:
+//!   `let margin = snr_db - floor_db;` taints `margin`, so scaling it
+//!   later is flagged too.
+//! * **`obs`** — observability must be free when it is off: the
+//!   argument list of an `.emit(...)` event call must not allocate
+//!   (`format!`, `to_string`, `to_owned`, `vec!`, `Vec::new`,
+//!   `Box::new`, `.clone()`, …). Payloads are plain numerics; the
+//!   disabled path costs exactly one branch.
 //!
 //! Any finding can be waived line-by-line with
 //! `// cellfi-lint: allow(<rule>) — <reason>`; a directive with an
@@ -31,11 +40,53 @@ use crate::report::Finding;
 /// Shortest `.expect()` message that can plausibly state an invariant.
 pub const MIN_EXPECT_MSG: usize = 8;
 
+/// Curated invariant vocabulary for `.expect()` messages. A message must
+/// contain at least one stem, which forces it to *assert a property*
+/// ("grants are always in the plan", "non-empty by construction")
+/// instead of naming the failure ("bad channel"). Stems are matched
+/// case-insensitively as substrings; the trailing space on the copulas
+/// keeps them from matching inside words.
+pub const INVARIANT_STEMS: &[&str] = &[
+    "always",
+    "never",
+    "only",
+    "every",
+    "at least",
+    "at most",
+    "non-empty",
+    "by construction",
+    "implies",
+    "guarantee",
+    "comes straight",
+    "is total",
+    "registered",
+    "reachable",
+    "known",
+    "finite",
+    "underflow",
+    "overflow",
+    "poisoned",
+    "serializes",
+    "in-plan",
+    "in the plan",
+    "have ",
+    "has ",
+    "are ",
+    "is ",
+    "yields",
+    "filled",
+    "staged",
+    "fired",
+    "records",
+    "accepts",
+    "round trip",
+];
+
 /// Rule names accepted in `allow(...)` directives.
-pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units"];
+pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units", "obs"];
 
 /// Crates whose library code must not use order-randomized collections.
-const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "lte", "sim", "spectrum"];
+const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "lte", "obs", "sim", "spectrum"];
 
 /// Where a file sits in the workspace, driving rule applicability.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +142,9 @@ pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
     if !ctx.is_units_module() {
         check_unit_conversions(&mut sink);
         check_db_scaling(&mut sink);
+    }
+    if !ctx.is_bin {
+        check_obs_emit(&mut sink);
     }
     check_allow_hygiene(&mut sink);
     sink.findings
@@ -223,7 +277,8 @@ fn check_panics(sink: &mut Sink) {
         if !is_method || bytes.get(from) != Some(&b'(') {
             continue;
         }
-        if let Some(len) = string_literal_len(masked, from + 1) {
+        if let Some((open, close)) = string_literal_span(masked, from + 1) {
+            let len = close - open - 1;
             if len < MIN_EXPECT_MSG {
                 sink.report(
                     "panic",
@@ -232,6 +287,16 @@ fn check_panics(sink: &mut Sink) {
                         ".expect() message is too short to state an invariant \
                          ({len} bytes < {MIN_EXPECT_MSG})"
                     ),
+                );
+            } else if !states_invariant(&sink.scanned.raw[open + 1..close]) {
+                sink.report(
+                    "panic",
+                    pos,
+                    ".expect() message names an outcome, not an invariant: \
+                     phrase it with the invariant vocabulary (e.g. \
+                     \"always\", \"non-empty\", \"comes straight from\" — \
+                     see INVARIANT_STEMS)"
+                        .to_owned(),
                 );
             }
         }
@@ -298,10 +363,113 @@ fn preceding_literal_is_ten(bytes: &[u8], end: usize) -> bool {
     cleaned == "10" || cleaned == "10." || cleaned == "10.0"
 }
 
-/// units: multiplying or dividing a `*_db`/`*_dbm`-named binding.
+/// Whether an identifier is decibel-named by suffix convention.
+fn db_named(ident: &str) -> bool {
+    ident.ends_with("_db") || ident.ends_with("_dbm")
+}
+
+/// Bindings that inherit decibel-ness through simple `let` chains:
+/// `let margin = snr_db - floor_db;` makes `margin` a dB quantity. Only
+/// initializers that are plain arithmetic over identifiers and literals
+/// propagate — any call, indexing, comparison or struct syntax in the
+/// right-hand side (`Db(x)`, `x_db.to_linear()`, …) may change the
+/// unit, so those bindings stay untainted. Iterates to a fixpoint so
+/// chains of such lets propagate.
+fn db_tainted_bindings(masked: &str) -> std::collections::BTreeSet<String> {
+    let bytes = masked.as_bytes();
+    let mut tainted = std::collections::BTreeSet::new();
+    loop {
+        let mut changed = false;
+        let mut from = 0;
+        while let Some(pos) = find_word(masked, "let", from) {
+            from = pos + "let".len();
+            let mut i = skip_space(bytes, from);
+            if let Some(after_mut) = strip_word(masked, i, "mut") {
+                i = skip_space(bytes, after_mut);
+            }
+            // A single plain binding only; patterns (`(a, b)`, `Some(x)`)
+            // fall out because the next byte is not an identifier start.
+            if i >= bytes.len() || !is_ident_start(bytes[i]) {
+                continue;
+            }
+            let mut end = i;
+            while end < bytes.len() && is_ident_byte(bytes[end]) {
+                end += 1;
+            }
+            let name = &masked[i..end];
+            let mut j = skip_space(bytes, end);
+            // Optional `: f64`-style ascription (simple path types only).
+            if bytes.get(j) == Some(&b':') {
+                j += 1;
+                while j < bytes.len() && (is_ident_byte(bytes[j]) || bytes[j].is_ascii_whitespace())
+                {
+                    j += 1;
+                }
+            }
+            if bytes.get(j) != Some(&b'=') || bytes.get(j + 1) == Some(&b'=') {
+                continue;
+            }
+            let Some(semi_rel) = masked[j + 1..].find(';') else {
+                continue;
+            };
+            let rhs = &masked[j + 1..j + 1 + semi_rel];
+            if rhs.contains(['(', ')', '[', ']', '{', '}', '<', '>', '!', '?', '&', '|']) {
+                continue;
+            }
+            // A `.` followed by an identifier is field/method access
+            // (which may change the unit); a digit is a float literal.
+            let rhs_bytes = rhs.as_bytes();
+            let accesses_member = rhs_bytes.iter().enumerate().any(|(k, &b)| {
+                b == b'.' && rhs_bytes.get(k + 1).is_some_and(|&n| is_ident_start(n))
+            });
+            if accesses_member {
+                continue;
+            }
+            let inherits = idents_of(rhs).any(|id| db_named(id) || tainted.contains(id));
+            if inherits && !db_named(name) && tainted.insert(name.to_owned()) {
+                changed = true;
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+/// Iterate the identifiers of a source fragment.
+fn idents_of(fragment: &str) -> impl Iterator<Item = &str> {
+    fragment
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|tok| tok.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_'))
+}
+
+fn skip_space(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// If `masked[at..]` starts with `word` on an identifier boundary,
+/// return the offset just past it.
+fn strip_word(masked: &str, at: usize, word: &str) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    if masked.get(at..)?.starts_with(word) {
+        let end = at + word.len();
+        if bytes.get(end).is_none_or(|&b| !is_ident_byte(b)) {
+            return Some(end);
+        }
+    }
+    None
+}
+
+/// units: multiplying or dividing a decibel binding — one named
+/// `*_db`/`*_dbm`, or one that inherited decibel-ness through a simple
+/// `let` chain ([`db_tainted_bindings`]).
 fn check_db_scaling(sink: &mut Sink) {
     let masked = sink.masked();
     let bytes = masked.as_bytes();
+    let tainted = db_tainted_bindings(masked);
     let mut i = 0;
     while i < bytes.len() {
         if !is_ident_start(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
@@ -313,26 +481,114 @@ fn check_db_scaling(sink: &mut Sink) {
             end += 1;
         }
         let ident = &masked[i..end];
-        if ident.ends_with("_db") || ident.ends_with("_dbm") {
+        let is_db = db_named(ident) || tainted.contains(ident);
+        if is_db {
             let next = next_nonspace(bytes, end);
             let prev = prev_nonspace(bytes, i);
             let scaled =
                 matches!(next, Some(b'*') | Some(b'/')) || matches!(prev, Some(b'*') | Some(b'/'));
             // `x * 2` vs `x *= 2`: *= on a dB binding is also scaling.
             if scaled {
+                let origin = if db_named(ident) {
+                    "is a decibel quantity"
+                } else {
+                    "was assigned from a decibel quantity"
+                };
                 sink.report(
                     "units",
                     i,
                     format!(
-                        "`{ident}` is a decibel quantity; multiplying or dividing \
-                         it is a log/linear mixup — convert with \
-                         cellfi_types::units first"
+                        "`{ident}` {origin}; multiplying or dividing it is a \
+                         log/linear mixup — convert with cellfi_types::units \
+                         first"
                     ),
                 );
             }
         }
         i = end;
     }
+}
+
+/// Allocation markers forbidden inside `.emit(...)` argument lists.
+const EMIT_ALLOC_MARKERS: &[&str] = &[
+    "format!",
+    "vec!",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "clone",
+    "String::from",
+    "Vec::new",
+    "Box::new",
+];
+
+/// obs: `.emit(...)` must build its payload without allocating, so an
+/// emission on the disabled path costs exactly one branch.
+fn check_obs_emit(sink: &mut Sink) {
+    let masked = sink.masked();
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = find_word(masked, "emit", from) {
+        from = pos + "emit".len();
+        let is_method = pos > 0 && bytes[pos - 1] == b'.';
+        if !is_method || bytes.get(from) != Some(&b'(') {
+            continue;
+        }
+        let Some(close) = matching_paren(bytes, from) else {
+            continue;
+        };
+        let args = &masked[from + 1..close];
+        for marker in EMIT_ALLOC_MARKERS {
+            let hit = if let Some((ty, method)) = marker.split_once("::") {
+                find_qualified(args, &[ty, method], 0).map(|(p, _)| p)
+            } else if let Some(mac) = marker.strip_suffix('!') {
+                let mut at = 0;
+                let mut found = None;
+                while let Some(p) = find_word(args, mac, at) {
+                    at = p + mac.len();
+                    if args.as_bytes().get(at) == Some(&b'!') {
+                        found = Some(p);
+                        break;
+                    }
+                }
+                found
+            } else {
+                find_word(args, marker, 0)
+            };
+            if let Some(rel) = hit {
+                sink.report(
+                    "obs",
+                    from + 1 + rel,
+                    format!(
+                        "`{marker}` inside .emit(...): event payloads must be \
+                         allocation-free plain numerics so disabled tracing \
+                         costs one branch"
+                    ),
+                );
+            }
+        }
+        from = close;
+    }
+}
+
+/// Offset of the `)` matching the `(` at `open`.
+fn matching_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
 }
 
 fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<u8> {
@@ -447,8 +703,10 @@ fn find_qualified(masked: &str, path: &[&str], from: usize) -> Option<(usize, us
 }
 
 /// If `masked[at..]` (after optional whitespace) opens a string literal,
-/// return its content length in bytes. `None` for non-literal arguments.
-fn string_literal_len(masked: &str, at: usize) -> Option<usize> {
+/// return the byte offsets of its opening and closing quotes. Offsets
+/// map 1:1 onto the raw source, so callers can read the literal's
+/// contents there. `None` for non-literal arguments.
+fn string_literal_span(masked: &str, at: usize) -> Option<(usize, usize)> {
     let bytes = masked.as_bytes();
     let mut i = at;
     while i < bytes.len() && bytes[i].is_ascii_whitespace() {
@@ -459,5 +717,11 @@ fn string_literal_len(masked: &str, at: usize) -> Option<usize> {
     }
     let open = i;
     let close = masked[open + 1..].find('"')? + open + 1;
-    Some(close - open - 1)
+    Some((open, close))
+}
+
+/// Whether an `.expect()` message contains a curated invariant stem.
+fn states_invariant(msg: &str) -> bool {
+    let lower = msg.to_ascii_lowercase();
+    INVARIANT_STEMS.iter().any(|stem| lower.contains(stem))
 }

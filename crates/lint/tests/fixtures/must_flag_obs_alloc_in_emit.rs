@@ -1,0 +1,6 @@
+//! Rule obs: event emission must not allocate in its argument list —
+//! the disabled path has to cost exactly one branch.
+
+pub fn bad_emit(tracer: &mut Tracer, now: Instant, name: &str) {
+    tracer.emit(now, Event::Label { text: name.to_owned() });
+}

@@ -1,0 +1,6 @@
+//! Rule P: a long-enough `.expect()` message that merely names the
+//! failure, without invariant phrasing, must still be flagged.
+
+pub fn pick(x: Option<u32>) -> u32 {
+    x.expect("bad channel number")
+}

@@ -1,0 +1,9 @@
+//! Rule U: decibel-ness propagates through simple `let` chains; scaling
+//! the derived binding is the same log/linear mixup as scaling the
+//! original.
+
+pub fn margin_scaling(snr_db: f64, floor_db: f64) -> f64 {
+    let margin = snr_db - floor_db;
+    let headroom = margin;
+    headroom / 2.0
+}

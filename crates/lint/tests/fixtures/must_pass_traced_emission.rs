@@ -1,0 +1,11 @@
+//! Clean observability idiom: numeric payloads in `.emit(...)`, a
+//! dB-derived binding used additively, and an invariant-phrased expect.
+
+pub fn good_emit(tracer: &mut Tracer, now: Instant, snr_db: f64, cell: u32) {
+    let margin = snr_db - 3.0;
+    tracer.emit(now, Event::PrachHeard { cell, ue: 7, snr_db: margin + 1.0 });
+}
+
+pub fn good_expect(x: Option<u32>) -> u32 {
+    x.expect("callers only pass attached UEs")
+}

@@ -110,6 +110,27 @@ fn panic_ignores_strings_comments_and_test_code() {
 }
 
 #[test]
+fn panic_flags_outcome_phrased_expects() {
+    // Long enough, but names the failure instead of the invariant.
+    let f = lint_core("fn f(x: Option<u32>) -> u32 { x.expect(\"bad channel number\") }\n");
+    assert_eq!(rules(&f), ["panic"], "{f:?}");
+}
+
+#[test]
+fn panic_accepts_curated_invariant_phrasing() {
+    for msg in [
+        "grants are always in the plan",
+        "non-empty by construction",
+        "bootstrap channel comes straight from the grant list",
+        "callers only pass attached UEs",
+    ] {
+        let src = format!("fn f(x: Option<u32>) -> u32 {{ x.expect(\"{msg}\") }}\n");
+        let f = lint_core(&src);
+        assert!(f.is_empty(), "{msg}: {f:?}");
+    }
+}
+
+#[test]
 fn panic_rule_skips_binaries() {
     let f = lint_source(
         "crates/sim/src/bin/exp.rs",
@@ -162,12 +183,69 @@ fn units_accepts_additive_decibel_arithmetic() {
 }
 
 #[test]
+fn units_taint_propagates_through_simple_let_chains() {
+    // One hop: a binding assigned from dB arithmetic is itself dB.
+    let f = lint_core("fn f(snr_db: f64) -> f64 { let margin = snr_db - 3.0; margin * 2.0 }\n");
+    assert_eq!(rules(&f), ["units"], "{f:?}");
+    // Two hops: the chain reaches a fixpoint.
+    let f = lint_core("fn f(snr_db: f64) -> f64 { let a = snr_db + 1.0; let b = a; b / 2.0 }\n");
+    assert_eq!(rules(&f), ["units"], "{f:?}");
+}
+
+#[test]
+fn units_taint_stops_at_calls_and_conversions() {
+    for src in [
+        // A conversion call may change the unit: no taint.
+        "fn f(snr_db: Db) -> f64 { let lin = snr_db.to_linear(); lin * 2.0 }\n",
+        // Constructor syntax likewise.
+        "fn f(x_db: f64) -> f64 { let v = mw(x_db); v * 2.0 }\n",
+        // Additive use of the tainted binding stays fine.
+        "fn f(a_db: f64, b_db: f64) -> f64 { let m = a_db - b_db; m + 1.0 }\n",
+    ] {
+        let f = lint_core(src);
+        assert!(f.is_empty(), "{src}: {f:?}");
+    }
+}
+
+#[test]
 fn units_module_itself_is_exempt() {
     let f = lint_source(
         "crates/types/src/units.rs",
         "pub fn to_linear(db: f64) -> f64 { 10f64.powf(db / 10.0) }\n",
     );
     assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------- rule O
+
+#[test]
+fn obs_flags_allocation_inside_emit() {
+    for src in [
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { s: format!(\"x{}\", 1) }); }\n",
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { s: name.to_string() }); }\n",
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { s: name.to_owned() }); }\n",
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { v: xs.clone() }); }\n",
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { v: Vec::new() }); }\n",
+        "fn f(t: &mut Tracer) { t.emit(now, Event::L { v: vec![1, 2] }); }\n",
+    ] {
+        let f = lint_core(src);
+        assert_eq!(rules(&f), ["obs"], "{src}: {f:?}");
+    }
+}
+
+#[test]
+fn obs_accepts_numeric_payloads_and_unrelated_allocations() {
+    for src in [
+        "fn f(t: &mut Tracer) { t.emit(now, Event::Hop { cell: 1, from: 2, to: 3 }); }\n",
+        // Allocation outside the emit argument list is not this rule's
+        // business (panic/determinism rules own their own territory).
+        "fn f(t: &mut Tracer) { let s = make(); t.emit(now, Event::Hop { cell: s.id }); }\n",
+        // emit as a free function or a definition is not an event call.
+        "fn emit(x: u32) -> u32 { x }\n",
+    ] {
+        let f = lint_core(src);
+        assert!(f.is_empty(), "{src}: {f:?}");
+    }
 }
 
 // ------------------------------------------------------- allow directives

@@ -203,7 +203,10 @@ impl Cell {
     /// Record delivery of `bits` to `ue` (dequeues and feeds the PF
     /// average). Returns the bits actually drained (≤ queue depth).
     pub fn deliver(&mut self, ue: UeId, bits: u64) -> u64 {
-        let q = self.queues.get_mut(&ue).expect("deliver to attached UE");
+        let q = self
+            .queues
+            .get_mut(&ue)
+            .expect("delivery only targets attached UEs");
         let drained = bits.min(*q);
         *q -= drained;
         self.scheduler.record_served(ue, drained as f64);

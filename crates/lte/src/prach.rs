@@ -233,6 +233,21 @@ impl PrachDetector {
             peak_to_average: par,
         }
     }
+
+    /// [`PrachDetector::detect`] wrapped in a
+    /// [`cellfi_obs::profile::SpanId::PrachCorrelator`] span, for bench
+    /// harnesses that installed a clock. With a disabled profiler this is
+    /// `detect` plus two branches.
+    pub fn detect_profiled(
+        &self,
+        rx: &[Complex],
+        profiler: &mut cellfi_obs::profile::Profiler,
+    ) -> Detection {
+        let t0 = profiler.begin();
+        let d = self.detect(rx);
+        profiler.end(cellfi_obs::profile::SpanId::PrachCorrelator, t0);
+        d
+    }
 }
 
 /// The SNR above which the system simulations count an overheard client

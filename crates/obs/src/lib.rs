@@ -1,0 +1,55 @@
+//! CellFi observability: deterministic tracing, metrics, and profiling.
+//!
+//! Three small, dependency-free layers that the engine crates thread
+//! through their hot paths:
+//!
+//! * [`trace`] — a structured event stream keyed on **simulation ticks**
+//!   (never wall clock): hop decisions with bucket utilities, PRACH
+//!   foreign-client detections, sub-band CQI interference flags, share
+//!   recalculations, re-use packing moves, and PAWS lease/renew/vacate
+//!   transitions with deadline margins. Per-entity sinks merge in entity
+//!   index order, so the byte stream is identical for any
+//!   `CELLFI_THREADS` setting.
+//! * [`metrics`] — a registry of counters/gauges/histograms snapshotable
+//!   at any tick and exported as JSONL.
+//! * [`profile`] — span timers around the SINR cache, PRACH correlator
+//!   and fading scans. The library never reads a clock itself: the
+//!   bench/bin layer injects a `fn() -> u64` nanosecond source, keeping
+//!   cellfi-lint's determinism rule intact for every lib crate.
+//!
+//! Everything is allocation-free on the disabled path: a disabled
+//! [`trace::Tracer`] or [`profile::Profiler`] costs one branch per call
+//! site (cellfi-lint rule O checks the call sites stay that way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::Registry;
+pub use profile::{Profiler, SpanId};
+pub use trace::{Event, EventSink, Tracer};
+
+/// The full observability bundle an engine owns: one tracer, one metrics
+/// registry, one profiler. Constructed disabled by default; each layer is
+/// switched on independently (tracing by `--trace`, profiling by the
+/// bench harness installing a clock).
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Tick-keyed structured event stream.
+    pub tracer: Tracer,
+    /// Counter/gauge/histogram registry.
+    pub metrics: Registry,
+    /// Injected-clock span timers.
+    pub profiler: Profiler,
+}
+
+impl Obs {
+    /// A fully disabled bundle: no event storage, no clock, near-zero
+    /// per-call cost.
+    pub fn disabled() -> Obs {
+        Obs::default()
+    }
+}

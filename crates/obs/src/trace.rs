@@ -1,0 +1,487 @@
+//! Tick-keyed structured event tracing.
+//!
+//! Events are typed and carry only `Copy` numeric fields, so *building*
+//! an event never allocates — the only allocation on an enabled tracer
+//! is the `Vec` push, and a disabled tracer costs one branch. Timestamps
+//! are simulation [`Instant`]s; wall clock never appears in a trace, so
+//! two runs with the same seed produce byte-identical streams regardless
+//! of `CELLFI_THREADS` (the per-entity [`EventSink`] merge below is what
+//! makes that hold inside parallel regions).
+
+use cellfi_types::time::Instant;
+use std::fmt::Write as _;
+
+/// One typed observation from an engine layer.
+///
+/// Numbers only: entity ids are `u32` indices, times are microseconds of
+/// simulation time, and dB/utility values are `f64`. String payloads are
+/// deliberately impossible — they would allocate at emission time and
+/// invite nondeterministic formatting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Bucket-driven subchannel hop (§5.3) with the utilities that drove
+    /// the choice: the drained subchannel's utility and the target's.
+    Hop {
+        /// Hopping cell.
+        cell: u32,
+        /// Subchannel given up.
+        from: u32,
+        /// Subchannel acquired instead.
+        to: u32,
+        /// Utility of the subchannel given up.
+        from_utility: f64,
+        /// Utility of the acquired subchannel (maximum over candidates).
+        to_utility: f64,
+    },
+    /// Share recalculation from PRACH counts (§5.2): `share = max(1,
+    /// floor(n_sub * own / heard))` clamped to the channel.
+    Share {
+        /// Recalculating cell.
+        cell: u32,
+        /// `N_i`: the cell's own active clients.
+        own_active: u32,
+        /// `NP_i`: all active clients heard via PRACH, incl. its own.
+        heard_active: u32,
+        /// The computed share `S_i`.
+        share: u32,
+    },
+    /// A foreign active client's PRACH reached this cell above the
+    /// −10 dB sensing threshold (§5.1).
+    PrachHeard {
+        /// Sensing cell.
+        cell: u32,
+        /// The foreign client heard.
+        ue: u32,
+        /// Uplink SNR of the client's PRACH at this cell.
+        snr_db: f64,
+    },
+    /// A sub-band CQI report first flagged (ue, subchannel) as interfered
+    /// this epoch: SINR fell more than the margin below the clean SNR.
+    CqiInterference {
+        /// Reporting client.
+        ue: u32,
+        /// Flagged subchannel.
+        subchannel: u32,
+        /// Observed SINR on the subchannel.
+        sinr_db: f64,
+        /// Interference-free SNR baseline on the subchannel.
+        clean_db: f64,
+    },
+    /// Re-use packing move (§5.3): relocation toward low indices onto
+    /// subchannels every recent client observed as free.
+    Pack {
+        /// Packing cell.
+        cell: u32,
+        /// Subchannel vacated.
+        from: u32,
+        /// Lower-indexed subchannel taken instead.
+        to: u32,
+    },
+    /// PAWS database granted a channel lease.
+    PawsGrant {
+        /// Granted TVWS channel number.
+        channel: u32,
+        /// Lease expiry, microseconds of simulation time.
+        expires_us: u64,
+    },
+    /// PAWS lease renewed before expiry.
+    PawsRenew {
+        /// Renewed TVWS channel number.
+        channel: u32,
+        /// New lease expiry, microseconds of simulation time.
+        expires_us: u64,
+    },
+    /// The database withdrew the channel: vacate ordered, ETSI 60 s
+    /// deadline armed.
+    PawsVacate {
+        /// Withdrawn TVWS channel number.
+        channel: u32,
+        /// Absolute vacate deadline, microseconds of simulation time.
+        deadline_us: u64,
+    },
+    /// Transmission confirmed stopped on a withdrawn channel.
+    PawsVacated {
+        /// Vacated TVWS channel number.
+        channel: u32,
+        /// Margin left before the deadline (0 when the deadline was
+        /// already missed — a compliance violation).
+        margin_us: u64,
+    },
+}
+
+/// An event with the simulation tick at which it was observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Simulation time of the observation, microseconds.
+    pub tick_us: u64,
+    /// The observation.
+    pub event: Event,
+}
+
+/// The trace collector an engine owns.
+///
+/// Disabled (the default), [`Tracer::emit`] is a single branch and the
+/// backing `Vec` is never allocated. Inside parallel regions use
+/// [`Tracer::fork`] to hand each entity its own [`EventSink`], then
+/// [`Tracer::absorb`] the sinks back **in entity index order** — that
+/// fixed merge order is the whole determinism argument.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<Record>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing and never allocates.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer with recording on (`enabled = true`) or off.
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record `event` at simulation time `at`. One branch when disabled.
+    #[inline]
+    pub fn emit(&mut self, at: Instant, event: Event) {
+        if self.enabled {
+            self.events.push(Record {
+                tick_us: at.as_micros(),
+                event,
+            });
+        }
+    }
+
+    /// A fresh per-entity sink sharing this tracer's enabled flag.
+    pub fn fork(&self) -> EventSink {
+        EventSink {
+            enabled: self.enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append a per-entity sink's events. Call in entity index order so
+    /// the merged stream is independent of worker scheduling.
+    pub fn absorb(&mut self, sink: EventSink) {
+        if self.enabled {
+            self.events.extend(sink.events);
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn records(&self) -> &[Record] {
+        &self.events
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Serialize the trace as JSON Lines: one event object per line, in
+    /// emission order, with a fixed field order — suitable for byte
+    /// comparison by `trace-diff`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for r in &self.events {
+            write_record(&mut out, r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A per-entity event buffer for parallel regions: rows emit into their
+/// own sink (no shared state), and the caller absorbs sinks back into
+/// the [`Tracer`] in entity index order after the region.
+#[derive(Debug, Default)]
+pub struct EventSink {
+    enabled: bool,
+    events: Vec<Record>,
+}
+
+impl EventSink {
+    /// Record `event` at simulation time `at`. One branch when disabled.
+    #[inline]
+    pub fn emit(&mut self, at: Instant, event: Event) {
+        if self.enabled {
+            self.events.push(Record {
+                tick_us: at.as_micros(),
+                event,
+            });
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the sink has buffered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Write one f64 as JSON: `{}` round-trips shortest-form and is
+/// deterministic; non-finite values (never expected in practice) become
+/// `null` to keep the line valid JSON.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_record(out: &mut String, r: &Record) {
+    let _ = write!(out, "{{\"t\":{}", r.tick_us);
+    match r.event {
+        Event::Hop {
+            cell,
+            from,
+            to,
+            from_utility,
+            to_utility,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"hop\",\"cell\":{cell},\"from\":{from},\"to\":{to},\"from_utility\":"
+            );
+            write_f64(out, from_utility);
+            out.push_str(",\"to_utility\":");
+            write_f64(out, to_utility);
+        }
+        Event::Share {
+            cell,
+            own_active,
+            heard_active,
+            share,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"share\",\"cell\":{cell},\"own\":{own_active},\"heard\":{heard_active},\"share\":{share}"
+            );
+        }
+        Event::PrachHeard { cell, ue, snr_db } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"prach\",\"cell\":{cell},\"ue\":{ue},\"snr_db\":"
+            );
+            write_f64(out, snr_db);
+        }
+        Event::CqiInterference {
+            ue,
+            subchannel,
+            sinr_db,
+            clean_db,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cqi_interf\",\"ue\":{ue},\"sub\":{subchannel},\"sinr_db\":"
+            );
+            write_f64(out, sinr_db);
+            out.push_str(",\"clean_db\":");
+            write_f64(out, clean_db);
+        }
+        Event::Pack { cell, from, to } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"pack\",\"cell\":{cell},\"from\":{from},\"to\":{to}"
+            );
+        }
+        Event::PawsGrant {
+            channel,
+            expires_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"paws_grant\",\"channel\":{channel},\"expires_us\":{expires_us}"
+            );
+        }
+        Event::PawsRenew {
+            channel,
+            expires_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"paws_renew\",\"channel\":{channel},\"expires_us\":{expires_us}"
+            );
+        }
+        Event::PawsVacate {
+            channel,
+            deadline_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"paws_vacate\",\"channel\":{channel},\"deadline_us\":{deadline_us}"
+            );
+        }
+        Event::PawsVacated { channel, margin_us } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"paws_vacated\",\"channel\":{channel},\"margin_us\":{margin_us}"
+            );
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_never_allocates() {
+        let mut t = Tracer::disabled();
+        t.emit(
+            Instant::from_millis(1),
+            Event::Pack {
+                cell: 0,
+                from: 5,
+                to: 0,
+            },
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.events.capacity(), 0, "disabled emit must not allocate");
+        let sink = t.fork();
+        assert_eq!(sink.events.capacity(), 0);
+    }
+
+    #[test]
+    fn enabled_tracer_keeps_emission_order() {
+        let mut t = Tracer::new(true);
+        t.emit(
+            Instant::from_secs(1),
+            Event::Share {
+                cell: 0,
+                own_active: 2,
+                heard_active: 4,
+                share: 6,
+            },
+        );
+        t.emit(
+            Instant::from_secs(1),
+            Event::Hop {
+                cell: 0,
+                from: 3,
+                to: 7,
+                from_utility: 1.0,
+                to_utility: 2.5,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"share\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"ev\":\"hop\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"to_utility\":2.5"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn sink_absorb_merges_in_call_order() {
+        let mut t = Tracer::new(true);
+        let mut a = t.fork();
+        let mut b = t.fork();
+        b.emit(
+            Instant::from_millis(2),
+            Event::CqiInterference {
+                ue: 1,
+                subchannel: 0,
+                sinr_db: -3.0,
+                clean_db: 20.0,
+            },
+        );
+        a.emit(
+            Instant::from_millis(2),
+            Event::CqiInterference {
+                ue: 0,
+                subchannel: 4,
+                sinr_db: 1.0,
+                clean_db: 18.0,
+            },
+        );
+        // The caller absorbs in entity index order regardless of which
+        // worker finished first.
+        t.absorb(a);
+        t.absorb(b);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"ue\":0"));
+        assert!(lines[1].contains("\"ue\":1"));
+    }
+
+    #[test]
+    fn jsonl_is_stable_across_identical_traces() {
+        let build = || {
+            let mut t = Tracer::new(true);
+            t.emit(
+                Instant::from_micros(1500),
+                Event::PawsVacated {
+                    channel: 21,
+                    margin_us: 58_000_000,
+                },
+            );
+            t.emit(
+                Instant::from_micros(2500),
+                Event::PrachHeard {
+                    cell: 1,
+                    ue: 9,
+                    snr_db: -4.25,
+                },
+            );
+            t.to_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let mut t = Tracer::new(true);
+        t.emit(
+            Instant::ZERO,
+            Event::PrachHeard {
+                cell: 0,
+                ue: 0,
+                snr_db: f64::NAN,
+            },
+        );
+        assert!(t.to_jsonl().contains("\"snr_db\":null"));
+    }
+
+    #[test]
+    fn clear_keeps_enabled_flag() {
+        let mut t = Tracer::new(true);
+        t.emit(
+            Instant::ZERO,
+            Event::Pack {
+                cell: 0,
+                from: 1,
+                to: 0,
+            },
+        );
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+}

@@ -1,16 +1,23 @@
 //! `exp` — the experiment runner.
 //!
 //! ```text
-//! exp <name>... [--quick] [--seed N] [--json] [--bench]
+//! exp <name>... [--quick] [--seed N] [--json] [--bench] [--trace]
 //! exp all [--quick]          # every table and figure, paper order
 //! exp list                   # available experiment names
+//! exp trace-diff <a> <b>     # byte-compare two trace streams
 //! ```
 //!
 //! Each experiment prints a human-readable report; `--json` appends the
 //! headline values as a JSON object (consumed by EXPERIMENTS.md tooling).
 //! `--bench` additionally writes `BENCH_engine.json` — wall-clock per
 //! experiment, engine subframes/sec, and the PRACH line-rate factor —
-//! for tracking the simulator's own performance over time.
+//! plus `BENCH_obs.json` with span timings from the profiling hooks
+//! (SINR cache, fading and CQI scans, PRACH correlator). `--trace`
+//! writes `TRACE_<name>.jsonl` (the tick-keyed event stream) and
+//! `METRICS_<name>.jsonl` (the final metrics snapshot) per experiment;
+//! `trace-diff` compares two such streams line by line and exits
+//! non-zero on the first divergence — identical seeds must produce
+//! byte-identical traces at any `CELLFI_THREADS`.
 
 use cellfi_sim::experiments::{self, ExpConfig};
 use std::collections::BTreeMap;
@@ -60,6 +67,157 @@ fn prach_line_rate_factor(seed: u64) -> f64 {
     PREAMBLE_DURATION_US / per_detect_us
 }
 
+/// Wall-clock nanoseconds since the first call. The profiler clock is
+/// injected from the bin layer so library code never reads a clock;
+/// span timings are reported, never fed back into simulation state.
+fn clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Profile the engine's hot paths (SINR cache refresh, fading and CQI
+/// scans) and the PRACH correlator, and write the span totals to
+/// `BENCH_obs.json`.
+fn write_obs_bench(config: ExpConfig) {
+    use cellfi_obs::Profiler;
+    use cellfi_sim::{ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
+    use cellfi_types::rng::SeedSeq;
+    use cellfi_types::time::Instant;
+    use serde_json::Value;
+
+    let seeds = SeedSeq::new(config.seed).child("bench-obs");
+    let scenario = Scenario::generate(ScenarioConfig::paper_default(8, 6), seeds);
+    let mut e = LteEngine::new(
+        scenario,
+        LteEngineConfig::paper_default(ImMode::CellFi),
+        seeds.child("engine"),
+    );
+    e.backlog_all(u64::MAX / 4);
+    e.run_until(Instant::from_secs(1)); // warmup: caches filled, unprofiled
+    e.obs_mut().profiler = Profiler::with_clock(clock_ns);
+    for _ in 0..1_000 {
+        e.step_subframe();
+    }
+    let mut profiler = std::mem::replace(&mut e.obs_mut().profiler, Profiler::disabled());
+
+    // The PRACH correlator runs in its own detector loop, not the
+    // engine subframe path; profile it directly.
+    {
+        use cellfi_lte::prach::{awgn_channel, preamble, zc_root, PrachDetector};
+        use cellfi_types::units::Db;
+        use rand::SeedableRng;
+        let det = PrachDetector::new(129);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let rx = awgn_channel(&preamble(&zc_root(129), 100), 250, Db(-10.0), &mut rng);
+        for _ in 0..50 {
+            let _ = det.detect_profiled(&rx, &mut profiler);
+        }
+    }
+
+    let mut spans = BTreeMap::new();
+    for (name, stats) in profiler.report() {
+        if stats.count == 0 {
+            continue;
+        }
+        let mut entry = BTreeMap::new();
+        entry.insert("count".to_owned(), Value::Number(stats.count as f64));
+        entry.insert("total_ns".to_owned(), Value::Number(stats.total_ns as f64));
+        entry.insert(
+            "mean_ns".to_owned(),
+            Value::Number(stats.total_ns as f64 / stats.count as f64),
+        );
+        spans.insert(name.to_owned(), Value::Object(entry));
+    }
+    let mut root = BTreeMap::new();
+    root.insert(
+        "threads".to_owned(),
+        Value::Number(cellfi_sim::parallel::configured_threads() as f64),
+    );
+    root.insert("profiled_subframes".to_owned(), Value::Number(1_000.0));
+    root.insert("spans".to_owned(), Value::Object(spans));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("bench report serializes");
+    match std::fs::write("BENCH_obs.json", json + "\n") {
+        Ok(()) => eprintln!("wrote BENCH_obs.json"),
+        Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+    }
+}
+
+/// Byte-compare two trace streams line by line; report the first
+/// divergence. Returns success only for identical files.
+fn trace_diff(path_a: &str, path_b: &str) -> ExitCode {
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("trace-diff: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(a), Some(b)) = (read(path_a), read(path_b)) else {
+        return ExitCode::FAILURE;
+    };
+    if a == b {
+        println!(
+            "trace-diff: identical ({} lines, {} bytes)",
+            a.lines().count(),
+            a.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut lines_a = a.lines();
+    let mut lines_b = b.lines();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        match (lines_a.next(), lines_b.next()) {
+            (Some(la), Some(lb)) if la == lb => continue,
+            (Some(la), Some(lb)) => {
+                eprintln!("trace-diff: first divergence at line {lineno}:");
+                eprintln!("  {path_a}: {la}");
+                eprintln!("  {path_b}: {lb}");
+            }
+            (Some(la), None) => {
+                eprintln!("trace-diff: {path_b} ends at line {lineno}; {path_a} continues: {la}");
+            }
+            (None, Some(lb)) => {
+                eprintln!("trace-diff: {path_a} ends at line {lineno}; {path_b} continues: {lb}");
+            }
+            (None, None) => {
+                // Same lines but different bytes (e.g. trailing newline).
+                eprintln!("trace-diff: files differ only in trailing bytes");
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+}
+
+/// Write `TRACE_<name>.jsonl` and `METRICS_<name>.jsonl` for each
+/// experiment name.
+fn write_traces(names: &[&str], config: ExpConfig) -> bool {
+    let mut ok = true;
+    for name in names {
+        let Some(out) = experiments::trace_run::traced(name, config) else {
+            eprintln!("no trace runner for {name}");
+            ok = false;
+            continue;
+        };
+        for (path, body) in [
+            (format!("TRACE_{name}.jsonl"), &out.events),
+            (format!("METRICS_{name}.jsonl"), &out.metrics),
+        ] {
+            match std::fs::write(&path, body) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
+}
+
 fn write_bench(timed: &[(experiments::ExpReport, f64)], config: ExpConfig) {
     use serde_json::Value;
     let mut per_exp = BTreeMap::new();
@@ -92,16 +250,25 @@ fn write_bench(timed: &[(experiments::ExpReport, f64)], config: ExpConfig) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-diff") {
+        let [_, a, b] = args.as_slice() else {
+            eprintln!("usage: exp trace-diff <a.jsonl> <b.jsonl>");
+            return ExitCode::FAILURE;
+        };
+        return trace_diff(a, b);
+    }
     let mut names: Vec<String> = Vec::new();
     let mut config = ExpConfig::default();
     let mut json = false;
     let mut bench = false;
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => config.quick = true,
             "--json" => json = true,
             "--bench" => bench = true,
+            "--trace" => trace = true,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => config.seed = s,
                 None => {
@@ -120,7 +287,10 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        eprintln!("usage: exp <name>...|all|list [--quick] [--seed N] [--json] [--bench]");
+        eprintln!(
+            "usage: exp <name>...|all|list|trace-diff <a> <b> \
+             [--quick] [--seed N] [--json] [--bench] [--trace]"
+        );
         eprintln!("experiments: {}", experiments::ALL.join(" "));
         return ExitCode::FAILURE;
     }
@@ -146,6 +316,10 @@ fn main() -> ExitCode {
     }
     if bench {
         write_bench(&timed, config);
+        write_obs_bench(config);
+    }
+    if trace && !write_traces(&runnable, config) {
+        return ExitCode::FAILURE;
     }
     if let Some(name) = names.get(known) {
         eprintln!("unknown experiment: {name}");

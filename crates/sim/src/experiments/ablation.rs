@@ -138,7 +138,7 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
             let cdf = Cdf::new(tputs.clone());
             VariantOutcome {
                 name: v.name,
-                median_bps: cdf.median(),
+                median_bps: cdf.median_or(0.0),
                 starved: starved_fraction(&tputs, 10_000.0),
                 hops_per_ap_min: hops as f64 / ap_count as f64 / (horizon_s as f64 / 60.0),
             }

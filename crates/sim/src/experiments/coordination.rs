@@ -90,14 +90,14 @@ pub fn run(config: ExpConfig) -> ExpReport {
             let cdf = Cdf::new(o.tputs.clone());
             vec![
                 o.name.to_string(),
-                fmt_bps(cdf.median()),
+                fmt_bps(cdf.median_or(0.0)),
                 fmt_pct(starved_fraction(&o.tputs, 1_000.0)),
                 format!("{:.1}", o.x2_rate),
             ]
         })
         .collect();
     rep.text = table(&["system", "median tput", "starved", "X2 msgs/AP/s"], &rows);
-    let median = |i: usize| Cdf::new(outcomes[i].tputs.clone()).median();
+    let median = |i: usize| Cdf::new(outcomes[i].tputs.clone()).median_or(0.0);
     rep.text.push_str(&format!(
         "\nCellFi reaches {:.0}% of explicit X2 coordination's median and {:.0}% of \
          the oracle's, with zero inter-operator messages — the §6.3.4 claim \

@@ -235,9 +235,9 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
     rep.text.push_str(&format!(
         "\nMedian DL code rate {:.2} (paper: 0.5); median UL {:.2}; \
          min DL code rate observed {:.3} — below Wi-Fi's 0.5 floor.\n",
-        dl_cdf.median(),
-        ul_cdf.median(),
-        dl_cdf.quantile(0.0),
+        dl_cdf.median_or(0.0),
+        ul_cdf.median_or(0.0),
+        dl_cdf.quantile_or(0.0, 0.0),
     ));
     // HARQ usage beyond 500 m (paper: 25 %).
     let far: Vec<&DrivePoint> = points.iter().filter(|p| p.distance > 500.0).collect();
@@ -246,8 +246,8 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
         "HARQ usage beyond 500 m: {:.0}% (paper: 25%).\n",
         harq * 100.0
     ));
-    rep.record("median_dl_code_rate", dl_cdf.median());
-    rep.record("median_ul_code_rate", ul_cdf.median());
+    rep.record("median_dl_code_rate", dl_cdf.median_or(0.0));
+    rep.record("median_ul_code_rate", ul_cdf.median_or(0.0));
     rep.record("harq_usage_beyond_500m", harq);
     rep
 }
@@ -275,11 +275,11 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
     rep.text.push_str(&format!(
         "\nMedian DL fraction {:.2} (backlogged fills the channel); median UL fraction {:.3} \
          — TCP ACKs ride in a sliver of the channel thanks to OFDMA (paper: a single RB).\n",
-        dl_cdf.median(),
-        ul_cdf.median(),
+        dl_cdf.median_or(0.0),
+        ul_cdf.median_or(0.0),
     ));
-    rep.record("median_dl_fraction", dl_cdf.median());
-    rep.record("median_ul_fraction", ul_cdf.median());
+    rep.record("median_dl_fraction", dl_cdf.median_or(0.0));
+    rep.record("median_ul_fraction", ul_cdf.median_or(0.0));
     rep
 }
 

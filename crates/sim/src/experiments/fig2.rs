@@ -106,14 +106,14 @@ pub fn run(config: ExpConfig) -> ExpReport {
     rep.text.push_str(&format!(
         "\nMedian: 802.11af {} vs 802.11ac {} — the same MAC on the same layout \
          collapses at range (paper Fig 2 shows the same separation).\n",
-        fmt_bps(af_cdf.median() * 1e6),
-        fmt_bps(ac_cdf.median() * 1e6),
+        fmt_bps(af_cdf.median_or(0.0) * 1e6),
+        fmt_bps(ac_cdf.median_or(0.0) * 1e6),
     ));
-    rep.record("af_median_mbps", af_cdf.median());
-    rep.record("ac_median_mbps", ac_cdf.median());
+    rep.record("af_median_mbps", af_cdf.median_or(0.0));
+    rep.record("ac_median_mbps", ac_cdf.median_or(0.0));
     rep.record(
         "ac_to_af_median_ratio",
-        ac_cdf.median() / af_cdf.median().max(1e-9),
+        ac_cdf.median_or(0.0) / af_cdf.median_or(0.0).max(1e-9),
     );
     rep
 }

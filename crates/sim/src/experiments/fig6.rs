@@ -15,6 +15,7 @@ use crate::report::table;
 use cellfi_lte::cell::{Cell, CellConfig};
 use cellfi_lte::earfcn::{Band, Earfcn};
 use cellfi_lte::ue::{Ue, UeTimings};
+use cellfi_obs::Tracer;
 use cellfi_spectrum::client::{ClientState, DatabaseClient};
 use cellfi_spectrum::database::SpectrumDatabase;
 use cellfi_spectrum::paws::GeoLocation;
@@ -42,6 +43,14 @@ pub struct Event {
 
 /// Replay the Fig 6 script; returns the event timeline.
 pub fn timeline() -> Vec<Event> {
+    timeline_traced(&mut Tracer::disabled())
+}
+
+/// As [`timeline`], additionally emitting PAWS lease/vacate events into
+/// `tracer` (grant, vacate order with deadline, stop confirmation with
+/// the margin left before the ETSI minute) — the stream behind
+/// `exp fig6 --trace`.
+pub fn timeline_traced(tracer: &mut Tracer) -> Vec<Event> {
     let mut events = Vec::new();
     let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]);
     let ap_location = GeoLocation::gps(Point::new(0.0, 0.0));
@@ -50,10 +59,10 @@ pub fn timeline() -> Vec<Event> {
     let mut ue = Ue::new(UeId::new(0), UeTimings::paper_measured(), Instant::ZERO);
 
     // Bootstrap: grant, operate, attach (before the recorded window).
-    client.refresh(&db, Instant::ZERO);
+    client.refresh_traced(&db, Instant::ZERO, tracer);
     let channel = client.grants()[0].channel;
     client
-        .start_operation(&mut db, channel, 36.0, Instant::ZERO)
+        .start_operation_traced(&mut db, channel, 36.0, Instant::ZERO, tracer)
         .expect("bootstrap channel comes straight from the grant list");
     let carrier = Earfcn::from_frequency(
         Band::Tvws,
@@ -99,13 +108,13 @@ pub fn timeline() -> Vec<Event> {
             }
         }
         // Database poll.
-        let state = client.refresh(&db, t);
+        let state = client.refresh_traced(&db, t, tracer);
         match state {
             ClientState::Vacating { .. } if cell.radio_on() => {
                 // Stop transmitting immediately (well inside the ETSI
                 // minute); clients mute instantly — no grants, no uplink.
                 cell.radio_off();
-                client.confirm_stopped();
+                client.confirm_stopped_traced(t, tracer);
                 ue.lost_cell(t);
                 search_started = Some(t);
                 events.push(Event {
@@ -120,7 +129,7 @@ pub fn timeline() -> Vec<Event> {
             {
                 // Channel is back: start the (slow) reboot.
                 client
-                    .start_operation(&mut db, channel, 36.0, t)
+                    .start_operation_traced(&mut db, channel, 36.0, t, tracer)
                     .expect("reacquired channel comes straight from the grant list");
                 reboot_done = Some(t + AP_REBOOT);
                 events.push(Event {
@@ -174,11 +183,11 @@ pub fn run(_config: ExpConfig) -> ExpReport {
             .find(|e| e.what.contains(needle))
             .map(|e| e.at)
     };
-    let removed = find("removed").expect("withdrawal event");
-    let off = find("radio off").expect("off event");
-    let reinstated = find("reinstated").expect("reinstate event");
-    let back_on = find("back on").expect("back-on event");
-    let reconnected = find("reconnected").expect("reconnect event");
+    let removed = find("removed").expect("timeline records the withdrawal");
+    let off = find("radio off").expect("timeline records the radio-off");
+    let reinstated = find("reinstated").expect("timeline records the reinstatement");
+    let back_on = find("back on").expect("timeline records the reboot completion");
+    let reconnected = find("reconnected").expect("timeline records the reconnect");
 
     let vacate = off.duration_since(removed);
     let reboot = back_on.duration_since(reinstated);

@@ -173,7 +173,7 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
     let connected: Vec<&&PathPoint> = low.iter().filter(|p| p.full.is_some()).collect();
     let losses: Vec<f64> = connected
         .iter()
-        .map(|p| 1.0 - p.full.expect("connected") / p.signalling.max(1e-9))
+        .map(|p| 1.0 - p.full.expect("connected filter implies Some") / p.signalling.max(1e-9))
         .collect();
     let loss_cdf = Cdf::new(losses);
     rep.text.push_str(&format!(
@@ -181,12 +181,12 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
          (SINR < 10 dB): median {:.0}%, worst {:.0}% (paper: up to 50%); \
          disconnected fraction: {:.0}% (paper: frequent disconnects at one \
          end of the path).\n",
-        loss_cdf.median() * 100.0,
-        loss_cdf.quantile(1.0) * 100.0,
+        loss_cdf.median_or(0.0) * 100.0,
+        loss_cdf.quantile_or(1.0, 0.0) * 100.0,
         disconnects * 100.0
     ));
-    rep.record("median_data_interference_loss", loss_cdf.median());
-    rep.record("max_data_interference_loss", loss_cdf.quantile(1.0));
+    rep.record("median_data_interference_loss", loss_cdf.median_or(0.0));
+    rep.record("max_data_interference_loss", loss_cdf.quantile_or(1.0, 0.0));
     rep.record("disconnect_fraction", disconnects);
     rep
 }

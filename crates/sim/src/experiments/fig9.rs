@@ -234,8 +234,8 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
         fmt_pct(so),
         (1.0 - sc / sw.max(1e-9)) * 100.0,
         (1.0 - sc / sl.max(1e-9)) * 100.0,
-        cellfi.median(),
-        wifi.median(),
+        cellfi.median_or(0.0),
+        wifi.median_or(0.0),
     ));
     rep.record("starved_wifi", sw);
     rep.record("starved_lte", sl);
@@ -243,8 +243,8 @@ pub fn run_b(config: ExpConfig) -> ExpReport {
     rep.record("starved_oracle", so);
     rep.record("starvation_cut_vs_wifi", 1.0 - sc / sw.max(1e-9));
     rep.record("starvation_cut_vs_lte", 1.0 - sc / sl.max(1e-9));
-    rep.record("median_cellfi_mbps", cellfi.median());
-    rep.record("median_oracle_mbps", oracle.median());
+    rep.record("median_cellfi_mbps", cellfi.median_or(0.0));
+    rep.record("median_oracle_mbps", oracle.median_or(0.0));
     rep
 }
 
@@ -437,40 +437,40 @@ pub fn run_c(config: ExpConfig) -> ExpReport {
          {:.1}x faster than Wi-Fi at the median (paper: 2.3x), {:+.0}% vs LTE \
          (paper: ~8%). 95th percentile: CellFi {:.1} s vs LTE {:.1} s — the LTE \
          interference tail (paper: \"tail performance is significantly degraded\").\n",
-        cellfi.median(),
-        lte.median(),
-        wifi.median(),
-        wifi.median() / cellfi.median().max(1e-9),
-        (lte.median() / cellfi.median().max(1e-9) - 1.0) * 100.0,
-        cellfi.quantile(0.95),
-        lte.quantile(0.95),
+        cellfi.median_or(0.0),
+        lte.median_or(0.0),
+        wifi.median_or(0.0),
+        wifi.median_or(0.0) / cellfi.median_or(0.0).max(1e-9),
+        (lte.median_or(0.0) / cellfi.median_or(0.0).max(1e-9) - 1.0) * 100.0,
+        cellfi.quantile_or(0.95, 0.0),
+        lte.quantile_or(0.95, 0.0),
     ));
     rep.text.push_str(&format!(
         "\nCensored analysis (hanging pages enter as lower bounds — the \
          starved clients the completed-only CDF hides): medians CellFi \
          {:.2} s, LTE {:.2} s, Wi-Fi {:.2} s → CellFi {:.1}x faster than \
          Wi-Fi, {:.1}x faster than LTE.\n",
-        cellfi_c.median(),
-        lte_c.median(),
-        wifi_c.median(),
-        wifi_c.median() / cellfi_c.median().max(1e-9),
-        lte_c.median() / cellfi_c.median().max(1e-9),
+        cellfi_c.median_or(0.0),
+        lte_c.median_or(0.0),
+        wifi_c.median_or(0.0),
+        wifi_c.median_or(0.0) / cellfi_c.median_or(0.0).max(1e-9),
+        lte_c.median_or(0.0) / cellfi_c.median_or(0.0).max(1e-9),
     ));
-    rep.record("median_plt_wifi_s", wifi.median());
-    rep.record("median_plt_lte_s", lte.median());
-    rep.record("median_plt_cellfi_s", cellfi.median());
+    rep.record("median_plt_wifi_s", wifi.median_or(0.0));
+    rep.record("median_plt_lte_s", lte.median_or(0.0));
+    rep.record("median_plt_cellfi_s", cellfi.median_or(0.0));
     rep.record(
         "cellfi_speedup_vs_wifi",
-        wifi.median() / cellfi.median().max(1e-9),
+        wifi.median_or(0.0) / cellfi.median_or(0.0).max(1e-9),
     );
-    rep.record("p95_plt_cellfi_s", cellfi.quantile(0.95));
-    rep.record("p95_plt_lte_s", lte.quantile(0.95));
-    rep.record("censored_median_cellfi_s", cellfi_c.median());
-    rep.record("censored_median_lte_s", lte_c.median());
-    rep.record("censored_median_wifi_s", wifi_c.median());
+    rep.record("p95_plt_cellfi_s", cellfi.quantile_or(0.95, 0.0));
+    rep.record("p95_plt_lte_s", lte.quantile_or(0.95, 0.0));
+    rep.record("censored_median_cellfi_s", cellfi_c.median_or(0.0));
+    rep.record("censored_median_lte_s", lte_c.median_or(0.0));
+    rep.record("censored_median_wifi_s", wifi_c.median_or(0.0));
     rep.record(
         "censored_speedup_vs_wifi",
-        wifi_c.median() / cellfi_c.median().max(1e-9),
+        wifi_c.median_or(0.0) / cellfi_c.median_or(0.0).max(1e-9),
     );
     rep
 }

@@ -83,16 +83,16 @@ pub fn run(config: ExpConfig) -> ExpReport {
             let cdf = Cdf::new(tputs.clone());
             vec![
                 name.to_string(),
-                fmt_bps(cdf.median()),
-                fmt_bps(cdf.mean()),
+                fmt_bps(cdf.median_or(0.0)),
+                fmt_bps(cdf.mean_or(0.0)),
                 fmt_pct(starved_fraction(tputs, 1_000.0)),
             ]
         })
         .collect();
     rep.text = table(&["system", "median tput", "mean tput", "starved"], &rows);
 
-    let median = |i: usize| Cdf::new(by_mode[i].2.clone()).median();
-    let mean = |i: usize| Cdf::new(by_mode[i].2.clone()).mean();
+    let median = |i: usize| Cdf::new(by_mode[i].2.clone()).median_or(0.0);
+    let mean = |i: usize| Cdf::new(by_mode[i].2.clone()).mean_or(0.0);
     rep.text.push_str(&format!(
         "\nCellFi median is {:.2}x LAA's — LBT pays its contention gaps at every\n\
          cell while its −72 dBm sensing (≈290 m reach) almost never prevents a\n\

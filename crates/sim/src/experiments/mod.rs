@@ -20,6 +20,7 @@ pub mod prach;
 pub mod roaming;
 pub mod table1;
 pub mod theorem1;
+pub mod trace_run;
 
 use std::collections::BTreeMap;
 

@@ -30,7 +30,7 @@ fn median_rounds(n: u32, m: u32, demand: u32, p: f64, reps: u32, seeds: SeedSeq)
                 p,
                 seeds.seed_indexed("run", u64::from(r) * 1_000 + u64::from(n)),
             );
-            proc.run(100_000).expect("slack instance must converge")
+            proc.run(100_000).expect("slack instances always converge")
         })
         .collect();
     results.sort_unstable();
@@ -51,7 +51,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
         for &p in &[0.0, 0.3, 0.6] {
             let g = ring(n);
             let gamma = demand_gamma(&g, &vec![demand; n as usize], m)
-                .expect("instance satisfies the demand assumption");
+                .expect("ring instances always satisfy the demand assumption");
             let bound = convergence_bound_rounds(m, n as usize, p, gamma);
             let measured = median_rounds(n, m, demand, p, reps, seeds);
             worst_ratio = worst_ratio.max(measured / bound);

@@ -1,0 +1,154 @@
+//! Traced runs behind `exp --trace`.
+//!
+//! Maps each experiment name onto a deterministic, traced replay of its
+//! canonical topology: `fig6` re-runs the PAWS withdrawal script with
+//! the lease lifecycle traced; every other name runs the CellFi engine
+//! over that experiment's topology with the event tracer enabled. Both
+//! streams are pure functions of the seed — simulation ticks, never wall
+//! clock — so two runs at *any* `CELLFI_THREADS` byte-compare equal via
+//! `exp trace-diff`.
+
+use super::ExpConfig;
+use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::topology::{Scenario, ScenarioConfig, UE_NODE_BASE};
+use cellfi_obs::{Event, Registry, Tracer};
+use cellfi_propagation::antenna::Antenna;
+use cellfi_propagation::link::LinkEnd;
+use cellfi_types::geo::Point;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+
+/// A traced run's exports: the event stream plus a metrics snapshot
+/// taken at the final tick.
+#[derive(Debug, Clone)]
+pub struct TraceOutput {
+    /// JSONL event stream, one record per line, in tick order.
+    pub events: String,
+    /// JSONL metrics snapshot (counters, gauges, histograms).
+    pub metrics: String,
+}
+
+/// Run experiment `name`'s topology with tracing enabled; `None` for
+/// unknown names.
+pub fn traced(name: &str, config: ExpConfig) -> Option<TraceOutput> {
+    if !super::ALL.contains(&name) {
+        return None;
+    }
+    Some(match name {
+        "fig6" => paws_trace(),
+        "fig7b" | "fig7c" => engine_trace(two_cell_with_clients(config, name), name, config),
+        _ => engine_trace(large_scale(config, name), name, config),
+    })
+}
+
+/// The Fig 6 PAWS script with the lease lifecycle traced. Metrics
+/// summarise the trace itself: lease-event counts and the margin left
+/// before the 60 s ETSI deadline when transmissions stopped.
+fn paws_trace() -> TraceOutput {
+    let mut tracer = Tracer::new(true);
+    let timeline = super::fig6::timeline_traced(&mut tracer);
+    let mut metrics = Registry::new();
+    for r in tracer.records() {
+        match r.event {
+            Event::PawsGrant { .. } => metrics.inc("paws_grants", 0, 1),
+            Event::PawsRenew { .. } => metrics.inc("paws_renews", 0, 1),
+            Event::PawsVacate { .. } => metrics.inc("paws_vacates", 0, 1),
+            Event::PawsVacated { margin_us, .. } => {
+                metrics.observe("vacate_margin_s", 0, margin_us as f64 / 1e6);
+            }
+            _ => {}
+        }
+    }
+    let end = timeline.last().map(|e| e.at).unwrap_or(Instant::ZERO);
+    TraceOutput {
+        events: tracer.to_jsonl(),
+        metrics: metrics.snapshot_jsonl(end),
+    }
+}
+
+/// The paper's large-scale drop, sized for a short traced run.
+fn large_scale(config: ExpConfig, name: &str) -> Scenario {
+    let seeds = SeedSeq::new(config.seed).child("trace").child(name);
+    Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds.child("topo"))
+}
+
+/// The Fig 7 two-cell rooftop layout. The walk experiment itself has no
+/// resident clients (the probe is moved by hand), so the traced engine
+/// run gives each cell two so there is traffic to schedule, PRACH to
+/// overhear and interference to flag.
+fn two_cell_with_clients(config: ExpConfig, name: &str) -> Scenario {
+    let seeds = SeedSeq::new(config.seed).child("trace").child(name);
+    let mut s = Scenario::two_cell_interference(15.0, seeds.child("topo"));
+    let serving = s.aps[0].position;
+    let interferer = s.aps[1].position;
+    let drops = [
+        (serving, 40.0, 0.0, 0),
+        (serving, 80.0, 30.0, 0),
+        (interferer, -40.0, 0.0, 1),
+        (interferer, -80.0, -30.0, 1),
+    ];
+    for (i, (anchor, dx, dy, ap)) in drops.iter().enumerate() {
+        s.ues.push(LinkEnd::new(
+            UE_NODE_BASE + i as u32,
+            Point::new(anchor.x + dx, anchor.y + dy),
+            Antenna::client(),
+        ));
+        s.assoc.push(*ap);
+    }
+    s.config.clients_per_ap = 2;
+    s
+}
+
+/// Run the CellFi engine over `scenario` with the tracer on, fully
+/// backlogged, for a couple of simulated seconds (one in `--quick`).
+fn engine_trace(scenario: Scenario, name: &str, config: ExpConfig) -> TraceOutput {
+    let seeds = SeedSeq::new(config.seed).child("trace").child(name);
+    let mut e = LteEngine::new(
+        scenario,
+        LteEngineConfig::paper_default(ImMode::CellFi),
+        seeds.child("engine"),
+    );
+    e.obs_mut().tracer = Tracer::new(true);
+    e.backlog_all(u64::MAX / 4);
+    let horizon = if config.quick { 1 } else { 2 };
+    e.run_until(Instant::from_secs(horizon));
+    TraceOutput {
+        events: e.obs().tracer.to_jsonl(),
+        metrics: e.obs().metrics.snapshot_jsonl(e.now()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpConfig {
+        ExpConfig {
+            seed: 9,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(traced("fig99", quick()).is_none());
+    }
+
+    #[test]
+    fn fig6_trace_has_paws_lifecycle() {
+        let out = traced("fig6", quick()).expect("fig6 is a known experiment");
+        assert!(out.events.contains("\"ev\":\"paws_grant\""));
+        assert!(out.events.contains("\"ev\":\"paws_vacate\""));
+        assert!(out.events.contains("\"ev\":\"paws_vacated\""));
+        assert!(out.metrics.contains("vacate_margin_s"));
+    }
+
+    #[test]
+    fn engine_trace_is_seed_deterministic() {
+        let a = traced("fig7b", quick()).expect("fig7b is a known experiment");
+        let b = traced("fig7b", quick()).expect("fig7b is a known experiment");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(!a.events.is_empty(), "engine trace captured no events");
+    }
+}

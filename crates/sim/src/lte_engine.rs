@@ -40,6 +40,9 @@ use cellfi_lte::harq::{HarqEntity, HarqOutcome};
 use cellfi_lte::prach;
 use cellfi_lte::scheduler::SchedulerKind;
 use cellfi_lte::tdd::TddConfig;
+use cellfi_obs::profile::SpanId;
+use cellfi_obs::trace::{Event, EventSink};
+use cellfi_obs::Obs;
 use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
 use cellfi_types::units::{Db, Dbm};
@@ -190,6 +193,10 @@ pub struct LteEngine {
     pub rrc_drops: Vec<u64>,
     /// LAA listen-before-talk state per cell.
     lbt: Vec<LbtState>,
+    /// Observability bundle: tick-keyed event tracer, metrics registry,
+    /// and injected-clock profiler. Disabled by default (near-zero cost);
+    /// enable via [`LteEngine::obs_mut`].
+    obs: Obs,
 }
 
 /// Listen-before-talk contention state of one cell (LAA mode).
@@ -470,6 +477,7 @@ impl LteEngine {
             bad_streak_ms: vec![0; n_ue],
             outage_until: vec![Instant::ZERO; n_ue],
             rrc_drops: vec![0; n_ue],
+            obs: Obs::disabled(),
             scenario,
             config,
         };
@@ -488,6 +496,7 @@ impl LteEngine {
         }
         self.fading_block = block;
         self.gain_gen += 1;
+        let span = self.obs.profiler.begin();
         let n_sub = self.grid.num_subchannels() as usize;
         // Downlink power is split across the carrier's RBs: a subchannel
         // receives only its share of the cell's total power.
@@ -523,11 +532,24 @@ impl LteEngine {
                 }
             }
         });
+        self.obs.profiler.end(SpanId::FadingScan, span);
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Instant {
         self.now
+    }
+
+    /// The engine's observability bundle (tracer, metrics, profiler).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable observability bundle — use to enable tracing
+    /// (`obs_mut().tracer = Tracer::new(true)`) or to install a profiler
+    /// clock from the bench/bin layer before a run.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
     }
 
     /// The scenario under simulation.
@@ -663,8 +685,11 @@ impl LteEngine {
         // Bring the per-subchannel interference columns up to date (a
         // no-op when neither the fading block nor any transmitter set
         // changed since the last accumulation).
+        let span = self.obs.profiler.begin();
         self.interf
             .refresh(self.gain_gen, &self.tx_last, &self.lin_mw);
+        self.obs.profiler.end(SpanId::SinrCache, span);
+        let span = self.obs.profiler.begin();
         let totals = &self.interf.total_mw;
         let tx_last = &self.tx_last;
         let lin_mw = &self.lin_mw;
@@ -683,7 +708,12 @@ impl LteEngine {
             bad_streak_ms: &'a mut u32,
             outage_until: &'a mut Instant,
             rrc_drops: &'a mut u64,
+            /// Per-row event buffer: rows emit concurrently, the caller
+            /// absorbs the buffers back in UE index order so the merged
+            /// trace is independent of worker scheduling.
+            sink: EventSink,
         }
+        let tracer = &mut self.obs.tracer;
         let mut rows: Vec<UeRow> = self
             .ue_cqi
             .iter_mut()
@@ -698,6 +728,7 @@ impl LteEngine {
                     bad_streak_ms,
                     outage_until,
                     rrc_drops,
+                    sink: tracer.fork(),
                 },
             )
             .collect();
@@ -722,8 +753,17 @@ impl LteEngine {
                 any_usable |= row.cqi[s].usable();
                 if !tx_last[s].is_empty() {
                     let clean = 10.0 * (signal / noise_mw[s]).log10();
-                    if sinr < clean - margin {
+                    if sinr < clean - margin && !row.epoch.interfered[s] {
                         row.epoch.interfered[s] = true;
+                        row.sink.emit(
+                            now,
+                            Event::CqiInterference {
+                                ue: ue as u32,
+                                subchannel: s as u32,
+                                sinr_db: sinr,
+                                clean_db: clean,
+                            },
+                        );
                     }
                 }
             }
@@ -743,6 +783,10 @@ impl LteEngine {
                 *row.bad_streak_ms = 0;
             }
         });
+        for row in rows {
+            tracer.absorb(row.sink);
+        }
+        self.obs.profiler.end(SpanId::CqiScan, span);
     }
 
     /// Bits one subchannel can carry for a UE this subframe at its CQI.
@@ -812,7 +856,9 @@ impl LteEngine {
             // transmitter sets just built are exactly next subframe's
             // `tx_last`, so warming the interference cache here makes the
             // upcoming CQI scan a cache hit as well.
+            let span = self.obs.profiler.begin();
             self.interf.refresh(self.gain_gen, &tx, &self.lin_mw);
+            self.obs.profiler.end(SpanId::SinrCache, span);
             for (c, alloc) in allocations.iter().enumerate() {
                 let Some(a) = alloc else { continue };
                 let mut per_ue: std::collections::BTreeMap<usize, Vec<usize>> =
@@ -1230,8 +1276,31 @@ impl LteEngine {
             ImMode::PlainLte | ImMode::Laa => {}
             ImMode::CellFi => {
                 let dl = self.dl_subframes_this_epoch.max(1) as f64;
+                let now = self.now;
                 for c in 0..self.cells.len() {
                     let (own, heard) = self.heard_active(c);
+                    if self.obs.tracer.is_enabled() {
+                        // Re-walk the sensing rule to attribute each
+                        // foreign detection (the counting pass above
+                        // stays allocation- and branch-lean for
+                        // untraced runs).
+                        for ue in 0..self.scenario.n_ues() {
+                            if self.queued_bits(ue) == 0 || self.scenario.assoc[ue] == c {
+                                continue;
+                            }
+                            let snr_db = self.ul_snr_db[ue][c];
+                            if prach::heard(Db(snr_db)) {
+                                self.obs.tracer.emit(
+                                    now,
+                                    Event::PrachHeard {
+                                        cell: c as u32,
+                                        ue: ue as u32,
+                                        snr_db,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     let attached: Vec<UeId> = self.cells[c].attached_ues().to_vec();
                     let mask = self.cells[c].allowed_mask().to_vec();
                     let clients: Vec<ClientEpochStats> = attached
@@ -1278,11 +1347,31 @@ impl LteEngine {
                             }
                         })
                         .collect();
-                    let decision = self.managers[c].epoch(&EpochInput {
-                        own_active: own,
-                        heard_active: heard,
-                        clients,
-                    });
+                    let decision = self.managers[c].epoch_traced(
+                        &EpochInput {
+                            own_active: own,
+                            heard_active: heard,
+                            clients,
+                        },
+                        now,
+                        c as u32,
+                        &mut self.obs.tracer,
+                    );
+                    self.obs
+                        .metrics
+                        .inc("hops", c as u32, decision.hops.len() as u64);
+                    self.obs
+                        .metrics
+                        .set_gauge("share", c as u32, f64::from(decision.share));
+                    if !decision.hops.is_empty() || !decision.packing.is_empty() {
+                        // Rounds-to-convergence: the last epoch in which
+                        // the manager still moved.
+                        self.obs.metrics.set_gauge(
+                            "last_move_epoch",
+                            c as u32,
+                            self.managers[c].epochs_run() as f64,
+                        );
+                    }
                     let mut mask = decision.mask;
                     // Bootstrap grant: an idle cell's share is zero, but a
                     // real cell always retains minimal scheduling ability
@@ -1295,6 +1384,10 @@ impl LteEngine {
                     if mask.iter().all(|&b| !b) {
                         mask[0] = true;
                     }
+                    let owned = mask.iter().filter(|&&b| b).count();
+                    self.obs
+                        .metrics
+                        .set_gauge("occupancy", c as u32, owned as f64 / n_sub as f64);
                     self.cells[c].set_allowed_mask(mask);
                 }
             }

@@ -12,11 +12,17 @@
 
 /// An empirical CDF over f64 samples.
 ///
+/// Order statistics ([`Cdf::quantile`], [`Cdf::median`], [`Cdf::mean`])
+/// are undefined on an empty CDF and return `None` there; the `*_or`
+/// companions substitute an explicit default instead, for report code
+/// that would rather print 0 than crash on a sweep with no samples.
+///
 /// ```
 /// use cellfi_sim::metrics::Cdf;
 /// let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
-/// assert_eq!(c.median(), 2.5);
+/// assert_eq!(c.median(), Some(2.5));
 /// assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(Cdf::default().median_or(0.0), 0.0);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Cdf {
@@ -44,30 +50,50 @@ impl Cdf {
         self.sorted.is_empty()
     }
 
-    /// The q-quantile (0 ≤ q ≤ 1), linear interpolation.
-    pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        assert!(!self.is_empty(), "quantile of empty CDF");
+    /// The q-quantile (0 ≤ q ≤ 1), linear interpolation; `None` on an
+    /// empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile range is 0..=1: {q}");
         let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
         if n == 1 {
-            return self.sorted[0];
+            return Some(self.sorted[0]);
         }
         let pos = q * (n - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
         let frac = pos - lo as f64;
-        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
     }
 
-    /// Median.
-    pub fn median(&self) -> f64 {
+    /// The q-quantile, or `default` on an empty CDF.
+    pub fn quantile_or(&self, q: f64, default: f64) -> f64 {
+        self.quantile(q).unwrap_or(default)
+    }
+
+    /// Median; `None` on an empty CDF.
+    pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
-    /// Mean.
-    pub fn mean(&self) -> f64 {
-        assert!(!self.is_empty());
-        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    /// Median, or `default` on an empty CDF.
+    pub fn median_or(&self, default: f64) -> f64 {
+        self.median().unwrap_or(default)
+    }
+
+    /// Mean; `None` on an empty CDF.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+
+    /// Mean, or `default` on an empty CDF.
+    pub fn mean_or(&self, default: f64) -> f64 {
+        self.mean().unwrap_or(default)
     }
 
     /// Fraction of samples at or below `x`: `F(x)`.
@@ -133,17 +159,17 @@ mod tests {
     #[test]
     fn quantiles_of_known_data() {
         let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-        assert_eq!(c.median(), 3.0);
-        assert_eq!(c.quantile(0.0), 1.0);
-        assert_eq!(c.quantile(1.0), 5.0);
-        assert_eq!(c.quantile(0.25), 2.0);
-        assert_eq!(c.mean(), 3.0);
+        assert_eq!(c.median(), Some(3.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        assert_eq!(c.quantile(0.25), Some(2.0));
+        assert_eq!(c.mean(), Some(3.0));
     }
 
     #[test]
     fn quantile_interpolates() {
         let c = Cdf::new(vec![0.0, 10.0]);
-        assert_eq!(c.quantile(0.3), 3.0);
+        assert_eq!(c.quantile(0.3), Some(3.0));
     }
 
     #[test]
@@ -198,7 +224,7 @@ mod tests {
                 xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let mut last = f64::NEG_INFINITY;
                 for i in 0..=10 {
-                    let q = c.quantile(f64::from(i) / 10.0);
+                    let q = c.quantile(f64::from(i) / 10.0).expect("non-empty by construction");
                     prop_assert!(q >= last - 1e-9);
                     prop_assert!(q >= xs[0] - 1e-9 && q <= xs[xs.len() - 1] + 1e-9);
                     last = q;
@@ -209,8 +235,8 @@ mod tests {
             #[test]
             fn fraction_is_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
                 let c = Cdf::new(xs.clone());
-                let lo = c.quantile(0.0);
-                let hi = c.quantile(1.0);
+                let lo = c.quantile(0.0).expect("non-empty by construction");
+                let hi = c.quantile(1.0).expect("non-empty by construction");
                 let mut last = 0.0;
                 for i in 0..=20 {
                     let x = lo + (hi - lo) * f64::from(i) / 20.0;
@@ -250,8 +276,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_quantile_panics() {
-        let _ = Cdf::new(vec![]).median();
+    fn empty_cdf_yields_none_and_defaults() {
+        let c = Cdf::new(vec![]);
+        assert_eq!(c.median(), None);
+        assert_eq!(c.quantile(0.9), None);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.median_or(-1.0), -1.0);
+        assert_eq!(c.quantile_or(0.9, 0.0), 0.0);
+        assert_eq!(c.mean_or(2.5), 2.5);
     }
 }

@@ -13,6 +13,7 @@ use crate::paws::{
     AvailSpectrumReq, DeviceDescriptor, GeoLocation, InitReq, InitResp, SpectrumGrant,
     SpectrumUseNotify,
 };
+use cellfi_obs::trace::{Event, Tracer};
 use cellfi_types::time::{Duration, Instant};
 use cellfi_types::ChannelId;
 
@@ -209,6 +210,101 @@ impl DatabaseClient {
         self.state = ClientState::Idle;
     }
 
+    /// [`DatabaseClient::refresh`] that also emits the lease-lifecycle
+    /// trace events: a renewal while operating, or the start of a vacate
+    /// with its ETSI deadline.
+    pub fn refresh_traced(
+        &mut self,
+        db: &SpectrumDatabase,
+        now: Instant,
+        tracer: &mut Tracer,
+    ) -> ClientState {
+        let before = self.state;
+        let after = self.refresh(db, now);
+        match (before, after) {
+            (ClientState::Operating { .. }, ClientState::Operating { channel, expires }) => {
+                tracer.emit(
+                    now,
+                    Event::PawsRenew {
+                        channel: channel.0,
+                        expires_us: expires.as_micros(),
+                    },
+                );
+            }
+            (ClientState::Operating { .. }, ClientState::Vacating { channel, deadline }) => {
+                tracer.emit(
+                    now,
+                    Event::PawsVacate {
+                        channel: channel.0,
+                        deadline_us: deadline.as_micros(),
+                    },
+                );
+            }
+            _ => {}
+        }
+        after
+    }
+
+    /// [`DatabaseClient::start_operation`] that also emits the
+    /// [`Event::PawsGrant`] trace event on success.
+    pub fn start_operation_traced(
+        &mut self,
+        db: &mut SpectrumDatabase,
+        channel: ChannelId,
+        eirp_dbm: f64,
+        now: Instant,
+        tracer: &mut Tracer,
+    ) -> Result<(), OperationError> {
+        self.start_operation(db, channel, eirp_dbm, now)?;
+        if let ClientState::Operating { expires, .. } = self.state {
+            tracer.emit(
+                now,
+                Event::PawsGrant {
+                    channel: channel.0,
+                    expires_us: expires.as_micros(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// [`DatabaseClient::tick`] that also emits [`Event::PawsVacate`]
+    /// when an in-lease expiry starts the vacate countdown.
+    pub fn tick_traced(&mut self, now: Instant, tracer: &mut Tracer) -> ClientState {
+        let before = self.state;
+        let after = self.tick(now);
+        if let (ClientState::Operating { .. }, ClientState::Vacating { channel, deadline }) =
+            (before, after)
+        {
+            tracer.emit(
+                now,
+                Event::PawsVacate {
+                    channel: channel.0,
+                    deadline_us: deadline.as_micros(),
+                },
+            );
+        }
+        after
+    }
+
+    /// [`DatabaseClient::confirm_stopped`] that also emits
+    /// [`Event::PawsVacated`] with the margin left before the ETSI
+    /// deadline (zero margin means the deadline was missed — a
+    /// compliance violation worth alerting on).
+    pub fn confirm_stopped_traced(&mut self, now: Instant, tracer: &mut Tracer) {
+        if let ClientState::Vacating { channel, deadline } = self.state {
+            let margin_us = deadline.as_micros().saturating_sub(now.as_micros());
+            tracer.emit(
+                now,
+                Event::PawsVacated {
+                    channel: channel.0,
+                    margin_us,
+                },
+            );
+        }
+        self.confirm_stopped();
+    }
+
     /// TVWS compliance predicate: may the AP radiate at `now`?
     ///
     /// `Operating` with an unexpired grant: yes. `Vacating`: only until
@@ -365,6 +461,32 @@ mod tests {
         c.init(&strict);
         c.refresh(&strict, Instant::ZERO);
         assert!(c.query_due(Instant::from_secs(31)));
+    }
+
+    #[test]
+    fn traced_lifecycle_emits_grant_vacate_and_margin() {
+        let (mut db, mut c) = setup();
+        let mut tr = Tracer::new(true);
+        c.refresh_traced(&db, Instant::ZERO, &mut tr);
+        assert!(tr.is_empty(), "idle refresh is not a lifecycle transition");
+        let ch = c.grants()[0].channel;
+        c.start_operation_traced(&mut db, ch, 36.0, Instant::ZERO, &mut tr)
+            .expect("granted channel accepts operation");
+        db.withdraw_channel(ch, None);
+        c.refresh_traced(&db, Instant::from_secs(10), &mut tr);
+        // Stop 2 s after noticing, like the paper's AP: 48 s of margin.
+        c.confirm_stopped_traced(Instant::from_secs(12), &mut tr);
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3, "{jsonl}");
+        assert!(lines[0].contains("paws_grant"), "{}", lines[0]);
+        assert!(lines[1].contains("paws_vacate"), "{}", lines[1]);
+        assert!(
+            lines[1].contains(&format!("\"deadline_us\":{}", 70_000_000u64)),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"margin_us\":58000000"), "{}", lines[2]);
     }
 
     #[test]

@@ -223,8 +223,8 @@ impl ChannelSelector {
             .iter()
             .map(|&n| self.plan.channel(n).expect("eligible implies in plan"))
             .collect();
-        let first = chans.first().expect("run length >= 1");
-        let last = chans.last().expect("run length >= 1");
+        let first = chans.first().expect("runs are non-empty");
+        let last = chans.last().expect("runs are non-empty");
         let lo_edge = first.centre.value() - first.width.value() / 2.0;
         let hi_edge = last.centre.value() + last.width.value() / 2.0;
         let mut max_eirp = f64::INFINITY;

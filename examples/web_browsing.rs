@@ -51,8 +51,8 @@ fn main() {
         println!(
             "  p{:<3.0} page load    {:>7.2} s   {:>7.2} s",
             q * 100.0,
-            lte.quantile(q),
-            cellfi.quantile(q)
+            lte.quantile_or(q, 0.0),
+            cellfi.quantile_or(q, 0.0)
         );
     }
     println!(
@@ -62,8 +62,8 @@ fn main() {
     );
     println!(
         "  median speedup: {:.2}x; tail (p95) speedup: {:.2}x",
-        lte.median() / cellfi.median().max(1e-9),
-        lte.quantile(0.95) / cellfi.quantile(0.95).max(1e-9)
+        lte.median_or(0.0) / cellfi.median_or(0.0).max(1e-9),
+        lte.quantile_or(0.95, 0.0) / cellfi.quantile_or(0.95, 0.0).max(1e-9)
     );
     println!("  (paper: LTE slightly better at low percentiles, much worse in the tail)");
 }

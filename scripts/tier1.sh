@@ -28,4 +28,15 @@ CELLFI_THREADS=1 cargo test --offline -q --test determinism
 echo "== tier1: determinism, CELLFI_THREADS=4 =="
 CELLFI_THREADS=4 cargo test --offline -q --test determinism
 
+echo "== tier1: trace smoke (byte-identical across thread counts) =="
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+EXP=target/release/exp
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" fig7b --trace --quick > /dev/null)
+mv "$TRACE_TMP/TRACE_fig7b.jsonl" "$TRACE_TMP/trace_t1.jsonl"
+mv "$TRACE_TMP/METRICS_fig7b.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
+(cd "$TRACE_TMP" && CELLFI_THREADS=8 "$OLDPWD/$EXP" fig7b --trace --quick > /dev/null)
+"$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_fig7b.jsonl"
+"$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_fig7b.jsonl"
+
 echo "== tier1: OK =="

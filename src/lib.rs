@@ -28,5 +28,8 @@ pub use cellfi_spectrum as spectrum;
 /// The paper's contribution: distributed interference management.
 pub use cellfi_core as im;
 
+/// Observability: deterministic event tracing, metrics, profiling spans.
+pub use cellfi_obs as obs;
+
 /// Network simulator and experiment drivers for every table and figure.
 pub use cellfi_sim as sim;

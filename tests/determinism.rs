@@ -88,6 +88,47 @@ fn engine_run_is_identical_for_any_thread_count() {
     }
 }
 
+/// The tracing contract extends the parallel-engine contract: per-entity
+/// event sinks merge in entity order, so the serialized event stream —
+/// not just the aggregate counters — is byte-identical whether the
+/// fan-out uses 1, 2 or 8 workers.
+#[test]
+fn trace_bytes_are_identical_for_any_thread_count() {
+    use cellfi::obs::Tracer;
+    use cellfi::sim::{parallel, ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
+    use cellfi::types::rng::SeedSeq;
+    use cellfi::types::time::Instant;
+
+    let run = |threads: usize| {
+        parallel::with_threads(threads, || {
+            let seeds = SeedSeq::new(4242).child("trace-determinism");
+            let scenario = Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds);
+            let mut e = LteEngine::new(
+                scenario,
+                LteEngineConfig::paper_default(ImMode::CellFi),
+                seeds.child("engine"),
+            );
+            e.obs_mut().tracer = Tracer::new(true);
+            e.backlog_all(u64::MAX / 4);
+            e.run_until(Instant::from_secs(2));
+            (
+                e.obs().tracer.to_jsonl(),
+                e.obs().metrics.snapshot_jsonl(e.now()),
+            )
+        })
+    };
+    let (serial_trace, serial_metrics) = run(1);
+    assert!(
+        !serial_trace.is_empty(),
+        "traced engine run emitted no events"
+    );
+    for threads in [2usize, 8] {
+        let (trace, metrics) = run(threads);
+        assert_eq!(trace, serial_trace, "trace bytes, threads={threads}");
+        assert_eq!(metrics, serial_metrics, "metrics bytes, threads={threads}");
+    }
+}
+
 #[test]
 fn experiment_registry_is_complete_and_unique() {
     let mut names: Vec<&str> = experiments::ALL.to_vec();

@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use cellfi_sim::engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi_sim::experiments::{self, ExpConfig};
-use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi_sim::topology::{Scenario, ScenarioConfig};
 use cellfi_sim::wifi_engine::WifiEngine;
 use cellfi_types::rng::SeedSeq;

@@ -15,7 +15,7 @@ use cellfi_propagation::link::{LinkEnd, RadioEnvironment, Transmission};
 use cellfi_propagation::noise::NoiseModel;
 use cellfi_propagation::pathloss::PathLossModel;
 use cellfi_propagation::shadowing::Shadowing;
-use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi_sim::engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi_sim::topology::{Scenario, ScenarioConfig};
 use cellfi_types::geo::Point;
 use cellfi_types::rng::SeedSeq;

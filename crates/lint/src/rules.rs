@@ -1,6 +1,6 @@
 //! The CellFi rule catalogue.
 //!
-//! Four families, named in findings and in allow directives:
+//! Five families, named in findings and in allow directives:
 //!
 //! * **`determinism`** — byte-identical replay is a workspace contract
 //!   (`tests/determinism.rs`). Engine-path library code must not iterate
@@ -23,6 +23,12 @@
 //!   else. Decibel-ness also propagates through simple `let` chains:
 //!   `let margin = snr_db - floor_db;` taints `margin`, so scaling it
 //!   later is flagged too.
+//! * **`structure`** — the layered engine must stay decomposed: no file
+//!   under `crates/sim/src/engine/` may exceed
+//!   [`MAX_ENGINE_FILE_LINES`] lines. The engine was once a ~1,900-line
+//!   monolith; this cap keeps PHY, MAC and the IM strategies from
+//!   silently re-accreting into one. The finding is file-level and has
+//!   no allow escape — the fix is to split the file, not to waive it.
 //! * **`obs`** — observability must be free when it is off: the
 //!   argument list of an `.emit(...)` event call must not allocate
 //!   (`format!`, `to_string`, `to_owned`, `vec!`, `Vec::new`,
@@ -82,8 +88,17 @@ pub const INVARIANT_STEMS: &[&str] = &[
     "round trip",
 ];
 
-/// Rule names accepted in `allow(...)` directives.
-pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units", "obs"];
+/// Rule names accepted in `allow(...)` directives. `structure` findings
+/// are file-level and cannot be waived, but the name is known so a stray
+/// `allow(structure)` reads as unused rather than as a typo.
+pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units", "obs", "structure"];
+
+/// Directories whose files must stay decomposed (the engine was once a
+/// ~1,900-line monolith; see the `structure` rule).
+const STRUCTURE_DIRS: &[&str] = &["crates/sim/src/engine/"];
+
+/// Line cap for files under a [`STRUCTURE_DIRS`] directory.
+pub const MAX_ENGINE_FILE_LINES: usize = 700;
 
 /// Crates whose library code must not use order-randomized collections.
 const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "lte", "obs", "sim", "spectrum"];
@@ -126,6 +141,10 @@ impl FileContext {
     fn is_units_module(&self) -> bool {
         self.path.ends_with("types/src/units.rs")
     }
+
+    fn in_structure_dir(&self) -> bool {
+        STRUCTURE_DIRS.iter().any(|d| self.path.starts_with(d))
+    }
 }
 
 /// Run every applicable rule over one already-scanned file.
@@ -145,6 +164,9 @@ pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
     }
     if !ctx.is_bin {
         check_obs_emit(&mut sink);
+    }
+    if ctx.in_structure_dir() {
+        check_structure(&mut sink);
     }
     check_allow_hygiene(&mut sink);
     sink.findings
@@ -506,6 +528,26 @@ fn check_db_scaling(sink: &mut Sink) {
             }
         }
         i = end;
+    }
+}
+
+/// structure: files under [`STRUCTURE_DIRS`] stay decomposed. Reported
+/// straight into the sink (no test-code exclusion, no allow escape):
+/// the count covers the whole file, tests included, and the only fix is
+/// to split it.
+fn check_structure(sink: &mut Sink) {
+    let lines = sink.scanned.raw.lines().count();
+    if lines > MAX_ENGINE_FILE_LINES {
+        sink.findings.push(Finding {
+            rule: "structure",
+            path: sink.ctx.path.clone(),
+            line: MAX_ENGINE_FILE_LINES + 1,
+            message: format!(
+                "{lines} lines exceeds the {MAX_ENGINE_FILE_LINES}-line engine \
+                 file cap — split this into the PHY/MAC/IM layering \
+                 (see crates/sim/src/engine/)"
+            ),
+        });
     }
 }
 

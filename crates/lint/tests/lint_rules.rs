@@ -248,6 +248,53 @@ fn obs_accepts_numeric_payloads_and_unrelated_allocations() {
     }
 }
 
+// ---------------------------------------------------------------- rule S
+
+#[test]
+fn structure_flags_oversized_engine_files() {
+    let big = "// filler\n".repeat(cellfi_lint::rules::MAX_ENGINE_FILE_LINES + 1);
+    let f = lint_source("crates/sim/src/engine/mac.rs", &big);
+    assert_eq!(rules(&f), ["structure"], "{f:?}");
+    assert!(f[0].message.contains("cap"), "message names the cap: {f:?}");
+}
+
+#[test]
+fn structure_accepts_engine_files_at_the_cap() {
+    let at_cap = "// filler\n".repeat(cellfi_lint::rules::MAX_ENGINE_FILE_LINES);
+    let f = lint_source("crates/sim/src/engine/mac.rs", &at_cap);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn structure_rule_is_scoped_to_the_engine_directory() {
+    let big = "// filler\n".repeat(cellfi_lint::rules::MAX_ENGINE_FILE_LINES + 100);
+    for path in [
+        "crates/sim/src/experiments/fig9.rs",
+        "crates/core/src/manager.rs",
+        "crates/sim/src/engine.rs", // a sibling *file*, not the directory
+    ] {
+        let f = lint_source(path, &big);
+        assert!(f.is_empty(), "{path}: {f:?}");
+    }
+}
+
+#[test]
+fn structure_counts_test_code_and_ignores_allows() {
+    // The cap covers the whole file — a test module at the bottom does
+    // not buy headroom, and an allow directive cannot waive it.
+    let mut src = "// cellfi-lint: allow(structure) — grandfathered\n".to_owned();
+    src.push_str("#[cfg(test)]\nmod tests {\n");
+    src.push_str(&"    // filler\n".repeat(cellfi_lint::rules::MAX_ENGINE_FILE_LINES));
+    src.push_str("}\n");
+    let f = lint_source("crates/sim/src/engine/tests.rs", &src);
+    let r = rules(&f);
+    assert!(r.contains(&"structure"), "cap still applies: {f:?}");
+    assert!(
+        r.contains(&"lint-allow"),
+        "the ineffective allow is flagged as unused: {f:?}"
+    );
+}
+
 // ------------------------------------------------------- allow directives
 
 #[test]
@@ -386,7 +433,7 @@ fn vendor_and_test_trees_are_never_scanned() {
         })
         .collect();
     for expected in [
-        "crates/sim/src/lte_engine.rs",
+        "crates/sim/src/engine/mac.rs",
         "crates/spectrum/src/selection.rs",
         "crates/types/src/units.rs",
         "src/lib.rs",

@@ -161,9 +161,12 @@ impl Cell {
         self.queues.get(&ue).copied().unwrap_or(0)
     }
 
-    /// Total queued bits.
+    /// Total queued bits. Saturating: experiment harnesses backlog every
+    /// UE with a `u64::MAX / 4` sentinel, so a cell with five or more
+    /// backlogged clients sums past `u64::MAX`; callers only compare the
+    /// total against zero, and a saturated total cannot reach zero.
     pub fn total_queued_bits(&self) -> u64 {
-        self.queues.values().sum()
+        self.queues.values().fold(0u64, |a, &b| a.saturating_add(b))
     }
 
     /// Install the interference-management subchannel mask.

@@ -44,6 +44,11 @@ pub struct Obs {
     pub metrics: Registry,
     /// Injected-clock span timers.
     pub profiler: Profiler,
+    /// Detail stream switch (`--trace-detail`): when set, engines also
+    /// emit high-rate events (per-epoch `sched` occupancy decisions,
+    /// per-block `harq_retx`) and per-epoch histogram window snapshots.
+    /// Off by default so the standard trace stays byte-identical.
+    pub detail: bool,
 }
 
 impl Obs {

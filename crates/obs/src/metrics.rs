@@ -15,10 +15,33 @@ use std::fmt::Write as _;
 pub type Key = (&'static str, u32);
 
 /// Sample store behind a histogram metric: raw values, summarized at
-/// snapshot time.
+/// snapshot time. A window mark ([`Histogram::mark_window`]) splits off
+/// the tail recorded since the mark, so callers can summarize one
+/// observation window (an IM epoch, say) without losing the cumulative
+/// view.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    window_start: usize,
+}
+
+/// Quantile by nearest rank over a sorted copy; `None` when empty.
+fn slice_quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Arithmetic mean; `None` when empty.
+fn slice_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
 }
 
 impl Histogram {
@@ -34,21 +57,12 @@ impl Histogram {
 
     /// Quantile by nearest rank over a sorted copy; `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank])
+        slice_quantile(&self.samples, q)
     }
 
     /// Arithmetic mean; `None` when empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        slice_mean(&self.samples)
     }
 
     /// Smallest sample; `None` when empty.
@@ -60,6 +74,18 @@ impl Histogram {
     pub fn max(&self) -> Option<f64> {
         self.samples.iter().copied().max_by(f64::total_cmp)
     }
+
+    /// Samples recorded since the last [`Histogram::mark_window`] (all
+    /// samples before the first mark).
+    pub fn window(&self) -> &[f64] {
+        &self.samples[self.window_start..]
+    }
+
+    /// Close the current window: subsequent [`Histogram::window`] calls
+    /// cover only samples recorded after this point.
+    pub fn mark_window(&mut self) {
+        self.window_start = self.samples.len();
+    }
 }
 
 /// The metrics registry an engine owns. All maps are ordered, so export
@@ -69,6 +95,7 @@ pub struct Registry {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, f64>,
     histograms: BTreeMap<Key, Histogram>,
+    window_log: String,
 }
 
 impl Registry {
@@ -113,6 +140,52 @@ impl Registry {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Snapshot every histogram's **current window** into the window
+    /// log — one `histogram_window` JSONL line per histogram, key
+    /// order, stamped `at` — then start a new window everywhere.
+    ///
+    /// Engines call this once per IM epoch in detail mode; the log
+    /// accumulates one summary line per (histogram, window) and is
+    /// exported by [`Registry::window_log`] alongside the cumulative
+    /// [`Registry::snapshot_jsonl`]. Histograms with an empty window
+    /// are skipped, so quiet epochs cost nothing.
+    pub fn snapshot_window(&mut self, at: Instant) {
+        let t = at.as_micros();
+        for (&(name, entity), h) in &mut self.histograms {
+            let w = h.window();
+            if w.is_empty() {
+                continue;
+            }
+            let _ = write!(
+                self.window_log,
+                "{{\"t\":{t},\"kind\":\"histogram_window\",\"metric\":\"{name}\",\"entity\":{entity},\"count\":{}",
+                w.len()
+            );
+            for (field, v) in [
+                ("min", w.iter().copied().min_by(f64::total_cmp)),
+                ("max", w.iter().copied().max_by(f64::total_cmp)),
+                ("mean", slice_mean(w)),
+                ("p50", slice_quantile(w, 0.5)),
+                ("p95", slice_quantile(w, 0.95)),
+            ] {
+                let _ = write!(self.window_log, ",\"{field}\":");
+                match v {
+                    Some(v) => write_f64(&mut self.window_log, v),
+                    None => self.window_log.push_str("null"),
+                }
+            }
+            self.window_log.push_str("}\n");
+            h.mark_window();
+        }
+    }
+
+    /// The accumulated per-window histogram snapshots (JSONL), in the
+    /// order [`Registry::snapshot_window`] was called. Empty unless a
+    /// window was ever snapshotted, so default exports are unchanged.
+    pub fn window_log(&self) -> &str {
+        &self.window_log
     }
 
     /// Export the registry as JSON Lines, one metric per line, stamped

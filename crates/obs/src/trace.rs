@@ -107,6 +107,27 @@ pub enum Event {
         /// already missed — a compliance violation).
         margin_us: u64,
     },
+    /// Per-epoch scheduler occupancy decision (detail stream): the
+    /// subchannel mask a cell will schedule over until the next epoch.
+    Sched {
+        /// Deciding cell.
+        cell: u32,
+        /// Bitmask of allowed subchannels (bit `s` set ⇔ subchannel `s`
+        /// in the mask; grids are ≤ 32 subchannels).
+        mask_bits: u32,
+        /// Number of subchannels in the mask.
+        owned: u32,
+    },
+    /// A downlink transport block failed its first decode and stays in
+    /// its HARQ process for retransmission (detail stream).
+    HarqRetx {
+        /// Receiving client.
+        ue: u32,
+        /// Serving cell.
+        cell: u32,
+        /// HARQ process holding the block.
+        process: u32,
+    },
 }
 
 /// An event with the simulation tick at which it was observed.
@@ -340,6 +361,22 @@ fn write_record(out: &mut String, r: &Record) {
             let _ = write!(
                 out,
                 ",\"ev\":\"paws_vacated\",\"channel\":{channel},\"margin_us\":{margin_us}"
+            );
+        }
+        Event::Sched {
+            cell,
+            mask_bits,
+            owned,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"sched\",\"cell\":{cell},\"mask\":{mask_bits},\"owned\":{owned}"
+            );
+        }
+        Event::HarqRetx { ue, cell, process } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"harq_retx\",\"ue\":{ue},\"cell\":{cell},\"process\":{process}"
             );
         }
     }

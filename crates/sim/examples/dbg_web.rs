@@ -1,6 +1,6 @@
 //! Debug harness: prints per-client web-workload progress over a short run.
 
-use cellfi_sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi_sim::engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi_sim::topology::{Scenario, ScenarioConfig};
 use cellfi_sim::workload::{WebWorkload, WebWorkloadConfig};
 use cellfi_types::rng::SeedSeq;

@@ -1,10 +1,11 @@
 //! `exp` — the experiment runner.
 //!
 //! ```text
-//! exp <name>... [--quick] [--seed N] [--json] [--bench] [--trace]
+//! exp <name>... [--quick] [--seed N] [--json] [--bench] [--trace] [--trace-detail]
 //! exp all [--quick]          # every table and figure, paper order
 //! exp list                   # available experiment names
 //! exp trace-diff <a> <b>     # byte-compare two trace streams
+//! exp replay <TRACE.jsonl>   # reconstruct per-cell occupancy from a trace
 //! ```
 //!
 //! Each experiment prints a human-readable report; `--json` appends the
@@ -15,9 +16,15 @@
 //! (SINR cache, fading and CQI scans, PRACH correlator). `--trace`
 //! writes `TRACE_<name>.jsonl` (the tick-keyed event stream) and
 //! `METRICS_<name>.jsonl` (the final metrics snapshot) per experiment;
+//! `--trace-detail` additionally switches on the detail stream
+//! (per-epoch `sched` occupancy decisions, per-block `harq_retx`, and
+//! per-epoch histogram window snapshots in the metrics export).
 //! `trace-diff` compares two such streams line by line and exits
 //! non-zero on the first divergence — identical seeds must produce
-//! byte-identical traces at any `CELLFI_THREADS`.
+//! byte-identical traces at any `CELLFI_THREADS`. `replay` reads a
+//! written `TRACE_<name>.jsonl` back and prints the final per-cell
+//! subchannel allocation table it implies (exact when the trace has
+//! `sched` events, folded from hop/pack moves otherwise).
 
 use cellfi_sim::experiments::{self, ExpConfig};
 use std::collections::BTreeMap;
@@ -192,12 +199,34 @@ fn trace_diff(path_a: &str, path_b: &str) -> ExitCode {
     }
 }
 
+/// Reconstruct and print the final per-cell subchannel allocation a
+/// trace stream implies.
+fn replay_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match experiments::replay::replay_jsonl(&text) {
+        Ok(r) => {
+            print!("{}", experiments::replay::allocation_table(&r));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Write `TRACE_<name>.jsonl` and `METRICS_<name>.jsonl` for each
 /// experiment name.
-fn write_traces(names: &[&str], config: ExpConfig) -> bool {
+fn write_traces(names: &[&str], config: ExpConfig, detail: bool) -> bool {
     let mut ok = true;
     for name in names {
-        let Some(out) = experiments::trace_run::traced(name, config) else {
+        let Some(out) = experiments::trace_run::traced_with(name, config, detail) else {
             eprintln!("no trace runner for {name}");
             ok = false;
             continue;
@@ -257,11 +286,19 @@ fn main() -> ExitCode {
         };
         return trace_diff(a, b);
     }
+    if args.first().map(String::as_str) == Some("replay") {
+        let [_, path] = args.as_slice() else {
+            eprintln!("usage: exp replay <TRACE.jsonl>");
+            return ExitCode::FAILURE;
+        };
+        return replay_trace(path);
+    }
     let mut names: Vec<String> = Vec::new();
     let mut config = ExpConfig::default();
     let mut json = false;
     let mut bench = false;
     let mut trace = false;
+    let mut detail = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -269,6 +306,10 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--bench" => bench = true,
             "--trace" => trace = true,
+            "--trace-detail" => {
+                trace = true;
+                detail = true;
+            }
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => config.seed = s,
                 None => {
@@ -288,8 +329,8 @@ fn main() -> ExitCode {
     }
     if names.is_empty() {
         eprintln!(
-            "usage: exp <name>...|all|list|trace-diff <a> <b> \
-             [--quick] [--seed N] [--json] [--bench] [--trace]"
+            "usage: exp <name>...|all|list|trace-diff <a> <b>|replay <trace> \
+             [--quick] [--seed N] [--json] [--bench] [--trace] [--trace-detail]"
         );
         eprintln!("experiments: {}", experiments::ALL.join(" "));
         return ExitCode::FAILURE;
@@ -318,7 +359,7 @@ fn main() -> ExitCode {
         write_bench(&timed, config);
         write_obs_bench(config);
     }
-    if trace && !write_traces(&runnable, config) {
+    if trace && !write_traces(&runnable, config, detail) {
         return ExitCode::FAILURE;
     }
     if let Some(name) = names.get(known) {

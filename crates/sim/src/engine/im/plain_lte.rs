@@ -1,0 +1,15 @@
+//! Uncoordinated LTE: the §3.2 baseline.
+//!
+//! Every cell schedules the full channel with no coordination; cell-edge
+//! clients drown in inter-cell interference. Nothing to decide per
+//! epoch — masks stay full-channel forever.
+
+use super::ImStrategy;
+use crate::engine::LteEngine;
+
+/// The no-op strategy behind [`crate::engine::ImMode::PlainLte`].
+pub struct PlainLte;
+
+impl ImStrategy for PlainLte {
+    fn run_epoch(&self, _e: &mut LteEngine) {}
+}

@@ -1,0 +1,68 @@
+//! Conventional coordinated LTE: X2-negotiated sequential colouring.
+//!
+//! Neighbouring cells exchange demands and masks over X2 and colour the
+//! channel sequentially by cell id (§4.3). Single-operator only — "in
+//! CellFi, coordination is hard to enforce because multiple cellular
+//! providers are sharing the spectrum" — and every epoch costs explicit
+//! messages, which the engine counts in `x2_messages`.
+
+use super::ImStrategy;
+use crate::engine::LteEngine;
+
+/// The explicit-coordination strategy behind
+/// [`crate::engine::ImMode::X2Icic`].
+pub struct X2Icic;
+
+impl ImStrategy for X2Icic {
+    fn run_epoch(&self, e: &mut LteEngine) {
+        // Cells colour sequentially by id. Each cell learns its
+        // X2 neighbours' demands (1 message per edge) and their
+        // already-chosen masks (1 more per edge).
+        let n_sub = e.grid.num_subchannels() as usize;
+        let n = e.cells.len();
+        let demands: Vec<u32> = (0..n).map(|c| e.cells[c].active_clients() as u32).collect();
+        let mut masks: Vec<Vec<bool>> = vec![vec![false; n_sub]; n];
+        for c in 0..n {
+            let me = cellfi_types::ApId::new(c as u32);
+            let neighbors: Vec<usize> = e.conflict.neighbors(me).map(|a| a.index()).collect();
+            e.x2_messages += 2 * neighbors.len() as u64;
+            if demands[c] == 0 {
+                masks[c] = vec![true; n_sub]; // idle: full mask, no tx
+                continue;
+            }
+            let binding = std::iter::once(me)
+                .chain(e.conflict.neighbors(me))
+                .map(|a| e.conflict.closed_neighborhood_weight(a, &demands))
+                .max()
+                .unwrap_or(demands[c]);
+            let share = ((f64::from(demands[c]) * n_sub as f64 / f64::from(binding.max(1))).floor()
+                as usize)
+                .clamp(1, n_sub);
+            let blocked: Vec<bool> = (0..n_sub)
+                .map(|s| {
+                    neighbors
+                        .iter()
+                        .any(|&o| o < c && demands[o] > 0 && masks[o][s])
+                })
+                .collect();
+            let mut taken = 0;
+            for s in 0..n_sub {
+                if taken == share {
+                    break;
+                }
+                if !blocked[s] {
+                    masks[c][s] = true;
+                    taken += 1;
+                }
+            }
+            if taken == 0 {
+                // Overloaded neighbourhood: keep one subchannel
+                // (the highest) rather than go silent.
+                masks[c][n_sub - 1] = true;
+            }
+        }
+        for (c, m) in masks.into_iter().enumerate() {
+            e.cells[c].set_allowed_mask(m);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The LTE system simulator, layered as PHY / MAC / IM.
+//!
+//! A 1 ms subframe loop over the cells and clients of a [`Scenario`],
+//! with the interference-management layer switchable between the
+//! systems the paper compares (§6.3.4). The monolithic engine of the
+//! early tree is split along the paper's own architecture:
+//!
+//! * `phy` — the propagation substrate: static mean-gain matrices,
+//!   per-coherence-block fading refresh, the memoized per-subchannel
+//!   interference cache, and the CQI measurement scan.
+//! * `mac` — the LTE MAC: per-subframe PF scheduling + AMC + HARQ for
+//!   downlink and uplink, control-channel retention, and the
+//!   radio-link-failure / handover machinery.
+//! * [`im`] — one module per interference-management system behind the
+//!   [`im::ImStrategy`] trait: plain LTE, CellFi, the centralized
+//!   oracle, LAA listen-before-talk, and X2-coordinated ICIC. The
+//!   per-epoch IM decision is a trait call, so adding a sixth system is
+//!   one new module, not a monolith edit.
+//! * [`system`] — the [`system::SystemEngine`] abstraction that lets one
+//!   harness clock loop drive the LTE engine and the Wi-Fi baseline
+//!   engine identically.
+//!
+//! Per downlink subframe, each cell runs the standard PF scheduler over
+//! its allowed subchannels using CQI-derived rates; transport blocks are
+//! then resolved against the *actual* SINR (other cells' concurrent
+//! transmissions on the same subchannel) through a per-UE HARQ entity
+//! with chase combining. Control-channel interference from neighbouring
+//! radios is applied as the measured Fig 7(b) retention factor.
+//!
+//! Positions are static within a run, so the engine precomputes the
+//! mean-gain matrices at construction and refreshes the per-subchannel
+//! fading realization once per coherence block — the simulation is exact
+//! with respect to the propagation model but ~100× faster than
+//! recomputing link budgets per sample.
+
+pub mod im;
+mod mac;
+mod phy;
+pub mod system;
+mod tests;
+
+pub use im::laa::{LBT_CW, LBT_MCOT_SUBFRAMES, LBT_THRESHOLD_DBM};
+pub use system::{steady_state_bps, SimHarness, SystemEngine};
+
+use crate::topology::Scenario;
+use cellfi_core::manager::InterferenceManager;
+use cellfi_core::sensing::ImperfectSensing;
+use cellfi_core::ConflictGraph;
+use cellfi_lte::amc::{Cqi, CqiTable};
+use cellfi_lte::cell::{Cell, CellConfig};
+use cellfi_lte::earfcn::{Band, Earfcn};
+use cellfi_lte::grid::{ChannelBandwidth, ResourceGrid};
+use cellfi_lte::harq::HarqEntity;
+use cellfi_lte::scheduler::SchedulerKind;
+use cellfi_lte::tdd::TddConfig;
+use cellfi_obs::Obs;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::Instant;
+use cellfi_types::units::Db;
+use cellfi_types::{ApId, UeId};
+use phy::InterferenceCache;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which interference-management system runs on top of the LTE stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImMode {
+    /// Uncoordinated LTE: all cells use all subchannels.
+    PlainLte,
+    /// The paper's distributed interference management.
+    CellFi,
+    /// Centralized oracle with true-conflict-graph knowledge.
+    Oracle,
+    /// LAA/MulteFire-style listen-before-talk: a cell transmits (on the
+    /// whole channel) only after sensing the medium idle, holds it for
+    /// one maximum channel-occupancy time, then re-contends with a
+    /// random backoff. The paper argues (§8) this "will face similar MAC
+    /// inefficiencies as 802.11af" at TVWS ranges — this mode lets the
+    /// claim be tested.
+    Laa,
+    /// Conventional coordinated LTE (§4.3): neighbouring cells exchange
+    /// demands and masks over X2 and colour the channel sequentially.
+    /// Single-operator only — "in CellFi, coordination is hard to enforce
+    /// because multiple cellular providers are sharing the spectrum" —
+    /// and every epoch costs explicit messages, which the engine counts
+    /// in [`LteEngine::x2_messages`].
+    X2Icic,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LteEngineConfig {
+    /// Interference-management mode.
+    pub mode: ImMode,
+    /// Channel bandwidth (paper: 5 MHz).
+    pub bandwidth: ChannelBandwidth,
+    /// Sensing error model fed to CellFi (paper: 80 % detect, 2 % FP).
+    pub sensing: ImperfectSensing,
+    /// CellFi manager tuning.
+    pub manager: cellfi_core::manager::ManagerConfig,
+    /// Interference ground truth: a subchannel counts as interfered when
+    /// concurrent foreign transmissions depress SINR at least this much
+    /// below the clean SNR.
+    pub interference_margin: Db,
+}
+
+impl LteEngineConfig {
+    /// The paper's settings for a given mode.
+    pub fn paper_default(mode: ImMode) -> LteEngineConfig {
+        LteEngineConfig {
+            mode,
+            bandwidth: ChannelBandwidth::Mhz5,
+            sensing: ImperfectSensing::default(),
+            manager: cellfi_core::manager::ManagerConfig::default(),
+            interference_margin: Db(3.0),
+        }
+    }
+}
+
+/// Per-UE epoch accounting (reset every second).
+#[derive(Debug, Clone)]
+struct UeEpoch {
+    sched_subframes: Vec<u64>,
+    interfered: Vec<bool>,
+}
+
+/// The system simulator.
+#[derive(Debug)]
+pub struct LteEngine {
+    scenario: Scenario,
+    config: LteEngineConfig,
+    grid: ResourceGrid,
+    tdd: TddConfig,
+    table: CqiTable,
+    cells: Vec<Cell>,
+    managers: Vec<InterferenceManager>,
+    now: Instant,
+    /// Latest per-subchannel CQI per UE.
+    ue_cqi: Vec<Vec<Cqi>>,
+    harq: Vec<HarqEntity>,
+    delivered: Vec<u64>,
+    enqueued: Vec<u64>,
+    retention: Vec<f64>,
+    epoch: Vec<UeEpoch>,
+    free_streak: Vec<Vec<u32>>,
+    dl_subframes_this_epoch: u64,
+    /// Per-UE RNG streams (HARQ decode draws, sensing observation).
+    /// One independent stream per entity keeps draw sequences stable no
+    /// matter which order — or on which thread — entities are visited.
+    ue_rng: Vec<StdRng>,
+    /// Per-cell RNG streams (LBT backoff draws).
+    lbt_rng: Vec<StdRng>,
+    /// Transmitting cells of the previous subframe, per subchannel.
+    tx_last: Vec<Vec<usize>>,
+    /// HARQ drops per UE.
+    pub harq_drops: Vec<u64>,
+    /// HARQ retransmissions per cell this epoch (detail-mode histogram
+    /// feed, reset at every epoch boundary).
+    epoch_retx: Vec<u64>,
+
+    // ---- static link caches (positions never move within a run) ----
+    /// Mean downlink rx power (dBm) per [ue][ap] at AP power.
+    dl_mean_dbm: Vec<Vec<f64>>,
+    /// Mean uplink SNR (dB) per [ue][ap] at UE power over the channel
+    /// (drives PRACH hearing).
+    ul_snr_db: Vec<Vec<f64>>,
+    /// Per-subchannel noise floor, mW.
+    noise_mw: Vec<f64>,
+    /// Instantaneous linear rx power (mW) per [ue][ap][sc], refreshed per
+    /// fading coherence block.
+    lin_mw: Vec<Vec<Vec<f64>>>,
+    fading_block: u64,
+    /// Generation counter for `lin_mw`: bumped whenever any cached gain
+    /// changes (fading block roll, client move) so dependent caches can
+    /// tell stale from fresh without comparing the tensor itself.
+    gain_gen: u64,
+    /// Memoized per-subchannel interference accumulation over `lin_mw`.
+    interf: InterferenceCache,
+    /// True conflict graph (static; used by the oracle).
+    conflict: ConflictGraph,
+    /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
+    ap_mean_dbm: Vec<Vec<f64>>,
+    /// Mean uplink rx power (dBm) per [ue][ap] at *full* UE power; a UE
+    /// concentrating into fewer subchannels splits this across only its
+    /// granted ones (§3.1's single-carrier uplink advantage).
+    ul_mean_dbm: Vec<Vec<f64>>,
+    /// Uplink queues (bits) per UE.
+    ul_queue: Vec<u64>,
+    /// Uplink delivered bits per UE.
+    ul_delivered: Vec<u64>,
+    /// Uplink HARQ entity per UE.
+    ul_harq: Vec<HarqEntity>,
+    /// Uplink PF scheduler per cell (independent of the downlink one).
+    ul_scheduler: Vec<cellfi_lte::scheduler::Scheduler>,
+    /// Total X2 messages exchanged (X2Icic mode): the explicit-
+    /// coordination cost CellFi's passive sensing avoids.
+    pub x2_messages: u64,
+    /// Handovers executed (mobility support, §7 "Mobility and roaming").
+    pub handovers: u64,
+    /// Consecutive milliseconds each UE has been unable to decode any
+    /// subchannel while backlogged (drives RRC drops).
+    bad_streak_ms: Vec<u32>,
+    /// UEs in radio-link-failure outage until the given instant.
+    outage_until: Vec<Instant>,
+    /// RRC drops per UE — the paper's "frequent disconnections" under
+    /// strong interference (§3.2, §6.3.1).
+    pub rrc_drops: Vec<u64>,
+    /// LAA listen-before-talk state per cell.
+    lbt: Vec<LbtState>,
+    /// Observability bundle: tick-keyed event tracer, metrics registry,
+    /// and injected-clock profiler. Disabled by default (near-zero cost);
+    /// enable via [`LteEngine::obs_mut`].
+    obs: Obs,
+}
+
+/// Listen-before-talk contention state of one cell (LAA mode).
+#[derive(Debug, Clone, Copy, Default)]
+struct LbtState {
+    /// Remaining subframes of the current channel-occupancy grant.
+    txop_remaining: u32,
+    /// Backoff counter decremented on idle subframes.
+    backoff: u32,
+}
+
+impl LteEngine {
+    /// Build the engine over a scenario; every client attaches to its
+    /// drop AP immediately (association transients are not the object of
+    /// the large-scale experiments).
+    pub fn new(scenario: Scenario, config: LteEngineConfig, seeds: SeedSeq) -> LteEngine {
+        let grid = ResourceGrid::new(config.bandwidth);
+        let n_sub = grid.num_subchannels() as usize;
+        let tdd = TddConfig::paper_default();
+        let carrier = Earfcn::new(Band::Tvws, 100_500);
+        let mut cells: Vec<Cell> = (0..scenario.aps.len())
+            .map(|i| {
+                let mut cfg = CellConfig::paper_default(ApId::new(i as u32));
+                cfg.tx_power = scenario.config.ap_power;
+                cfg.bandwidth = config.bandwidth;
+                cfg.scheduler = SchedulerKind::ProportionalFair;
+                let mut c = Cell::new(cfg);
+                c.set_carrier(carrier, scenario.config.ue_power, Instant::ZERO);
+                c
+            })
+            .collect();
+        for (u, &ap) in scenario.assoc.iter().enumerate() {
+            cells[ap].attach(UeId::new(u as u32));
+        }
+        let managers = (0..scenario.aps.len())
+            .map(|i| {
+                InterferenceManager::new(
+                    n_sub as u32,
+                    config.manager,
+                    seeds.seed_indexed("im", i as u64),
+                )
+            })
+            .collect();
+        let n_ue = scenario.n_ues();
+        let n_ap = scenario.aps.len();
+
+        // Static mean-gain matrices and the true conflict graph.
+        let links = phy::LinkMatrices::build(&scenario, &config, &grid);
+
+        let mut engine = LteEngine {
+            grid,
+            tdd,
+            table: CqiTable,
+            cells,
+            managers,
+            now: Instant::ZERO,
+            ue_cqi: vec![vec![Cqi::OUT_OF_RANGE; n_sub]; n_ue],
+            harq: vec![HarqEntity::new(); n_ue],
+            delivered: vec![0; n_ue],
+            enqueued: vec![0; n_ue],
+            retention: vec![1.0; n_ue],
+            epoch: vec![
+                UeEpoch {
+                    sched_subframes: vec![0; n_sub],
+                    interfered: vec![false; n_sub],
+                };
+                n_ue
+            ],
+            free_streak: vec![vec![0; n_sub]; n_ue],
+            dl_subframes_this_epoch: 0,
+            ue_rng: (0..n_ue)
+                .map(|u| StdRng::seed_from_u64(seeds.seed_indexed("engine-ue", u as u64)))
+                .collect(),
+            lbt_rng: (0..n_ap)
+                .map(|a| StdRng::seed_from_u64(seeds.seed_indexed("engine-lbt", a as u64)))
+                .collect(),
+            tx_last: vec![Vec::new(); n_sub],
+            harq_drops: vec![0; n_ue],
+            epoch_retx: vec![0; n_ap],
+            dl_mean_dbm: links.dl_mean_dbm,
+            ul_snr_db: links.ul_snr_db,
+            noise_mw: links.noise_mw,
+            lin_mw: vec![vec![vec![0.0; n_sub]; n_ap]; n_ue],
+            fading_block: u64::MAX,
+            gain_gen: 0,
+            interf: InterferenceCache::new(n_sub, n_ue),
+            conflict: links.conflict,
+            ap_mean_dbm: links.ap_mean_dbm,
+            ul_mean_dbm: links.ul_mean_dbm,
+            ul_queue: vec![0; n_ue],
+            ul_delivered: vec![0; n_ue],
+            ul_harq: vec![HarqEntity::new(); n_ue],
+            ul_scheduler: (0..n_ap)
+                .map(|_| {
+                    cellfi_lte::scheduler::Scheduler::new(
+                        cellfi_lte::scheduler::SchedulerKind::ProportionalFair,
+                    )
+                })
+                .collect(),
+            lbt: vec![LbtState::default(); n_ap],
+            x2_messages: 0,
+            handovers: 0,
+            bad_streak_ms: vec![0; n_ue],
+            outage_until: vec![Instant::ZERO; n_ue],
+            rrc_drops: vec![0; n_ue],
+            obs: Obs::disabled(),
+            scenario,
+            config,
+        };
+        engine.refresh_fading();
+        engine.recompute_retention();
+        engine.measure_cqi();
+        engine
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The engine's observability bundle (tracer, metrics, profiler).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable observability bundle — use to enable tracing
+    /// (`obs_mut().tracer = Tracer::new(true)`) or to install a profiler
+    /// clock from the bench/bin layer before a run.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// The scenario under simulation.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Enqueue downlink bits for a client.
+    pub fn enqueue(&mut self, ue: usize, bits: u64) {
+        let ap = self.scenario.assoc[ue];
+        self.cells[ap].enqueue(UeId::new(ue as u32), bits);
+        self.enqueued[ue] += bits;
+    }
+
+    /// Enqueue uplink bits at a client.
+    pub fn enqueue_ul(&mut self, ue: usize, bits: u64) {
+        self.ul_queue[ue] += bits;
+    }
+
+    /// Uplink delivered bits per client.
+    pub fn ul_delivered_bits(&self) -> &[u64] {
+        &self.ul_delivered
+    }
+
+    /// Uplink bits still queued at a client.
+    pub fn ul_queued_bits(&self, ue: usize) -> u64 {
+        self.ul_queue[ue]
+    }
+
+    /// Per-client average uplink throughput in bps over the elapsed time.
+    pub fn ul_throughputs_bps(&self) -> Vec<f64> {
+        let t = self.now.as_secs_f64().max(1e-9);
+        self.ul_delivered.iter().map(|&b| b as f64 / t).collect()
+    }
+
+    /// Give every client `bits` of backlog.
+    pub fn backlog_all(&mut self, bits: u64) {
+        for u in 0..self.scenario.n_ues() {
+            self.enqueue(u, bits);
+        }
+    }
+
+    /// Total delivered bits per client.
+    pub fn delivered_bits(&self) -> &[u64] {
+        &self.delivered
+    }
+
+    /// Bits still queued for a client.
+    pub fn queued_bits(&self, ue: usize) -> u64 {
+        self.cells[self.scenario.assoc[ue]].queued_bits(UeId::new(ue as u32))
+    }
+
+    /// Per-client average throughput in bps over the elapsed time.
+    pub fn throughputs_bps(&self) -> Vec<f64> {
+        let t = self.now.as_secs_f64().max(1e-9);
+        self.delivered.iter().map(|&b| b as f64 / t).collect()
+    }
+
+    /// Total hops taken by each CellFi manager (convergence metric).
+    pub fn manager_hops(&self) -> Vec<u64> {
+        self.managers.iter().map(|m| m.total_hops()).collect()
+    }
+
+    /// Current scheduler mask of a cell.
+    pub fn cell_mask(&self, cell: usize) -> Vec<bool> {
+        self.cells[cell].allowed_mask().to_vec()
+    }
+
+    /// Mean SNR (no interference) of a client's downlink over the full
+    /// channel — used by experiments for binning by link quality.
+    pub fn ue_snr(&self, ue: usize) -> Db {
+        let ap = self.scenario.assoc[ue];
+        let noise_total: f64 = self.noise_mw.iter().sum();
+        Db(self.dl_mean_dbm[ue][ap] - 10.0 * noise_total.log10())
+    }
+
+    /// Run until `deadline`.
+    pub fn run_until(&mut self, deadline: Instant) {
+        while self.now < deadline {
+            let _ = self.step_subframe();
+        }
+    }
+
+    /// Epoch boundary: roll the per-(UE, subchannel) free streaks, run
+    /// the configured interference-management strategy (one [`im`]
+    /// module per system), then reset epoch accounting.
+    fn run_epoch(&mut self) {
+        let n_sub = self.grid.num_subchannels() as usize;
+        for ue in 0..self.scenario.n_ues() {
+            for s in 0..n_sub {
+                if self.epoch[ue].interfered[s] {
+                    self.free_streak[ue][s] = 0;
+                } else {
+                    self.free_streak[ue][s] += 1;
+                }
+            }
+        }
+        im::strategy_for(self.config.mode).run_epoch(self);
+        for e in self.epoch.iter_mut() {
+            e.sched_subframes = vec![0; n_sub];
+            e.interfered = vec![false; n_sub];
+        }
+        self.dl_subframes_this_epoch = 0;
+        self.recompute_retention();
+    }
+}

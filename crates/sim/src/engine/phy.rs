@@ -1,0 +1,461 @@
+//! PHY layer: propagation caches and channel measurement.
+//!
+//! Everything here is a pure function of the scenario geometry, the
+//! fading process, and simulation time: the static mean-gain matrices
+//! built at construction, the per-coherence-block refresh of the
+//! instantaneous linear gain tensor, the memoized per-subchannel
+//! interference accumulation, and the CQI measurement scan (which also
+//! hosts the radio-link-failure monitor, because RLF is declared from
+//! the same per-subchannel decodability the CQI reports measure).
+
+use super::{LteEngine, LteEngineConfig};
+use crate::topology::Scenario;
+use cellfi_core::ConflictGraph;
+use cellfi_lte::grid::ResourceGrid;
+use cellfi_obs::profile::SpanId;
+use cellfi_obs::trace::{Event, EventSink};
+use cellfi_types::time::{Duration, Instant};
+use cellfi_types::units::{Db, Dbm};
+use cellfi_types::{ApId, SubchannelId, UeId};
+
+/// The static link-budget matrices an engine precomputes at
+/// construction: positions never move within a run (mobility goes
+/// through [`LteEngine::move_ue`], which patches the affected row), so
+/// the per-link means and the true conflict graph are computed once.
+pub(crate) struct LinkMatrices {
+    /// Mean downlink rx power (dBm) per [ue][ap] at AP power.
+    pub dl_mean_dbm: Vec<Vec<f64>>,
+    /// Mean uplink SNR (dB) per [ue][ap] at UE power over the channel.
+    pub ul_snr_db: Vec<Vec<f64>>,
+    /// Mean uplink rx power (dBm) per [ue][ap] at full UE power.
+    pub ul_mean_dbm: Vec<Vec<f64>>,
+    /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
+    pub ap_mean_dbm: Vec<Vec<f64>>,
+    /// Per-subchannel noise floor, mW.
+    pub noise_mw: Vec<f64>,
+    /// True conflict graph from mean gains.
+    pub conflict: ConflictGraph,
+}
+
+impl LinkMatrices {
+    /// Build every static matrix for `scenario` under `config`.
+    pub fn build(scenario: &Scenario, config: &LteEngineConfig, grid: &ResourceGrid) -> Self {
+        let n_sub = grid.num_subchannels() as usize;
+        let n_ue = scenario.n_ues();
+        let n_ap = scenario.aps.len();
+        let env = &scenario.env;
+        let dl_mean_dbm: Vec<Vec<f64>> = (0..n_ue)
+            .map(|u| {
+                (0..n_ap)
+                    .map(|a| {
+                        env.mean_rx_power(
+                            &scenario.aps[a],
+                            scenario.config.ap_power,
+                            &scenario.ues[u],
+                        )
+                        .value()
+                    })
+                    .collect()
+            })
+            .collect();
+        let ul_snr_db: Vec<Vec<f64>> = (0..n_ue)
+            .map(|u| {
+                (0..n_ap)
+                    .map(|a| {
+                        env.mean_snr(
+                            &scenario.ues[u],
+                            scenario.config.ue_power,
+                            &scenario.aps[a],
+                            config.bandwidth.bandwidth(),
+                        )
+                        .value()
+                    })
+                    .collect()
+            })
+            .collect();
+        let ul_mean_dbm: Vec<Vec<f64>> = (0..n_ue)
+            .map(|u| {
+                (0..n_ap)
+                    .map(|a| {
+                        env.mean_rx_power(
+                            &scenario.ues[u],
+                            scenario.config.ue_power,
+                            &scenario.aps[a],
+                        )
+                        .value()
+                    })
+                    .collect()
+            })
+            .collect();
+        let ap_mean_dbm: Vec<Vec<f64>> = (0..n_ap)
+            .map(|a| {
+                (0..n_ap)
+                    .map(|b| {
+                        if a == b {
+                            f64::NEG_INFINITY
+                        } else {
+                            env.mean_rx_power(
+                                &scenario.aps[b],
+                                scenario.config.ap_power,
+                                &scenario.aps[a],
+                            )
+                            .value()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let noise_mw: Vec<f64> = (0..n_sub)
+            .map(|s| {
+                env.noise
+                    .floor_mw(grid.subchannel_bandwidth(SubchannelId::new(s as u32)))
+                    .value()
+            })
+            .collect();
+
+        // True conflict graph from mean gains (static).
+        let mut conflict = ConflictGraph::new(n_ap);
+        let margin = config.interference_margin.value();
+        for i in 0..n_ap {
+            for j in (i + 1)..n_ap {
+                let conflicts = (0..n_ue).any(|u| {
+                    let ap = scenario.assoc[u];
+                    let other = if ap == i {
+                        j
+                    } else if ap == j {
+                        i
+                    } else {
+                        return false;
+                    };
+                    let s_mw = Dbm(dl_mean_dbm[u][ap]).to_milliwatts().value();
+                    let i_mw = Dbm(dl_mean_dbm[u][other]).to_milliwatts().value();
+                    // Full-channel signal/interference powers against the
+                    // full-channel noise floor (the per-subchannel power
+                    // split cancels out of the ratio).
+                    let n_mw: f64 = noise_mw.iter().sum();
+                    let clean = s_mw / n_mw;
+                    let with = s_mw / (i_mw + n_mw);
+                    10.0 * (clean / with).log10() > margin
+                });
+                if conflicts {
+                    conflict.add_edge(ApId::new(i as u32), ApId::new(j as u32));
+                }
+            }
+        }
+
+        LinkMatrices {
+            dl_mean_dbm,
+            ul_snr_db,
+            ul_mean_dbm,
+            ap_mean_dbm,
+            noise_mw,
+            conflict,
+        }
+    }
+}
+
+/// Memoized per-subchannel interference accumulation.
+///
+/// The engine's hottest loop sums, for every (UE, subchannel) pair, the
+/// received power from every concurrently transmitting cell. With a
+/// saturated PF scheduler the transmitter set of a subchannel is stable
+/// for long stretches (masks only change at epoch boundaries, and a
+/// backlogged cell transmits every subframe), and the gains themselves
+/// only change when the fading block rolls — so the same sums were being
+/// recomputed every CQI period. This cache keys each subchannel's column
+/// of per-UE power totals by `(gain generation, transmitter set)` and
+/// recomputes a column only when its key changes.
+///
+/// Totals include *every* transmitting cell — the serving cell too — so
+/// the cache stays valid across handovers; callers subtract the serving
+/// cell's own contribution when it is in the set.
+#[derive(Debug)]
+pub(crate) struct InterferenceCache {
+    /// Total received power (mW) per [subchannel][ue] summed over the
+    /// cached transmitter set.
+    pub total_mw: Vec<Vec<f64>>,
+    /// Cache key per subchannel: gain generation + transmitter set it
+    /// was accumulated for. `None` until first filled.
+    key: Vec<Option<(u64, Vec<usize>)>>,
+}
+
+impl InterferenceCache {
+    pub fn new(n_sub: usize, n_ue: usize) -> InterferenceCache {
+        InterferenceCache {
+            total_mw: vec![vec![0.0; n_ue]; n_sub],
+            key: vec![None; n_sub],
+        }
+    }
+
+    /// Ensure every subchannel's column matches `(gain_gen, tx[s])`,
+    /// recomputing stale columns in parallel (columns are disjoint).
+    /// After this, `total_mw[s][ue]` is exactly
+    /// `Self::direct_total(tx[s], lin_mw, ue, s)` for every pair.
+    pub fn refresh(&mut self, gain_gen: u64, tx: &[Vec<usize>], lin_mw: &[Vec<Vec<f64>>]) {
+        let stale: Vec<usize> = (0..tx.len())
+            .filter(|&s| !matches!(&self.key[s], Some((g, t)) if *g == gain_gen && t == &tx[s]))
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        // Pull the stale columns out so each worker owns its rows.
+        let mut columns: Vec<(usize, Vec<f64>)> = stale
+            .iter()
+            .map(|&s| (s, std::mem::take(&mut self.total_mw[s])))
+            .collect();
+        crate::parallel::for_each_row(&mut columns, 16, |_, row| {
+            let (s, col) = (row.0, &mut row.1);
+            for (ue, slot) in col.iter_mut().enumerate() {
+                *slot = Self::direct_total(&tx[s], lin_mw, ue, s);
+            }
+        });
+        for (s, col) in columns {
+            self.total_mw[s] = col;
+            self.key[s] = Some((gain_gen, tx[s].clone()));
+        }
+    }
+
+    /// The unmemoized accumulation the cache must always agree with:
+    /// total power at `ue` on subchannel `s` over transmitters `tx`.
+    pub fn direct_total(tx: &[usize], lin_mw: &[Vec<Vec<f64>>], ue: usize, s: usize) -> f64 {
+        tx.iter().map(|&c| lin_mw[ue][c][s]).sum()
+    }
+}
+
+impl LteEngine {
+    /// Refresh the instantaneous linear gains when the fading block rolls.
+    pub(super) fn refresh_fading(&mut self) {
+        let coherence = self.scenario.env.fading.coherence();
+        let block = self.now.as_micros() / coherence.as_micros();
+        if block == self.fading_block {
+            return;
+        }
+        self.fading_block = block;
+        self.gain_gen += 1;
+        let span = self.obs.profiler.begin();
+        let n_sub = self.grid.num_subchannels() as usize;
+        // Downlink power is split across the carrier's RBs: a subchannel
+        // receives only its share of the cell's total power.
+        let split_db: Vec<f64> = (0..n_sub)
+            .map(|s| {
+                let sc = SubchannelId::new(s as u32);
+                (self
+                    .grid
+                    .subchannel_tx_power(self.scenario.config.ap_power, sc)
+                    - self.scenario.config.ap_power)
+                    .value()
+            })
+            .collect();
+        // Per-UE rows of the gain tensor are disjoint and the fading
+        // process is a pure function of (nodes, subchannel, time), so the
+        // refresh fans out across UEs.
+        let scenario = &self.scenario;
+        let dl_mean_dbm = &self.dl_mean_dbm;
+        let now = self.now;
+        crate::parallel::for_each_row(&mut self.lin_mw, 8, |u, row| {
+            let ue_node = scenario.ues[u].node;
+            for (a, per_ap) in row.iter_mut().enumerate() {
+                let ap_node = scenario.aps[a].node;
+                for (s, slot) in per_ap.iter_mut().enumerate() {
+                    let f = scenario
+                        .env
+                        .fading
+                        .gain(ap_node, ue_node, SubchannelId::new(s as u32), now)
+                        .value();
+                    *slot = Dbm(dl_mean_dbm[u][a] + split_db[s] + f)
+                        .to_milliwatts()
+                        .value();
+                }
+            }
+        });
+        self.obs.profiler.end(SpanId::FadingScan, span);
+    }
+
+    /// Instantaneous SINR for (ue, subchannel) given the transmitting
+    /// cell set, from the cached linear gains. Production paths read the
+    /// memoized [`InterferenceCache`] instead; this direct form is the
+    /// reference the cache property tests compare against.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(super) fn sinr_db(&self, ue: usize, s: usize, tx_cells: &[usize]) -> f64 {
+        let ap = self.scenario.assoc[ue];
+        let signal = self.lin_mw[ue][ap][s];
+        let interference: f64 = tx_cells
+            .iter()
+            .filter(|&&c| c != ap)
+            .map(|&c| self.lin_mw[ue][c][s])
+            .sum();
+        10.0 * (signal / (interference + self.noise_mw[s])).log10()
+    }
+
+    /// Refresh every UE's sub-band CQI from the previous subframe's
+    /// transmission pattern (mode 3-0 reports, 2 ms cadence), and run the
+    /// radio-link-failure monitor: a backlogged UE that can decode no
+    /// subchannel for [`LteEngine::RLF_TIMER_MS`] drops its RRC
+    /// connection and spends [`LteEngine::RECONNECT`] re-attaching — the
+    /// §6.3.1 "frequent disconnections" under strong data interference.
+    pub(super) fn measure_cqi(&mut self) {
+        let n_sub = self.grid.num_subchannels() as usize;
+        let margin = self.config.interference_margin.value();
+        // Bring the per-subchannel interference columns up to date (a
+        // no-op when neither the fading block nor any transmitter set
+        // changed since the last accumulation).
+        let span = self.obs.profiler.begin();
+        self.interf
+            .refresh(self.gain_gen, &self.tx_last, &self.lin_mw);
+        self.obs.profiler.end(SpanId::SinrCache, span);
+        let span = self.obs.profiler.begin();
+        let totals = &self.interf.total_mw;
+        let tx_last = &self.tx_last;
+        let lin_mw = &self.lin_mw;
+        let noise_mw = &self.noise_mw;
+        let assoc = &self.scenario.assoc;
+        let cells = &self.cells;
+        let table = &self.table;
+        let now = self.now;
+
+        // Everything below is per-UE: CQI rows, epoch interference flags
+        // and the RLF monitor touch only their own UE's state and draw no
+        // randomness, so the scan fans out across UE rows.
+        struct UeRow<'a> {
+            cqi: &'a mut Vec<cellfi_lte::amc::Cqi>,
+            epoch: &'a mut super::UeEpoch,
+            bad_streak_ms: &'a mut u32,
+            outage_until: &'a mut Instant,
+            rrc_drops: &'a mut u64,
+            /// Per-row event buffer: rows emit concurrently, the caller
+            /// absorbs the buffers back in UE index order so the merged
+            /// trace is independent of worker scheduling.
+            sink: EventSink,
+        }
+        let tracer = &mut self.obs.tracer;
+        let mut rows: Vec<UeRow> = self
+            .ue_cqi
+            .iter_mut()
+            .zip(self.epoch.iter_mut())
+            .zip(self.bad_streak_ms.iter_mut())
+            .zip(self.outage_until.iter_mut())
+            .zip(self.rrc_drops.iter_mut())
+            .map(
+                |((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops)| UeRow {
+                    cqi,
+                    epoch,
+                    bad_streak_ms,
+                    outage_until,
+                    rrc_drops,
+                    sink: tracer.fork(),
+                },
+            )
+            .collect();
+        // Each row is only ~n_sub float ops but this scan fires every
+        // CQI period (2 ms of sim time): below 64 rows per worker the
+        // spawn cost dwarfs the row work, so small scenarios stay serial.
+        crate::parallel::for_each_row(&mut rows, 64, |ue, row| {
+            let ap = assoc[ue];
+            let mut any_usable = false;
+            for s in 0..n_sub {
+                let signal = lin_mw[ue][ap][s];
+                // The cached column totals every transmitter including
+                // the serving cell; remove its share to get interference.
+                let own = if tx_last[s].contains(&ap) {
+                    signal
+                } else {
+                    0.0
+                };
+                let interference = (totals[s][ue] - own).max(0.0);
+                let sinr = 10.0 * (signal / (interference + noise_mw[s])).log10();
+                row.cqi[s] = table.cqi_for_sinr(Db(sinr));
+                any_usable |= row.cqi[s].usable();
+                if !tx_last[s].is_empty() {
+                    let clean = 10.0 * (signal / noise_mw[s]).log10();
+                    if sinr < clean - margin && !row.epoch.interfered[s] {
+                        row.epoch.interfered[s] = true;
+                        row.sink.emit(
+                            now,
+                            Event::CqiInterference {
+                                ue: ue as u32,
+                                subchannel: s as u32,
+                                sinr_db: sinr,
+                                clean_db: clean,
+                            },
+                        );
+                    }
+                }
+            }
+            // RLF monitor.
+            if now < *row.outage_until {
+                return; // already reconnecting
+            }
+            let queued = cells[ap].queued_bits(UeId::new(ue as u32));
+            if !any_usable && queued > 0 {
+                *row.bad_streak_ms += Duration::CQI_PERIOD.as_millis() as u32;
+                if *row.bad_streak_ms >= LteEngine::RLF_TIMER_MS {
+                    *row.outage_until = now + LteEngine::RECONNECT;
+                    *row.rrc_drops += 1;
+                    *row.bad_streak_ms = 0;
+                }
+            } else {
+                *row.bad_streak_ms = 0;
+            }
+        });
+        for row in rows {
+            tracer.absorb(row.sink);
+        }
+        self.obs.profiler.end(SpanId::CqiScan, span);
+    }
+
+    /// Move a client to a new position, refreshing its link matrices.
+    /// Fading realizations are keyed by node ids and time, so they evolve
+    /// naturally; only the large-scale gains need recomputation.
+    pub fn move_ue(&mut self, ue: usize, position: cellfi_types::geo::Point) {
+        self.scenario.ues[ue].position = position;
+        let env = &self.scenario.env;
+        for a in 0..self.scenario.aps.len() {
+            self.dl_mean_dbm[ue][a] = env
+                .mean_rx_power(
+                    &self.scenario.aps[a],
+                    self.scenario.config.ap_power,
+                    &self.scenario.ues[ue],
+                )
+                .value();
+            self.ul_mean_dbm[ue][a] = env
+                .mean_rx_power(
+                    &self.scenario.ues[ue],
+                    self.scenario.config.ue_power,
+                    &self.scenario.aps[a],
+                )
+                .value();
+            self.ul_snr_db[ue][a] = env
+                .mean_snr(
+                    &self.scenario.ues[ue],
+                    self.scenario.config.ue_power,
+                    &self.scenario.aps[a],
+                    self.config.bandwidth.bandwidth(),
+                )
+                .value();
+        }
+        // Refresh the instantaneous gains for this UE immediately (and
+        // invalidate interference columns accumulated over the old row).
+        self.gain_gen += 1;
+        let n_sub = self.grid.num_subchannels() as usize;
+        let ue_node = self.scenario.ues[ue].node;
+        for a in 0..self.scenario.aps.len() {
+            let ap_node = self.scenario.aps[a].node;
+            for sc in 0..n_sub {
+                let split = (self.grid.subchannel_tx_power(
+                    self.scenario.config.ap_power,
+                    SubchannelId::new(sc as u32),
+                ) - self.scenario.config.ap_power)
+                    .value();
+                let f = self
+                    .scenario
+                    .env
+                    .fading
+                    .gain(ap_node, ue_node, SubchannelId::new(sc as u32), self.now)
+                    .value();
+                self.lin_mw[ue][a][sc] = Dbm(self.dl_mean_dbm[ue][a] + split + f)
+                    .to_milliwatts()
+                    .value();
+            }
+        }
+    }
+}

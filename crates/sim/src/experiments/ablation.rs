@@ -12,14 +12,13 @@
 //!   positives (§6.3.2) versus a perfect detector: how much performance
 //!   does real sensing cost?
 
+use super::harness::{self, Sweep};
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
-use crate::metrics::{starved_fraction, Cdf};
+use crate::engine::{ImMode, LteEngineConfig};
+use crate::metrics::starved_fraction;
 use crate::report::table;
-use crate::topology::{Scenario, ScenarioConfig};
 use cellfi_core::manager::ManagerConfig;
 use cellfi_core::sensing::ImperfectSensing;
-use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
 
 /// One ablation variant.
@@ -97,13 +96,12 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
     // into one fan-out for load balance, then reduce per variant in
     // fixed order.
     let vs = variants();
+    let sweep = Sweep::new("ablation", config.seed, n_aps, 6, topos);
     let cells = crate::parallel::map_indexed(vs.len() * topos, |i| {
         let v = &vs[i / topos];
         let t = i % topos;
-        let seeds = SeedSeq::new(config.seed)
-            .child("ablation")
-            .child(&format!("topo{t}"));
-        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
+        let seeds = sweep.topo_seeds(t);
+        let scenario = sweep.scenario(seeds);
         let mut cfg = LteEngineConfig::paper_default(ImMode::CellFi);
         cfg.manager = ManagerConfig {
             lambda: v.lambda,
@@ -111,18 +109,13 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
             ..ManagerConfig::default()
         };
         cfg.sensing = v.sensing;
-        let mut e = LteEngine::new(scenario, cfg, seeds.child("engine"));
-        e.backlog_all(u64::MAX / 4);
-        e.run_until(Instant::from_secs(warmup_s));
-        let at_warmup = e.delivered_bits().to_vec();
-        e.run_until(Instant::from_secs(horizon_s));
-        let span = Duration::from_secs(horizon_s - warmup_s).as_secs_f64();
-        let tputs: Vec<f64> = e
-            .delivered_bits()
-            .iter()
-            .zip(&at_warmup)
-            .map(|(&a, &b)| (a - b) as f64 / span)
-            .collect();
+        let (tputs, e) = harness::lte_steady_state_with(
+            &scenario,
+            cfg,
+            seeds.child("engine"),
+            Duration::from_secs(warmup_s),
+            Instant::from_secs(horizon_s),
+        );
         (tputs, e.manager_hops().iter().sum::<u64>())
     });
     vs.iter()
@@ -135,10 +128,9 @@ pub fn run_matrix(config: ExpConfig) -> Vec<VariantOutcome> {
                 hops += h;
             }
             let ap_count = n_aps * topos;
-            let cdf = Cdf::new(tputs.clone());
             VariantOutcome {
                 name: v.name,
-                median_bps: cdf.median_or(0.0),
+                median_bps: harness::median_bps(&tputs),
                 starved: starved_fraction(&tputs, 10_000.0),
                 hops_per_ap_min: hops as f64 / ap_count as f64 / (horizon_s as f64 / 60.0),
             }

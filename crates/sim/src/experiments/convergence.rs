@@ -6,11 +6,10 @@
 //! of hops per AP plus the fraction of APs still hopping in the last
 //! quarter of the run.
 
+use super::harness::Sweep;
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::engine::{ImMode, LteEngine, LteEngineConfig};
 use crate::report::table;
-use crate::topology::{Scenario, ScenarioConfig};
-use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::Instant;
 
 /// Run the convergence study.
@@ -23,24 +22,21 @@ pub fn run(config: ExpConfig) -> ExpReport {
     };
     // One engine run per topology seed, fanned out over the thread
     // pool and reduced in topology order.
-    let per_topo = crate::parallel::map_indexed(topos, |t| {
-        let seeds = SeedSeq::new(config.seed)
-            .child("convergence")
-            .child(&format!("topo{t}"));
-        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
-        let mut e = LteEngine::new(
-            scenario,
-            LteEngineConfig::paper_default(ImMode::CellFi),
-            seeds,
-        );
-        e.backlog_all(u64::MAX / 4);
-        // Run ¾ of the horizon, snapshot, then the last ¼: an AP that
-        // still hops in the tail has not converged.
-        e.run_until(Instant::from_secs(secs * 3 / 4));
-        let snapshot = e.manager_hops();
-        e.run_until(Instant::from_secs(secs));
-        (snapshot, e.manager_hops())
-    });
+    let per_topo =
+        Sweep::new("convergence", config.seed, n_aps, 6, topos).map(|_, scenario, seeds| {
+            let mut e = LteEngine::new(
+                scenario.clone(),
+                LteEngineConfig::paper_default(ImMode::CellFi),
+                seeds,
+            );
+            e.backlog_all(u64::MAX / 4);
+            // Run ¾ of the horizon, snapshot, then the last ¼: an AP that
+            // still hops in the tail has not converged.
+            e.run_until(Instant::from_secs(secs * 3 / 4));
+            let snapshot = e.manager_hops();
+            e.run_until(Instant::from_secs(secs));
+            (snapshot, e.manager_hops())
+        });
     let mut hops_per_ap = Vec::new();
     let mut non_converged = 0usize;
     let mut total_aps = 0usize;

@@ -12,12 +12,11 @@
 //! message passive sensing get to explicit X2 coordination and to the
 //! omniscient oracle, and what does X2 cost in messages?
 
+use super::harness::{self, Sweep};
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
-use crate::metrics::{starved_fraction, Cdf};
+use crate::engine::{ImMode, LteEngineConfig};
+use crate::metrics::starved_fraction;
 use crate::report::{fmt_bps, fmt_pct, table};
-use crate::topology::{Scenario, ScenarioConfig};
-use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
 
 /// Outcome of one mode.
@@ -43,32 +42,23 @@ pub fn run_matrix(config: ExpConfig) -> Vec<ModeOutcome> {
         ("X2 / ICIC (explicit)", ImMode::X2Icic),
         ("Oracle (omniscient)", ImMode::Oracle),
     ];
+    let sweep = Sweep::new("coordination", config.seed, n_aps, 6, topos);
     modes
         .iter()
         .map(|&(name, mode)| {
-            let mut tputs = Vec::new();
-            let mut msgs = 0u64;
-            for t in 0..topos {
-                let seeds = SeedSeq::new(config.seed)
-                    .child("coordination")
-                    .child(&format!("topo{t}"));
-                let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
-                let mut e = LteEngine::new(
+            let per_topo = sweep.map(|_, scenario, seeds| {
+                harness::lte_steady_state_with(
                     scenario,
                     LteEngineConfig::paper_default(mode),
                     seeds.child(name),
-                );
-                e.backlog_all(u64::MAX / 4);
-                e.run_until(Instant::from_secs(warmup_s));
-                let w = e.delivered_bits().to_vec();
-                e.run_until(Instant::from_secs(horizon_s));
-                let span = Duration::from_secs(horizon_s - warmup_s).as_secs_f64();
-                tputs.extend(
-                    e.delivered_bits()
-                        .iter()
-                        .zip(&w)
-                        .map(|(&a, &b)| (a - b) as f64 / span),
-                );
+                    Duration::from_secs(warmup_s),
+                    Instant::from_secs(horizon_s),
+                )
+            });
+            let mut tputs = Vec::new();
+            let mut msgs = 0u64;
+            for (t, e) in per_topo {
+                tputs.extend(t);
                 msgs += e.x2_messages;
             }
             ModeOutcome {
@@ -87,17 +77,16 @@ pub fn run(config: ExpConfig) -> ExpReport {
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {
-            let cdf = Cdf::new(o.tputs.clone());
             vec![
                 o.name.to_string(),
-                fmt_bps(cdf.median_or(0.0)),
+                fmt_bps(harness::median_bps(&o.tputs)),
                 fmt_pct(starved_fraction(&o.tputs, 1_000.0)),
                 format!("{:.1}", o.x2_rate),
             ]
         })
         .collect();
     rep.text = table(&["system", "median tput", "starved", "X2 msgs/AP/s"], &rows);
-    let median = |i: usize| Cdf::new(outcomes[i].tputs.clone()).median_or(0.0);
+    let median = |i: usize| harness::median_bps(&outcomes[i].tputs);
     rep.text.push_str(&format!(
         "\nCellFi reaches {:.0}% of explicit X2 coordination's median and {:.0}% of \
          the oracle's, with zero inter-operator messages — the §6.3.4 claim \

@@ -169,11 +169,14 @@ pub fn drive_test(config: ExpConfig) -> Vec<DrivePoint> {
     };
     // 30 dBm + 6 dBi isotropic = the paper's 36 dBm EIRP.
     let ap = LinkEnd::new(0, Point::ORIGIN, Antenna::Isotropic { gain: Db(6.0) });
-    let step = if config.quick { 150 } else { 25 };
+    let step: u32 = if config.quick { 150 } else { 25 };
     let duration = Duration::from_secs(if config.quick { 1 } else { 2 });
-    (1..=(1_400 / step))
-        .map(|i| measure_location(&env, &ap, f64::from(i * step), duration, seeds))
-        .collect()
+    // Locations are independent (the environment is pure and each
+    // location's RNG is indexed by its distance), so fan them out; the
+    // results come back in distance order, as the serial loop produced.
+    crate::parallel::map_indexed((1_400 / step) as usize, |i| {
+        measure_location(&env, &ap, f64::from((i as u32 + 1) * step), duration, seeds)
+    })
 }
 
 /// Fig 1(a): throughput vs distance.

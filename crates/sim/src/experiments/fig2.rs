@@ -14,6 +14,7 @@
 //! model and powers, so per-link SNRs match by design and only the
 //! MAC-vs-geometry interaction differs.
 
+use super::harness;
 use super::{ExpConfig, ExpReport};
 use crate::metrics::Cdf;
 use crate::report::{cdf_plot, fmt_bps};
@@ -47,53 +48,64 @@ fn shrink_cells(s: &Scenario, factor: f64) -> Scenario {
 /// Run the Fig 2 comparison.
 pub fn run(config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("fig2");
-    let seeds = SeedSeq::new(config.seed).child("fig2");
     let (n_runs, horizon) = if config.quick {
         (2, Instant::from_millis(2_000))
     } else {
         (10, Instant::from_secs(10))
     };
+    // Each run is an independent re-drop of the paired layout, so fan
+    // the runs out and pool in run order (the historical serial loop's
+    // order and seed lineage).
+    let per_run = harness::fan_out(
+        config.seed,
+        "fig2",
+        n_runs,
+        |i| format!("run{i}"),
+        |_, run_seeds| {
+            // Outdoor 802.11af scenario: 2×2 km, urban propagation, 30 dBm.
+            let mut cfg = ScenarioConfig::paper_default(6, 4);
+            cfg.cell_radius = 600.0;
+            cfg.shadowing_sigma = 0.0; // equal-SNR construction needs exact scaling
+            cfg.fading = true;
+            let outdoor = Scenario::generate(cfg, run_seeds);
+            // Indoor 802.11ac scenario: same AP sites, client offsets shrunk
+            // 7×, indoor propagation, 20 dBm. The shrink factor is chosen so
+            // the *per-link mean SNR matches* the outdoor case (checked in
+            // tests), isolating the MAC-vs-range interaction.
+            let mut indoor = shrink_cells(&outdoor, 1.0 / 7.0);
+            indoor.env.pathloss = PathLossModel::IndoorOffice {
+                wall_loss: Db(10.0),
+            };
+            indoor.env.shadowing = Shadowing::disabled(run_seeds.child("ind-shadow"));
+            indoor.env.fading = BlockFading::pedestrian(run_seeds.child("ind-fading"));
+            indoor.env.noise = NoiseModel::typical();
+            indoor.env.frequency = Hertz(5.2e9);
+            indoor.config.ap_power = Dbm(20.0);
+
+            // Both on 20 MHz with RTS/CTS, per the paper.
+            let af_cfg = WifiConfig {
+                band: cellfi_wifi::phy::WifiBand::Ac20,
+                rts_cts: true,
+                ..WifiConfig::af_default()
+            };
+            let mut ac_cfg = af_cfg;
+            ac_cfg.band = cellfi_wifi::phy::WifiBand::Ac20;
+
+            let mut af = WifiEngine::new(&outdoor, af_cfg, run_seeds.child("af"));
+            af.backlog_all(1 << 30);
+            af.run_until(horizon);
+
+            // The indoor run uses the scenario's own (20 dBm) AP power, so it
+            // bypasses WifiEngine's paper-pinned 30 dBm.
+            let ac = indoor_ac_throughputs(&indoor, ac_cfg, run_seeds, horizon);
+            (af.throughputs_bps(), ac)
+        },
+    );
     let mut af_tputs = Vec::new();
     let mut ac_tputs = Vec::new();
-    for run_idx in 0..n_runs {
-        let run_seeds = seeds.child(&format!("run{run_idx}"));
-        // Outdoor 802.11af scenario: 2×2 km, urban propagation, 30 dBm.
-        let mut cfg = ScenarioConfig::paper_default(6, 4);
-        cfg.cell_radius = 600.0;
-        cfg.shadowing_sigma = 0.0; // equal-SNR construction needs exact scaling
-        cfg.fading = true;
-        let outdoor = Scenario::generate(cfg, run_seeds);
-        // Indoor 802.11ac scenario: same AP sites, client offsets shrunk
-        // 7×, indoor propagation, 20 dBm. The shrink factor is chosen so
-        // the *per-link mean SNR matches* the outdoor case (checked in
-        // tests), isolating the MAC-vs-range interaction.
-        let mut indoor = shrink_cells(&outdoor, 1.0 / 7.0);
-        indoor.env.pathloss = PathLossModel::IndoorOffice {
-            wall_loss: Db(10.0),
-        };
-        indoor.env.shadowing = Shadowing::disabled(run_seeds.child("ind-shadow"));
-        indoor.env.fading = BlockFading::pedestrian(run_seeds.child("ind-fading"));
-        indoor.env.noise = NoiseModel::typical();
-        indoor.env.frequency = Hertz(5.2e9);
-        indoor.config.ap_power = Dbm(20.0);
-
-        // Both on 20 MHz with RTS/CTS, per the paper.
-        let af_cfg = WifiConfig {
-            band: cellfi_wifi::phy::WifiBand::Ac20,
-            rts_cts: true,
-            ..WifiConfig::af_default()
-        };
-        let mut ac_cfg = af_cfg;
-        ac_cfg.band = cellfi_wifi::phy::WifiBand::Ac20;
-
-        let mut af = WifiEngine::new(&outdoor, af_cfg, run_seeds.child("af"));
-        af.backlog_all(1 << 30);
-        af.run_until(horizon);
-        af_tputs.extend(af.throughputs_bps());
-
-        // The indoor run uses the scenario's own (20 dBm) AP power, so it
-        // bypasses WifiEngine's paper-pinned 30 dBm.
-        ac_tputs.extend(indoor_ac_throughputs(&indoor, ac_cfg, run_seeds, horizon));
+    for (af, ac) in per_run {
+        af_tputs.extend(af);
+        ac_tputs.extend(ac);
     }
     let af_cdf = Cdf::new(af_tputs.iter().map(|t| t / 1e6).collect());
     let ac_cdf = Cdf::new(ac_tputs.iter().map(|t| t / 1e6).collect());

@@ -9,8 +9,9 @@
 //! * (c) web page-load-time CDF: CellFi 2.3× better than Wi-Fi at the
 //!   median, ~8 % better than LTE, which has a bad interference tail.
 
+use super::harness;
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::engine::{ImMode, LteEngine, LteEngineConfig, SimHarness};
 use crate::metrics::{coverage_fraction, starved_fraction, Cdf};
 use crate::report::{cdf_plot, fmt_pct, table};
 use crate::topology::{Scenario, ScenarioConfig};
@@ -20,6 +21,8 @@ use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
 use cellfi_wifi::sim::WifiConfig;
 
+pub use harness::SystemsRun;
+
 /// "Connected" threshold. The paper's starved clients are the ones at
 /// the *zero* bin of Fig 9(b) — clients contention shuts out entirely —
 /// so connectivity means receiving service at all; 1 kbps over a
@@ -28,67 +31,8 @@ use cellfi_wifi::sim::WifiConfig;
 /// even a fair share is only a few hundred kbps.)
 pub const CONNECT_THRESHOLD_BPS: f64 = 1_000.0;
 
-/// Per-client steady-state throughputs of one backlogged LTE run.
-/// `warmup` excludes CellFi's distributed convergence transient (the
-/// hopping buckets have mean λ = 10 epochs, so convergence takes tens of
-/// seconds; the paper measures converged behaviour).
-fn lte_throughputs(
-    scenario: &Scenario,
-    mode: ImMode,
-    seeds: SeedSeq,
-    warmup: Duration,
-    horizon: Instant,
-) -> Vec<f64> {
-    let mut e = LteEngine::new(
-        scenario.clone(),
-        LteEngineConfig::paper_default(mode),
-        seeds,
-    );
-    e.backlog_all(u64::MAX / 4);
-    e.run_until(Instant::ZERO + warmup);
-    let at_warmup = e.delivered_bits().to_vec();
-    e.run_until(horizon);
-    let span = (horizon - warmup).as_secs_f64();
-    e.delivered_bits()
-        .iter()
-        .zip(&at_warmup)
-        .map(|(&total, &w)| (total - w) as f64 / span)
-        .collect()
-}
-
-/// Per-client steady-state throughputs of one backlogged 802.11af run.
-fn wifi_throughputs(
-    scenario: &Scenario,
-    seeds: SeedSeq,
-    warmup: Duration,
-    horizon: Instant,
-) -> Vec<f64> {
-    let mut e = WifiEngine::new(scenario, WifiConfig::af_default(), seeds);
-    e.backlog_all(1 << 40);
-    e.run_until(Instant::ZERO + warmup);
-    let at_warmup = e.delivered_bytes().to_vec();
-    e.run_until(horizon);
-    let span = (horizon - warmup).as_secs_f64();
-    e.delivered_bytes()
-        .iter()
-        .zip(&at_warmup)
-        .map(|(&total, &w)| (total - w) as f64 * 8.0 / span)
-        .collect()
-}
-
-/// Pooled per-client throughputs across seeds for every system.
-pub struct SystemsRun {
-    /// 802.11af throughputs.
-    pub wifi: Vec<f64>,
-    /// Plain LTE throughputs.
-    pub lte: Vec<f64>,
-    /// CellFi throughputs.
-    pub cellfi: Vec<f64>,
-    /// Oracle throughputs (only filled when requested).
-    pub oracle: Vec<f64>,
-}
-
-/// Run all systems over `n_topologies` seeds at one density.
+/// Run all systems over `n_topologies` seeds at one density — the
+/// shared paired comparison, under fig9's seed lineage.
 pub fn run_systems(
     n_aps: usize,
     clients_per_ap: usize,
@@ -98,57 +42,16 @@ pub fn run_systems(
     with_oracle: bool,
     master_seed: u64,
 ) -> SystemsRun {
-    // Topology seeds are independent by construction (each draws from
-    // its own SeedSeq child), so they fan out across the thread pool;
-    // pooling in topology-index order keeps the result byte-identical
-    // to the old serial loop.
-    let per_topo = crate::parallel::map_indexed(n_topologies, |t| {
-        let seeds = SeedSeq::new(master_seed)
-            .child("fig9")
-            .child(&format!("topo-{n_aps}-{clients_per_ap}-{t}"));
-        let scenario =
-            Scenario::generate(ScenarioConfig::paper_default(n_aps, clients_per_ap), seeds);
-        let wifi = wifi_throughputs(&scenario, seeds.child("wifi"), warmup, horizon);
-        let lte = lte_throughputs(
-            &scenario,
-            ImMode::PlainLte,
-            seeds.child("lte"),
-            warmup,
-            horizon,
-        );
-        let cellfi = lte_throughputs(
-            &scenario,
-            ImMode::CellFi,
-            seeds.child("cellfi"),
-            warmup,
-            horizon,
-        );
-        let oracle = if with_oracle {
-            lte_throughputs(
-                &scenario,
-                ImMode::Oracle,
-                seeds.child("oracle"),
-                warmup,
-                horizon,
-            )
-        } else {
-            Vec::new()
-        };
-        (wifi, lte, cellfi, oracle)
-    });
-    let mut out = SystemsRun {
-        wifi: Vec::new(),
-        lte: Vec::new(),
-        cellfi: Vec::new(),
-        oracle: Vec::new(),
-    };
-    for (wifi, lte, cellfi, oracle) in per_topo {
-        out.wifi.extend(wifi);
-        out.lte.extend(lte);
-        out.cellfi.extend(cellfi);
-        out.oracle.extend(oracle);
-    }
-    out
+    harness::paired_systems(
+        "fig9",
+        n_aps,
+        clients_per_ap,
+        n_topologies,
+        warmup,
+        horizon,
+        with_oracle,
+        master_seed,
+    )
 }
 
 /// Fig 9(a): coverage vs density.
@@ -286,6 +189,13 @@ pub fn run_dense(config: ExpConfig) -> ExpReport {
 }
 
 /// One web-workload run on the LTE engine; returns page load times (s).
+///
+/// Deliberately NOT on [`SimHarness`]: this loop feeds the workload in
+/// `step_subframe`'s delivery order (grouped by cell, then client),
+/// and `WebWorkload::delivered` draws think times from one shared RNG,
+/// so the call order is part of the run's seed lineage. The harness
+/// reports in global client order, which would silently reshuffle
+/// those draws.
 fn lte_page_loads(
     scenario: &Scenario,
     mode: ImMode,
@@ -333,7 +243,10 @@ fn lte_page_loads(
     (completed, censored)
 }
 
-/// One web-workload run on the Wi-Fi engine.
+/// One web-workload run on the Wi-Fi engine, driven by the shared
+/// [`SimHarness`] clock loop at a 10 ms tick. The harness reports
+/// deliveries in bits at tick boundaries; ÷8 recovers the byte counts
+/// the workload tracks, exactly (deltas are whole bytes × 8).
 fn wifi_page_loads(scenario: &Scenario, seeds: SeedSeq, horizon: Instant) -> (Vec<f64>, Vec<f64>) {
     // TCP retransmits what the MAC drops: persistent-retry mode.
     let cfg = WifiConfig {
@@ -346,23 +259,16 @@ fn wifi_page_loads(scenario: &Scenario, seeds: SeedSeq, horizon: Instant) -> (Ve
         scenario.n_ues(),
         seeds.child("web"),
     );
-    let mut t = Instant::ZERO;
-    let tick = Duration::from_millis(10);
-    let mut last_delivered = vec![0u64; scenario.n_ues()];
-    while t < horizon {
-        for (client, bytes) in web.poll(t) {
-            e.enqueue(client, bytes);
-        }
-        t += tick;
-        e.run_until(t);
-        for (u, last) in last_delivered.iter_mut().enumerate() {
-            let d = e.delivered_bytes()[u];
-            if d > *last {
-                web.delivered(u, d - *last, t);
-                *last = d;
+    SimHarness::new(Duration::from_millis(10), horizon).run(
+        &mut e,
+        &mut web,
+        |e, web, now| {
+            for (client, bytes) in web.poll(now) {
+                e.enqueue(client, bytes);
             }
-        }
-    }
+        },
+        |web, u, delta_bits, at| web.delivered(u, delta_bits / 8, at),
+    );
     let completed: Vec<f64> = web
         .completed
         .iter()

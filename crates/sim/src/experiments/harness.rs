@@ -1,0 +1,332 @@
+//! Shared experiment harness: seed fan-out, topology sweeps, and
+//! steady-state measurement.
+//!
+//! Every multi-topology driver repeats the same scaffold — derive a
+//! [`SeedSeq`] child per topology index, generate the paper's scenario,
+//! fan the independent runs over [`crate::parallel`], back-log an
+//! engine, and rate the delivered bits between a warm-up snapshot and
+//! the horizon. This module is that scaffold, written once:
+//!
+//! * [`fan_out`] — deterministic seed fan-out over the thread pool,
+//!   reduced in index order (byte-identical to a serial loop);
+//! * [`Sweep`] — a topology sweep (experiment label × density × seed
+//!   count) built on `fan_out`;
+//! * [`lte_steady_state`] / [`wifi_steady_state`] — backlogged
+//!   steady-state throughput of one engine run, via
+//!   [`crate::engine::steady_state_bps`];
+//! * [`SystemsRun`] / [`paired_systems`] — the paper's paired-system
+//!   comparison (802.11af, plain LTE, CellFi, optionally the oracle)
+//!   over one sweep, pooled across topologies;
+//! * [`median_bps`] / [`mean_bps`] — the pooled-throughput statistics
+//!   the report tables quote.
+//!
+//! Seed-derivation labels are part of each experiment's identity (the
+//! golden reports pin every value), so the helpers reproduce the exact
+//! `child()` strings the drivers have always used rather than imposing
+//! a new convention.
+
+use crate::engine::{steady_state_bps, ImMode, LteEngine, LteEngineConfig};
+use crate::metrics::Cdf;
+use crate::topology::{Scenario, ScenarioConfig};
+use crate::wifi_engine::WifiEngine;
+use cellfi_types::rng::SeedSeq;
+use cellfi_types::time::{Duration, Instant};
+use cellfi_wifi::sim::WifiConfig;
+
+/// Backlog applied to every LTE client in a steady-state run — large
+/// enough to never drain, small enough that byte arithmetic can't wrap.
+pub const LTE_BACKLOG: u64 = u64::MAX / 4;
+
+/// Backlog (bytes) applied to every Wi-Fi client in a steady-state run.
+pub const WIFI_BACKLOG: u64 = 1 << 40;
+
+/// Run `f(i, seeds)` for every `i` in `0..n` on the scoped thread pool,
+/// where `seeds` is `SeedSeq::new(master_seed).child(exp).child(&label(i))`.
+/// Results come back in index order, so pooling them reproduces the
+/// serial loop byte for byte; each run must derive all its randomness
+/// from its own `seeds` (the fan-out gives it nothing else to race on).
+pub fn fan_out<T: Send>(
+    master_seed: u64,
+    exp: &str,
+    n: usize,
+    label: impl Fn(usize) -> String + Sync,
+    f: impl Fn(usize, SeedSeq) -> T + Sync,
+) -> Vec<T> {
+    crate::parallel::map_indexed(n, |i| {
+        let seeds = SeedSeq::new(master_seed).child(exp).child(&label(i));
+        f(i, seeds)
+    })
+}
+
+/// A topology sweep: `topologies` independent drops of the paper's
+/// 2 km × 2 km scenario at one density, each with its own seed lineage.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    /// Experiment label used as the seed child (e.g. `"laa"`).
+    pub exp: &'static str,
+    /// Master seed (from [`super::ExpConfig`]).
+    pub master_seed: u64,
+    /// Access points per topology.
+    pub n_aps: usize,
+    /// Clients per access point.
+    pub clients_per_ap: usize,
+    /// Number of topology drops.
+    pub topologies: usize,
+    /// Whether the per-topology seed label embeds the density
+    /// (`topo-{n_aps}-{clients}-{t}`, the fig9 lineage) or just the
+    /// index (`topo{t}`, everyone else's).
+    pub density_label: bool,
+}
+
+impl Sweep {
+    /// A sweep with the common `topo{t}` seed labels.
+    pub fn new(
+        exp: &'static str,
+        master_seed: u64,
+        n_aps: usize,
+        clients_per_ap: usize,
+        topologies: usize,
+    ) -> Sweep {
+        Sweep {
+            exp,
+            master_seed,
+            n_aps,
+            clients_per_ap,
+            topologies,
+            density_label: false,
+        }
+    }
+
+    fn label(&self, t: usize) -> String {
+        if self.density_label {
+            format!("topo-{}-{}-{}", self.n_aps, self.clients_per_ap, t)
+        } else {
+            format!("topo{t}")
+        }
+    }
+
+    /// The seed lineage of topology `t`.
+    pub fn topo_seeds(&self, t: usize) -> SeedSeq {
+        SeedSeq::new(self.master_seed)
+            .child(self.exp)
+            .child(&self.label(t))
+    }
+
+    /// The scenario drawn from `seeds` at this sweep's density.
+    pub fn scenario(&self, seeds: SeedSeq) -> Scenario {
+        Scenario::generate(
+            ScenarioConfig::paper_default(self.n_aps, self.clients_per_ap),
+            seeds,
+        )
+    }
+
+    /// Fan `f(t, &scenario, seeds)` over the topologies, results in
+    /// topology order.
+    pub fn map<T: Send>(&self, f: impl Fn(usize, &Scenario, SeedSeq) -> T + Sync) -> Vec<T> {
+        crate::parallel::map_indexed(self.topologies, |t| {
+            let seeds = self.topo_seeds(t);
+            let scenario = self.scenario(seeds);
+            f(t, &scenario, seeds)
+        })
+    }
+}
+
+/// Steady-state client throughputs (bps) of one backlogged LTE run with
+/// the paper-default config for `mode`.
+pub fn lte_steady_state(
+    scenario: &Scenario,
+    mode: ImMode,
+    seeds: SeedSeq,
+    warmup: Duration,
+    horizon: Instant,
+) -> Vec<f64> {
+    lte_steady_state_with(
+        scenario,
+        LteEngineConfig::paper_default(mode),
+        seeds,
+        warmup,
+        horizon,
+    )
+    .0
+}
+
+/// As [`lte_steady_state`] with an explicit engine config, also handing
+/// back the finished engine so callers can read run counters (X2
+/// messages, manager hops, …).
+pub fn lte_steady_state_with(
+    scenario: &Scenario,
+    config: LteEngineConfig,
+    seeds: SeedSeq,
+    warmup: Duration,
+    horizon: Instant,
+) -> (Vec<f64>, LteEngine) {
+    let mut e = LteEngine::new(scenario.clone(), config, seeds);
+    e.backlog_all(LTE_BACKLOG);
+    let tputs = steady_state_bps(&mut e, warmup, horizon);
+    (tputs, e)
+}
+
+/// Steady-state client throughputs (bps) of one backlogged Wi-Fi run.
+pub fn wifi_steady_state(
+    scenario: &Scenario,
+    config: WifiConfig,
+    seeds: SeedSeq,
+    warmup: Duration,
+    horizon: Instant,
+) -> Vec<f64> {
+    let mut e = WifiEngine::new(scenario, config, seeds);
+    e.backlog_all(WIFI_BACKLOG);
+    steady_state_bps(&mut e, warmup, horizon)
+}
+
+/// Pooled per-client throughputs across seeds for every system.
+pub struct SystemsRun {
+    /// 802.11af throughputs.
+    pub wifi: Vec<f64>,
+    /// Plain LTE throughputs.
+    pub lte: Vec<f64>,
+    /// CellFi throughputs.
+    pub cellfi: Vec<f64>,
+    /// Oracle throughputs (only filled when requested).
+    pub oracle: Vec<f64>,
+}
+
+/// The paper's paired-system comparison at one density: every system
+/// runs over the *same* topology drops (same scenario seeds) so the
+/// per-client comparisons are paired, pooled across `n_topologies` in
+/// topology order.
+#[allow(clippy::too_many_arguments)]
+pub fn paired_systems(
+    exp: &'static str,
+    n_aps: usize,
+    clients_per_ap: usize,
+    n_topologies: usize,
+    warmup: Duration,
+    horizon: Instant,
+    with_oracle: bool,
+    master_seed: u64,
+) -> SystemsRun {
+    let sweep = Sweep {
+        exp,
+        master_seed,
+        n_aps,
+        clients_per_ap,
+        topologies: n_topologies,
+        density_label: true,
+    };
+    let per_topo = sweep.map(|_, scenario, seeds| {
+        let wifi = wifi_steady_state(
+            scenario,
+            WifiConfig::af_default(),
+            seeds.child("wifi"),
+            warmup,
+            horizon,
+        );
+        let lte = lte_steady_state(
+            scenario,
+            ImMode::PlainLte,
+            seeds.child("lte"),
+            warmup,
+            horizon,
+        );
+        let cellfi = lte_steady_state(
+            scenario,
+            ImMode::CellFi,
+            seeds.child("cellfi"),
+            warmup,
+            horizon,
+        );
+        let oracle = if with_oracle {
+            lte_steady_state(
+                scenario,
+                ImMode::Oracle,
+                seeds.child("oracle"),
+                warmup,
+                horizon,
+            )
+        } else {
+            Vec::new()
+        };
+        (wifi, lte, cellfi, oracle)
+    });
+    let mut out = SystemsRun {
+        wifi: Vec::new(),
+        lte: Vec::new(),
+        cellfi: Vec::new(),
+        oracle: Vec::new(),
+    };
+    for (wifi, lte, cellfi, oracle) in per_topo {
+        out.wifi.extend(wifi);
+        out.lte.extend(lte);
+        out.cellfi.extend(cellfi);
+        out.oracle.extend(oracle);
+    }
+    out
+}
+
+/// Median of pooled client throughputs (0 when empty).
+pub fn median_bps(tputs: &[f64]) -> f64 {
+    Cdf::new(tputs.to_vec()).median_or(0.0)
+}
+
+/// Mean of pooled client throughputs (0 when empty).
+pub fn mean_bps(tputs: &[f64]) -> f64 {
+    Cdf::new(tputs.to_vec()).mean_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_matches_serial_loop() {
+        let par = fan_out(7, "x", 4, |i| format!("topo{i}"), |i, s| (i, s.seed("k")));
+        let ser: Vec<(usize, u64)> = (0..4)
+            .map(|i| {
+                let seeds = SeedSeq::new(7).child("x").child(&format!("topo{i}"));
+                (i, seeds.seed("k"))
+            })
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn sweep_labels_match_the_historical_lineages() {
+        let plain = Sweep::new("laa", 1, 8, 6, 2);
+        assert_eq!(
+            plain.topo_seeds(1).seed("k"),
+            SeedSeq::new(1).child("laa").child("topo1").seed("k")
+        );
+        let dense = Sweep {
+            density_label: true,
+            ..Sweep::new("fig9", 1, 10, 6, 2)
+        };
+        assert_eq!(
+            dense.topo_seeds(0).seed("k"),
+            SeedSeq::new(1).child("fig9").child("topo-10-6-0").seed("k")
+        );
+    }
+
+    #[test]
+    fn steady_state_rates_only_the_measurement_window() {
+        let sweep = Sweep::new("harness-test", 3, 2, 1, 1);
+        let scenario = sweep.scenario(sweep.topo_seeds(0));
+        let tputs = lte_steady_state(
+            &scenario,
+            ImMode::PlainLte,
+            sweep.topo_seeds(0).child("lte"),
+            Duration::from_secs(1),
+            Instant::from_secs(2),
+        );
+        assert_eq!(tputs.len(), scenario.n_ues());
+        assert!(tputs.iter().all(|t| t.is_finite() && *t >= 0.0));
+    }
+
+    #[test]
+    fn median_and_mean_handle_empty_pools() {
+        assert_eq!(median_bps(&[]), 0.0);
+        assert_eq!(mean_bps(&[]), 0.0);
+        assert_eq!(median_bps(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((mean_bps(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

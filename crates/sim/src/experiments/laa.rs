@@ -3,7 +3,7 @@
 //! networks.
 //!
 //! The paper asserts this without an experiment; our LTE engine has an
-//! LBT mode ([`crate::lte_engine::ImMode::Laa`]), so we can run the
+//! LBT mode ([`crate::engine::ImMode::Laa`]), so we can run the
 //! comparison the paper implies: CellFi vs LAA vs plain LTE on the Fig 9
 //! topology. Two effects are expected at TVWS ranges:
 //!
@@ -15,37 +15,12 @@
 //!   capacity even for isolated cells — overhead without coordination,
 //!   the CSMA-at-range pathology in LTE clothing.
 
+use super::harness::{self, Sweep};
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
-use crate::metrics::{starved_fraction, Cdf};
+use crate::engine::ImMode;
+use crate::metrics::starved_fraction;
 use crate::report::{fmt_bps, fmt_pct, table};
-use crate::topology::{Scenario, ScenarioConfig};
-use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::{Duration, Instant};
-
-fn throughputs(
-    scenario: &Scenario,
-    mode: ImMode,
-    seeds: SeedSeq,
-    warmup: Duration,
-    horizon: Instant,
-) -> Vec<f64> {
-    let mut e = LteEngine::new(
-        scenario.clone(),
-        LteEngineConfig::paper_default(mode),
-        seeds,
-    );
-    e.backlog_all(u64::MAX / 4);
-    e.run_until(Instant::ZERO + warmup);
-    let w = e.delivered_bits().to_vec();
-    e.run_until(horizon);
-    let span = (horizon - warmup).as_secs_f64();
-    e.delivered_bits()
-        .iter()
-        .zip(&w)
-        .map(|(&a, &b)| (a - b) as f64 / span)
-        .collect()
-}
 
 /// Run the LAA comparison.
 pub fn run(config: ExpConfig) -> ExpReport {
@@ -57,42 +32,40 @@ pub fn run(config: ExpConfig) -> ExpReport {
     } else {
         (10, 5, Duration::from_secs(20), Instant::from_secs(35))
     };
-    let mut by_mode: Vec<(&str, ImMode, Vec<f64>)> = vec![
-        ("plain LTE", ImMode::PlainLte, Vec::new()),
-        ("LAA (LBT)", ImMode::Laa, Vec::new()),
-        ("CellFi", ImMode::CellFi, Vec::new()),
+    let modes: [(&str, ImMode); 3] = [
+        ("plain LTE", ImMode::PlainLte),
+        ("LAA (LBT)", ImMode::Laa),
+        ("CellFi", ImMode::CellFi),
     ];
-    for t in 0..topos {
-        let seeds = SeedSeq::new(config.seed)
-            .child("laa")
-            .child(&format!("topo{t}"));
-        let scenario = Scenario::generate(ScenarioConfig::paper_default(n_aps, 6), seeds);
-        for (name, mode, acc) in by_mode.iter_mut() {
-            acc.extend(throughputs(
-                &scenario,
-                *mode,
-                seeds.child(name),
-                warmup,
-                horizon,
-            ));
+    let per_topo = Sweep::new("laa", config.seed, n_aps, 6, topos).map(|_, scenario, seeds| {
+        modes.map(|(name, mode)| {
+            harness::lte_steady_state(scenario, mode, seeds.child(name), warmup, horizon)
+        })
+    });
+    let mut by_mode: Vec<(&str, ImMode, Vec<f64>)> = modes
+        .iter()
+        .map(|&(name, mode)| (name, mode, Vec::new()))
+        .collect();
+    for topo in per_topo {
+        for (acc, tputs) in by_mode.iter_mut().zip(topo) {
+            acc.2.extend(tputs);
         }
     }
     let rows: Vec<Vec<String>> = by_mode
         .iter()
         .map(|(name, _, tputs)| {
-            let cdf = Cdf::new(tputs.clone());
             vec![
                 name.to_string(),
-                fmt_bps(cdf.median_or(0.0)),
-                fmt_bps(cdf.mean_or(0.0)),
+                fmt_bps(harness::median_bps(tputs)),
+                fmt_bps(harness::mean_bps(tputs)),
                 fmt_pct(starved_fraction(tputs, 1_000.0)),
             ]
         })
         .collect();
     rep.text = table(&["system", "median tput", "mean tput", "starved"], &rows);
 
-    let median = |i: usize| Cdf::new(by_mode[i].2.clone()).median_or(0.0);
-    let mean = |i: usize| Cdf::new(by_mode[i].2.clone()).mean_or(0.0);
+    let median = |i: usize| harness::median_bps(&by_mode[i].2);
+    let mean = |i: usize| harness::mean_bps(&by_mode[i].2);
     rep.text.push_str(&format!(
         "\nCellFi median is {:.2}x LAA's — LBT pays its contention gaps at every\n\
          cell while its −72 dBm sensing (≈290 m reach) almost never prevents a\n\

@@ -14,9 +14,11 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
 pub mod laa;
 pub mod overhead;
 pub mod prach;
+pub mod replay;
 pub mod roaming;
 pub mod table1;
 pub mod theorem1;

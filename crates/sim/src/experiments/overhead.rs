@@ -21,7 +21,7 @@ use cellfi_types::time::{Duration, Instant};
 use cellfi_types::units::Db;
 
 /// Run the signalling-overhead accounting.
-pub fn run(_config: ExpConfig) -> ExpReport {
+pub fn run(config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("overhead");
     let grid = ResourceGrid::new(ChannelBandwidth::Mhz5);
     let reporter = CqiReporter::default();
@@ -67,6 +67,14 @@ pub fn run(_config: ExpConfig) -> ExpReport {
     rep.record("paper_overhead_bps", paper_bps);
     rep.record("raw_overhead_bps", raw_bps);
     rep.record("overhead_fraction_of_ul", raw_bps / ul_capacity);
+    // The accounting is closed-form field arithmetic — no sampling, so
+    // the run config cannot change it; say so explicitly.
+    rep.text.push_str(&format!(
+        "\nNote: overhead is closed-form field accounting; --seed {} and {} \
+         mode do not alter this report.\n",
+        config.seed,
+        if config.quick { "--quick" } else { "full" },
+    ));
     rep
 }
 

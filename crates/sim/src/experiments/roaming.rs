@@ -10,7 +10,7 @@
 //! off a cliff at the cell edge.
 
 use super::{ExpConfig, ExpReport};
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::engine::{ImMode, LteEngine, LteEngineConfig, SimHarness};
 use crate::report::{fmt_bps, table};
 use crate::topology::{Scenario, ScenarioConfig};
 use crate::wifi_engine::WifiEngine;
@@ -18,7 +18,7 @@ use cellfi_propagation::antenna::Antenna;
 use cellfi_propagation::link::LinkEnd;
 use cellfi_types::geo::Point;
 use cellfi_types::rng::SeedSeq;
-use cellfi_types::time::Instant;
+use cellfi_types::time::{Duration, Instant};
 use cellfi_types::units::Db;
 use cellfi_wifi::sim::WifiConfig;
 
@@ -58,20 +58,29 @@ pub fn lte_drive(config: ExpConfig) -> (Vec<f64>, u64) {
     } else {
         (15.0, 140)
     };
-    let mut trace = Vec::new();
-    let mut last = 0u64;
-    for t in 0..secs {
-        // Move in 100 ms steps; check handover each step.
-        for step in 0u64..10 {
+    // Drive on the shared clock loop: every 100 ms tick repositions the
+    // client and runs the A3 check before the engine advances, and the
+    // delivered bits are binned into a per-second trace.
+    let mut trace = vec![0.0f64; secs as usize];
+    let harness = SimHarness::new(Duration::from_millis(100), Instant::from_secs(secs));
+    harness.run(
+        &mut e,
+        &mut trace,
+        |e, _trace, now| {
+            // Position arithmetic in whole-second + tenth-of-second
+            // terms, so positions are unchanged from the historical
+            // per-second loop (t + step/10 rounds differently from
+            // millis/1000 in f64).
+            let ms = now.as_millis();
+            let (t, step) = (ms / 1_000, (ms % 1_000) / 100);
             let x = speed_mps * (t as f64 + step as f64 / 10.0);
             e.move_ue(0, Point::new(x, 40.0));
             e.check_handover(0, 3.0);
-            e.run_until(Instant::from_millis(t * 1_000 + (step + 1) * 100));
-        }
-        let d = e.delivered_bits()[0];
-        trace.push((d - last) as f64);
-        last = d;
-    }
+        },
+        |trace, _u, delta_bits, at| {
+            trace[((at.as_millis() - 1) / 1_000) as usize] += delta_bits as f64;
+        },
+    );
     (trace, e.handovers)
 }
 

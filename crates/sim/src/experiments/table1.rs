@@ -12,7 +12,7 @@ use cellfi_lte::tdd::TddConfig;
 use cellfi_wifi::phy::{McsTable, WifiBand};
 
 /// Regenerate Table 1.
-pub fn run(_config: ExpConfig) -> ExpReport {
+pub fn run(config: ExpConfig) -> ExpReport {
     let mut rep = ExpReport::new("table1");
     let lte_min_rate = CqiTable.code_rate(Cqi(1));
     let af = McsTable::new(WifiBand::Af6);
@@ -70,6 +70,14 @@ pub fn run(_config: ExpConfig) -> ExpReport {
         "subchannels_5mhz",
         f64::from(ChannelBandwidth::Mhz5.subchannels()),
     );
+    // Every cell is derived from workspace constants — no sampling, so
+    // the run config cannot change the table; say so explicitly.
+    rep.text.push_str(&format!(
+        "\nNote: table1 is derived from implementation constants; --seed {} and \
+         {} mode do not alter this report.\n",
+        config.seed,
+        if config.quick { "--quick" } else { "full" },
+    ));
     rep
 }
 

@@ -9,7 +9,7 @@
 //! `exp trace-diff`.
 
 use super::ExpConfig;
-use crate::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use crate::engine::{ImMode, LteEngine, LteEngineConfig};
 use crate::topology::{Scenario, ScenarioConfig, UE_NODE_BASE};
 use cellfi_obs::{Event, Registry, Tracer};
 use cellfi_propagation::antenna::Antenna;
@@ -31,14 +31,45 @@ pub struct TraceOutput {
 /// Run experiment `name`'s topology with tracing enabled; `None` for
 /// unknown names.
 pub fn traced(name: &str, config: ExpConfig) -> Option<TraceOutput> {
+    traced_with(name, config, false)
+}
+
+/// As [`traced`], with the detail stream (`sched`/`harq_retx` events
+/// and per-epoch histogram window snapshots) switched on or off.
+pub fn traced_with(name: &str, config: ExpConfig, detail: bool) -> Option<TraceOutput> {
     if !super::ALL.contains(&name) {
         return None;
     }
-    Some(match name {
-        "fig6" => paws_trace(),
-        "fig7b" | "fig7c" => engine_trace(two_cell_with_clients(config, name), name, config),
-        _ => engine_trace(large_scale(config, name), name, config),
+    if name == "fig6" {
+        return Some(paws_trace());
+    }
+    let e = traced_engine(name, config, detail).expect("known non-fig6 names have an engine run");
+    Some(TraceOutput {
+        events: e.obs().tracer.to_jsonl(),
+        // Per-epoch window snapshots (chronological) precede the final
+        // cumulative snapshot; without detail the window log is empty
+        // and the export is byte-identical to the classic stream.
+        metrics: format!(
+            "{}{}",
+            e.obs().metrics.window_log(),
+            e.obs().metrics.snapshot_jsonl(e.now())
+        ),
     })
+}
+
+/// The finished engine behind a traced run of `name` — exposed so the
+/// replay round-trip test can compare reconstructed occupancy with the
+/// engine's actual final masks. `None` for unknown names and for
+/// `fig6`, whose trace has no engine.
+pub(crate) fn traced_engine(name: &str, config: ExpConfig, detail: bool) -> Option<LteEngine> {
+    if !super::ALL.contains(&name) || name == "fig6" {
+        return None;
+    }
+    let scenario = match name {
+        "fig7b" | "fig7c" => two_cell_with_clients(config, name),
+        _ => large_scale(config, name),
+    };
+    Some(engine_trace(scenario, name, config, detail))
 }
 
 /// The Fig 6 PAWS script with the lease lifecycle traced. Metrics
@@ -101,7 +132,7 @@ fn two_cell_with_clients(config: ExpConfig, name: &str) -> Scenario {
 
 /// Run the CellFi engine over `scenario` with the tracer on, fully
 /// backlogged, for a couple of simulated seconds (one in `--quick`).
-fn engine_trace(scenario: Scenario, name: &str, config: ExpConfig) -> TraceOutput {
+fn engine_trace(scenario: Scenario, name: &str, config: ExpConfig, detail: bool) -> LteEngine {
     let seeds = SeedSeq::new(config.seed).child("trace").child(name);
     let mut e = LteEngine::new(
         scenario,
@@ -109,13 +140,11 @@ fn engine_trace(scenario: Scenario, name: &str, config: ExpConfig) -> TraceOutpu
         seeds.child("engine"),
     );
     e.obs_mut().tracer = Tracer::new(true);
+    e.obs_mut().detail = detail;
     e.backlog_all(u64::MAX / 4);
     let horizon = if config.quick { 1 } else { 2 };
     e.run_until(Instant::from_secs(horizon));
-    TraceOutput {
-        events: e.obs().tracer.to_jsonl(),
-        metrics: e.obs().metrics.snapshot_jsonl(e.now()),
-    }
+    e
 }
 
 #[cfg(test)]

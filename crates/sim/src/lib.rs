@@ -10,10 +10,13 @@
 //! * [`workload`] — traffic models: backlogged flows and the web-like
 //!   page model (flow sizes, objects per page, think times per the
 //!   paper's cited measurement studies).
-//! * [`lte_engine`] — the LTE system simulator: a 1 ms subframe loop over
-//!   cells and UEs with per-subchannel SINR, CQI feedback, scheduling,
-//!   control-channel interference, and the interference-management layer
-//!   in one of three modes: plain LTE, CellFi, or the centralized oracle.
+//! * [`engine`] — the LTE system simulator, layered as PHY (gain
+//!   matrices, fading, SINR cache), MAC (the 1 ms subframe loop: CQI
+//!   feedback, PF scheduling, AMC, HARQ, control-channel retention), and
+//!   an interference-management strategy layer with one module per
+//!   system (plain LTE, CellFi, the centralized oracle, LAA, X2-ICIC),
+//!   plus the [`engine::SystemEngine`] trait and [`engine::SimHarness`]
+//!   clock loop shared with the Wi-Fi baseline.
 //! * [`wifi_engine`] — glue that runs the `cellfi-wifi` DCF simulator
 //!   over the same topologies and workloads.
 //! * [`metrics`] — CDFs, percentiles, starvation/coverage counters.
@@ -29,8 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
-pub mod lte_engine;
 pub mod metrics;
 pub mod parallel;
 pub mod report;
@@ -38,7 +41,7 @@ pub mod topology;
 pub mod wifi_engine;
 pub mod workload;
 
-pub use lte_engine::{ImMode, LteEngine, LteEngineConfig};
+pub use engine::{ImMode, LteEngine, LteEngineConfig};
 pub use metrics::Cdf;
 pub use topology::{Scenario, ScenarioConfig};
 pub use workload::{WebWorkload, WebWorkloadConfig};

@@ -76,6 +76,11 @@ impl WifiEngine {
             .collect()
     }
 
+    /// Number of clients in the scenario.
+    pub fn n_ues(&self) -> usize {
+        self.n_ues
+    }
+
     /// Whether a client's downlink closes at all (mean SNR ≥ MCS 0).
     pub fn reachable(&self, ue: usize) -> bool {
         self.sim.reachable(ue)

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example web_browsing`
 
-use cellfi::sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi::sim::engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi::sim::metrics::Cdf;
 use cellfi::sim::topology::{Scenario, ScenarioConfig};
 use cellfi::sim::workload::{WebWorkload, WebWorkloadConfig};

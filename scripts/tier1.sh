@@ -28,15 +28,21 @@ CELLFI_THREADS=1 cargo test --offline -q --test determinism
 echo "== tier1: determinism, CELLFI_THREADS=4 =="
 CELLFI_THREADS=4 cargo test --offline -q --test determinism
 
-echo "== tier1: trace smoke (byte-identical across thread counts) =="
+echo "== tier1: trace smoke (byte-identical across thread counts and vs goldens) =="
 TRACE_TMP=$(mktemp -d)
 trap 'rm -rf "$TRACE_TMP"' EXIT
 EXP=target/release/exp
-(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" fig7b --trace --quick > /dev/null)
-mv "$TRACE_TMP/TRACE_fig7b.jsonl" "$TRACE_TMP/trace_t1.jsonl"
-mv "$TRACE_TMP/METRICS_fig7b.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
-(cd "$TRACE_TMP" && CELLFI_THREADS=8 "$OLDPWD/$EXP" fig7b --trace --quick > /dev/null)
-"$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_fig7b.jsonl"
-"$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_fig7b.jsonl"
+for name in fig7b fig9a; do
+    (cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" "$name" --trace --quick > /dev/null)
+    mv "$TRACE_TMP/TRACE_$name.jsonl" "$TRACE_TMP/trace_t1.jsonl"
+    mv "$TRACE_TMP/METRICS_$name.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
+    (cd "$TRACE_TMP" && CELLFI_THREADS=8 "$OLDPWD/$EXP" "$name" --trace --quick > /dev/null)
+    "$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_$name.jsonl"
+    "$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_$name.jsonl"
+    # The streams must also match the committed pre-refactor goldens:
+    # behaviour preservation, not just thread independence.
+    "$EXP" trace-diff "tests/goldens/TRACE_$name.jsonl" "$TRACE_TMP/TRACE_$name.jsonl"
+    "$EXP" trace-diff "tests/goldens/METRICS_$name.jsonl" "$TRACE_TMP/METRICS_$name.jsonl"
+done
 
 echo "== tier1: OK =="

@@ -6,7 +6,7 @@
 
 use cellfi::propagation::antenna::Antenna;
 use cellfi::propagation::link::LinkEnd;
-use cellfi::sim::lte_engine::{ImMode, LteEngine, LteEngineConfig};
+use cellfi::sim::engine::{ImMode, LteEngine, LteEngineConfig};
 use cellfi::sim::topology::{Scenario, ScenarioConfig};
 use cellfi::types::geo::Point;
 use cellfi::types::rng::SeedSeq;

@@ -1,0 +1,52 @@
+//! Golden report values: every experiment's quick-mode headline
+//! numbers, pinned byte-for-byte against `tests/goldens/values_*.json`.
+//!
+//! The goldens were captured from `exp <name> --quick --json` at the
+//! default seed before the engine was decomposed into layered PHY/MAC/IM
+//! modules; this test is the refactor's behaviour-preservation gate. To
+//! refresh after an *intentional* result change, re-run that command and
+//! commit the new JSON alongside the change that explains it.
+
+use cellfi::sim::experiments::{self, ExpConfig};
+use std::path::Path;
+
+#[test]
+fn quick_mode_values_match_committed_goldens() {
+    let config = ExpConfig {
+        quick: true,
+        ..ExpConfig::default()
+    };
+    let reports = experiments::run_many(experiments::ALL, config);
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let mut diverged = Vec::new();
+    for rep in &reports {
+        let path = dir.join(format!("values_{}.json", rep.id));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let mut actual =
+            serde_json::to_string_pretty(&rep.values).expect("experiment values serialize");
+        actual.push('\n');
+        if actual != golden {
+            diverged.push(rep.id.clone());
+            eprintln!(
+                "--- {} golden ---\n{golden}--- {} actual ---\n{actual}",
+                rep.id, rep.id
+            );
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "experiment values diverged from goldens: {diverged:?}"
+    );
+}
+
+#[test]
+fn every_experiment_has_a_committed_golden() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    for name in experiments::ALL {
+        assert!(
+            dir.join(format!("values_{name}.json")).exists(),
+            "no golden for {name}; run `exp {name} --quick --json` and commit it"
+        );
+    }
+}

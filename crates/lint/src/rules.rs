@@ -8,7 +8,13 @@
 //!   anywhere must not read wall clocks (`Instant::now`,
 //!   `SystemTime::now`) or draw OS entropy (`thread_rng`,
 //!   `from_entropy`). Benches and `bin/` targets are exempt: timing a
-//!   run and seeding a CLI from the OS are their job.
+//!   run and seeding a CLI from the OS are their job. The PAWS lease
+//!   machinery (`crates/spectrum`) is held to a stricter standard: its
+//!   retry/backoff paths must schedule on the simulation clock and draw
+//!   jitter from seeded RNGs only, so merely naming `std::time`,
+//!   blocking with `thread::sleep`, or sampling `rand::random` is
+//!   flagged there — a fault-injected lease schedule must replay
+//!   byte-identically from the run seed.
 //! * **`panic`** — library crates must not `.unwrap()`, `panic!`,
 //!   `todo!`, or `unimplemented!`. `.expect("...")` is the sanctioned
 //!   escape for provably-infallible cases; its message must state the
@@ -103,6 +109,10 @@ pub const MAX_ENGINE_FILE_LINES: usize = 700;
 /// Crates whose library code must not use order-randomized collections.
 const ORDER_SENSITIVE_CRATES: &[&str] = &["core", "lte", "obs", "sim", "spectrum"];
 
+/// The crate whose retry/backoff machinery must run on simulation time
+/// and seeded randomness only (see the stricter determinism sub-rule).
+const SIM_CLOCK_ONLY_CRATE: &str = "spectrum";
+
 /// Where a file sits in the workspace, driving rule applicability.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileContext {
@@ -157,6 +167,9 @@ pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
     if !ctx.is_bin {
         check_clocks_and_entropy(&mut sink);
         check_panics(&mut sink);
+    }
+    if !ctx.is_bin && ctx.crate_name.as_deref() == Some(SIM_CLOCK_ONLY_CRATE) {
+        check_sim_clock_only(&mut sink);
     }
     if !ctx.is_units_module() {
         check_unit_conversions(&mut sink);
@@ -267,6 +280,49 @@ fn check_clocks_and_entropy(sink: &mut Sink) {
                 ),
             );
             from = pos + name.len();
+        }
+    }
+}
+
+/// determinism (spectrum only): the lease lifecycle's retry/backoff
+/// paths must schedule on the simulation clock and draw jitter from
+/// seeded RNGs. Stricter than [`check_clocks_and_entropy`]: in
+/// `crates/spectrum` even *naming* `std::time` (wall-clock types),
+/// blocking with `thread::sleep`, or sampling `rand::random` is a
+/// finding, not just calling `::now()`. Compliance under arbitrary
+/// fault schedules is proved by replaying them byte-identically from
+/// the run seed; one wall-clock read anywhere in the retry path would
+/// void that proof.
+fn check_sim_clock_only(sink: &mut Sink) {
+    let probes: &[(&[&str], &str)] = &[
+        (
+            &["std", "time"],
+            "wall-clock time types; lease retry/backoff schedules on \
+             cellfi_types::time (sim Instant/Duration) only",
+        ),
+        (
+            &["thread", "sleep"],
+            "blocks on real time; schedule the retry at a future sim \
+             Instant and let the harness tick reach it",
+        ),
+        (
+            &["rand", "random"],
+            "ambient OS entropy; backoff jitter must come from an RNG \
+             seeded via cellfi_types::rng::SeedSeq",
+        ),
+    ];
+    for (path, why) in probes {
+        let mut from = 0;
+        while let Some((pos, end)) = find_qualified(sink.masked(), path, from) {
+            sink.report(
+                "determinism",
+                pos,
+                format!(
+                    "{}::{} in the PAWS lease machinery: {why}",
+                    path[0], path[1]
+                ),
+            );
+            from = end;
         }
     }
 }

@@ -66,6 +66,43 @@ fn determinism_accepts_simulation_time_instants() {
     assert!(f.is_empty(), "{f:?}");
 }
 
+#[test]
+fn determinism_locks_spectrum_retry_paths_to_the_sim_clock() {
+    // In crates/spectrum the rule is stricter than ::now() calls: the
+    // lease lifecycle's backoff must replay byte-identically from the
+    // run seed, so wall-clock types, real sleeps, and ambient entropy
+    // are out even when merely named.
+    for src in [
+        "use std::time::Duration;\n",
+        "fn f(d: std::time::Duration) { std::thread::sleep(d); }\n",
+        "fn jitter() -> f64 { rand::random() }\n",
+    ] {
+        let f = lint_source("crates/spectrum/src/lifecycle.rs", src);
+        assert!(
+            rules(&f).contains(&"determinism"),
+            "{src}: expected a determinism finding, got {f:?}"
+        );
+    }
+}
+
+#[test]
+fn spectrum_sim_clock_rule_is_scoped_and_accepts_sim_time() {
+    // Elsewhere the import alone stays legal (the global clock rule
+    // still catches ::now() calls).
+    let f = lint_core("use std::time::Duration;\n");
+    assert!(f.is_empty(), "{f:?}");
+    // And spectrum's own sim-clock idiom is clean: sim Instants plus a
+    // SeedSeq-seeded RNG are exactly what the rule demands.
+    let f = lint_source(
+        "crates/spectrum/src/lifecycle.rs",
+        "use cellfi_types::time::{Duration, Instant};\n\
+         fn next(now: Instant, rng: &mut StdRng) -> Instant {\n\
+             now + Duration::from_micros(rng.gen_range(0..1000))\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
 // ---------------------------------------------------------------- rule P
 
 #[test]

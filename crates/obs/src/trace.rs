@@ -107,6 +107,42 @@ pub enum Event {
         /// already missed — a compliance violation).
         margin_us: u64,
     },
+    /// The fault injector perturbed a PAWS exchange for a cell's client.
+    FaultInject {
+        /// Affected cell (AP index).
+        cell: u32,
+        /// Fault kind code (`FaultKind::code()` in `cellfi-spectrum`):
+        /// 0 request lost, 1 response delayed, 2 outage, 3 transient
+        /// error, 4 truncated grants, 5 revocation.
+        kind: u32,
+    },
+    /// The resilient lifecycle renewed/confirmed a cell's lease.
+    LeaseRenew {
+        /// Renewing cell (AP index).
+        cell: u32,
+        /// Confirmed TVWS channel number.
+        channel: u32,
+        /// New lease expiry, microseconds of simulation time.
+        expires_us: u64,
+    },
+    /// A degradation-ladder rung fired for a cell.
+    Degrade {
+        /// Degrading cell (AP index).
+        cell: u32,
+        /// Channel after the rung (the vacated channel for a
+        /// preemptive vacate).
+        channel: u32,
+        /// Rung code (`DegradeStep::code()`): 0 channel fallback,
+        /// 1 EIRP reduction, 2 preemptive vacate.
+        step: u32,
+    },
+    /// A cell recovered from backoff/degradation to normal operation.
+    Recover {
+        /// Recovering cell (AP index).
+        cell: u32,
+        /// Channel operating on after recovery.
+        channel: u32,
+    },
     /// Per-epoch scheduler occupancy decision (detail stream): the
     /// subchannel mask a cell will schedule over until the next epoch.
     Sched {
@@ -363,6 +399,38 @@ fn write_record(out: &mut String, r: &Record) {
                 ",\"ev\":\"paws_vacated\",\"channel\":{channel},\"margin_us\":{margin_us}"
             );
         }
+        Event::FaultInject { cell, kind } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"fault_inject\",\"cell\":{cell},\"kind\":{kind}"
+            );
+        }
+        Event::LeaseRenew {
+            cell,
+            channel,
+            expires_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"lease_renew\",\"cell\":{cell},\"channel\":{channel},\"expires_us\":{expires_us}"
+            );
+        }
+        Event::Degrade {
+            cell,
+            channel,
+            step,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"degrade\",\"cell\":{cell},\"channel\":{channel},\"step\":{step}"
+            );
+        }
+        Event::Recover { cell, channel } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"recover\",\"cell\":{cell},\"channel\":{channel}"
+            );
+        }
         Event::Sched {
             cell,
             mask_bits,
@@ -490,6 +558,55 @@ mod tests {
             t.to_jsonl()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn resilience_events_serialize_with_fixed_fields() {
+        let mut t = Tracer::new(true);
+        t.emit(
+            Instant::from_secs(3),
+            Event::FaultInject { cell: 2, kind: 5 },
+        );
+        t.emit(
+            Instant::from_secs(4),
+            Event::LeaseRenew {
+                cell: 2,
+                channel: 44,
+                expires_us: 7_200_000_000,
+            },
+        );
+        t.emit(
+            Instant::from_secs(5),
+            Event::Degrade {
+                cell: 2,
+                channel: 45,
+                step: 0,
+            },
+        );
+        t.emit(
+            Instant::from_secs(6),
+            Event::Recover {
+                cell: 2,
+                channel: 44,
+            },
+        );
+        let lines: Vec<String> = t.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(
+            lines[0],
+            "{\"t\":3000000,\"ev\":\"fault_inject\",\"cell\":2,\"kind\":5}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t\":4000000,\"ev\":\"lease_renew\",\"cell\":2,\"channel\":44,\"expires_us\":7200000000}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"t\":5000000,\"ev\":\"degrade\",\"cell\":2,\"channel\":45,\"step\":0}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"t\":6000000,\"ev\":\"recover\",\"cell\":2,\"channel\":44}"
+        );
     }
 
     #[test]

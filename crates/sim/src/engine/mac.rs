@@ -36,11 +36,11 @@ impl LteEngine {
     fn control_sinr(&self, ue: usize) -> Db {
         let ap = self.scenario.assoc[ue];
         let strongest_other = (0..self.cells.len())
-            .filter(|&c| c != ap && self.cells[c].radio_on())
-            .map(|c| self.dl_mean_dbm[ue][c])
+            .filter(|&c| c != ap && self.cell_active(c))
+            .map(|c| self.dl_mean_dbm[ue][c] + self.power_offset_db[c])
             .fold(f64::NEG_INFINITY, f64::max);
         if strongest_other.is_finite() {
-            Db(self.dl_mean_dbm[ue][ap] - strongest_other)
+            Db(self.dl_mean_dbm[ue][ap] + self.power_offset_db[ap] - strongest_other)
         } else {
             Db(100.0) // no other radio: effectively clean
         }
@@ -87,7 +87,7 @@ impl LteEngine {
                 if !may_transmit[c] {
                     continue;
                 }
-                if !self.cells[c].radio_on() || self.cells[c].total_queued_bits() == 0 {
+                if !self.cell_active(c) || self.cells[c].total_queued_bits() == 0 {
                     continue;
                 }
                 let ues: Vec<UeId> = self.cells[c].attached_ues().to_vec();
@@ -297,7 +297,7 @@ impl LteEngine {
         // 1. Grants per cell over its allowed mask.
         let mut grants: Vec<Vec<usize>> = vec![Vec::new(); self.scenario.n_ues()];
         for c in 0..self.cells.len() {
-            if !self.cells[c].radio_on() {
+            if !self.cell_active(c) {
                 continue;
             }
             let ues: Vec<UeId> = self.cells[c]
@@ -409,7 +409,7 @@ impl LteEngine {
     pub fn check_handover(&mut self, ue: usize, hysteresis_db: f64) -> Option<usize> {
         let serving = self.scenario.assoc[ue];
         let (best, best_dbm) = (0..self.cells.len())
-            .filter(|&c| self.cells[c].radio_on())
+            .filter(|&c| self.cell_active(c))
             .map(|c| (c, self.dl_mean_dbm[ue][c]))
             .max_by(|a, b| a.1.total_cmp(&b.1))?;
         if best == serving || best_dbm < self.dl_mean_dbm[ue][serving] + hysteresis_db {

@@ -207,6 +207,16 @@ pub struct LteEngine {
     pub rrc_drops: Vec<u64>,
     /// LAA listen-before-talk state per cell.
     lbt: Vec<LbtState>,
+    /// Regulatory lease gate per cell: a cell with `lease_ok == false`
+    /// neither schedules downlink nor grants uplink, without tearing
+    /// down its attached clients the way `Cell::radio_off` would — the
+    /// chaos harness flips this as PAWS leases are lost and regained.
+    lease_ok: Vec<bool>,
+    /// Per-cell downlink EIRP offset (dB) relative to the scenario's AP
+    /// power — the degradation ladder's "reduce EIRP to the surviving
+    /// grant's cap" rung. Zero for every cell unless a fault harness
+    /// says otherwise, which keeps default gains byte-identical.
+    power_offset_db: Vec<f64>,
     /// Observability bundle: tick-keyed event tracer, metrics registry,
     /// and injected-clock profiler. Disabled by default (near-zero cost);
     /// enable via [`LteEngine::obs_mut`].
@@ -311,6 +321,8 @@ impl LteEngine {
                 })
                 .collect(),
             lbt: vec![LbtState::default(); n_ap],
+            lease_ok: vec![true; n_ap],
+            power_offset_db: vec![0.0; n_ap],
             x2_messages: 0,
             handovers: 0,
             bad_streak_ms: vec![0; n_ue],
@@ -407,6 +419,48 @@ impl LteEngine {
     /// Current scheduler mask of a cell.
     pub fn cell_mask(&self, cell: usize) -> Vec<bool> {
         self.cells[cell].allowed_mask().to_vec()
+    }
+
+    /// Set a cell's regulatory lease gate. `false` silences the cell
+    /// (no downlink scheduling, no uplink grants, no control presence)
+    /// while keeping its attachments and queues intact, so regaining
+    /// the lease resumes service instantly.
+    pub fn set_lease_ok(&mut self, cell: usize, ok: bool) {
+        if self.lease_ok[cell] != ok {
+            self.lease_ok[cell] = ok;
+            self.recompute_retention();
+        }
+    }
+
+    /// Whether a cell currently holds a valid lease (per its gate).
+    pub fn lease_ok(&self, cell: usize) -> bool {
+        self.lease_ok[cell]
+    }
+
+    /// Set a cell's downlink EIRP offset in dB relative to the
+    /// scenario's AP power (negative = degraded below full power).
+    /// Forces a gain-tensor refresh on the next subframe so the change
+    /// takes effect immediately and deterministically.
+    pub fn set_power_offset_db(&mut self, cell: usize, offset_db: f64) {
+        if self.power_offset_db[cell] != offset_db {
+            self.power_offset_db[cell] = offset_db;
+            // Invalidate the fading block so the next refresh rebuilds
+            // `lin_mw` with the new offset even mid-coherence-block.
+            self.fading_block = u64::MAX;
+            self.recompute_retention();
+        }
+    }
+
+    /// A cell's current downlink EIRP offset in dB.
+    pub fn power_offset_db(&self, cell: usize) -> f64 {
+        self.power_offset_db[cell]
+    }
+
+    /// Whether a cell is radiating this subframe: radio up *and* lease
+    /// valid. Every MAC path that asks "is this cell on the air" asks
+    /// this, so the lease gate silences control and data alike.
+    pub(super) fn cell_active(&self, cell: usize) -> bool {
+        self.lease_ok[cell] && self.cells[cell].radio_on()
     }
 
     /// Mean SNR (no interference) of a client's downlink over the full

@@ -251,6 +251,7 @@ impl LteEngine {
         // refresh fans out across UEs.
         let scenario = &self.scenario;
         let dl_mean_dbm = &self.dl_mean_dbm;
+        let power_offset_db = &self.power_offset_db;
         let now = self.now;
         crate::parallel::for_each_row(&mut self.lin_mw, 8, |u, row| {
             let ue_node = scenario.ues[u].node;
@@ -262,7 +263,7 @@ impl LteEngine {
                         .fading
                         .gain(ap_node, ue_node, SubchannelId::new(s as u32), now)
                         .value();
-                    *slot = Dbm(dl_mean_dbm[u][a] + split_db[s] + f)
+                    *slot = Dbm(dl_mean_dbm[u][a] + power_offset_db[a] + split_db[s] + f)
                         .to_milliwatts()
                         .value();
                 }
@@ -452,9 +453,10 @@ impl LteEngine {
                     .fading
                     .gain(ap_node, ue_node, SubchannelId::new(sc as u32), self.now)
                     .value();
-                self.lin_mw[ue][a][sc] = Dbm(self.dl_mean_dbm[ue][a] + split + f)
-                    .to_milliwatts()
-                    .value();
+                self.lin_mw[ue][a][sc] =
+                    Dbm(self.dl_mean_dbm[ue][a] + self.power_offset_db[a] + split + f)
+                        .to_milliwatts()
+                        .value();
             }
         }
     }

@@ -59,7 +59,9 @@ pub fn timeline_traced(tracer: &mut Tracer) -> Vec<Event> {
     let mut ue = Ue::new(UeId::new(0), UeTimings::paper_measured(), Instant::ZERO);
 
     // Bootstrap: grant, operate, attach (before the recorded window).
-    client.refresh_traced(&db, Instant::ZERO, tracer);
+    client
+        .refresh_traced(&mut db, Instant::ZERO, tracer)
+        .expect("the in-process database transport is infallible");
     let channel = client.grants()[0].channel;
     client
         .start_operation_traced(&mut db, channel, 36.0, Instant::ZERO, tracer)
@@ -108,7 +110,9 @@ pub fn timeline_traced(tracer: &mut Tracer) -> Vec<Event> {
             }
         }
         // Database poll.
-        let state = client.refresh_traced(&db, t, tracer);
+        let state = client
+            .refresh_traced(&mut db, t, tracer)
+            .expect("the in-process database transport is infallible");
         match state {
             ClientState::Vacating { .. } if cell.radio_on() => {
                 // Stop transmitting immediately (well inside the ETSI

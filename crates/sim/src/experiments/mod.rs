@@ -6,6 +6,7 @@
 //! numbers. The `exp` binary dispatches by experiment name.
 
 pub mod ablation;
+pub mod chaos;
 pub mod convergence;
 pub mod coordination;
 pub mod fig1;
@@ -95,6 +96,7 @@ pub const ALL: &[&str] = &[
     "laa",
     "coordination",
     "roaming",
+    "chaos",
 ];
 
 /// Run several experiments concurrently on the scoped thread pool
@@ -152,6 +154,7 @@ pub fn run(name: &str, config: ExpConfig) -> Option<ExpReport> {
         "laa" => laa::run(config),
         "coordination" => coordination::run(config),
         "roaming" => roaming::run(config),
+        "chaos" => chaos::run(config),
         _ => return None,
     })
 }

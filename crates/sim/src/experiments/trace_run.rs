@@ -43,6 +43,9 @@ pub fn traced_with(name: &str, config: ExpConfig, detail: bool) -> Option<TraceO
     if name == "fig6" {
         return Some(paws_trace());
     }
+    if name == "chaos" {
+        return Some(chaos_trace(config));
+    }
     let e = traced_engine(name, config, detail).expect("known non-fig6 names have an engine run");
     Some(TraceOutput {
         events: e.obs().tracer.to_jsonl(),
@@ -62,7 +65,7 @@ pub fn traced_with(name: &str, config: ExpConfig, detail: bool) -> Option<TraceO
 /// engine's actual final masks. `None` for unknown names and for
 /// `fig6`, whose trace has no engine.
 pub(crate) fn traced_engine(name: &str, config: ExpConfig, detail: bool) -> Option<LteEngine> {
-    if !super::ALL.contains(&name) || name == "fig6" {
+    if !super::ALL.contains(&name) || name == "fig6" || name == "chaos" {
         return None;
     }
     let scenario = match name {
@@ -94,6 +97,23 @@ fn paws_trace() -> TraceOutput {
     TraceOutput {
         events: tracer.to_jsonl(),
         metrics: metrics.snapshot_jsonl(end),
+    }
+}
+
+/// A traced chaos run: one CellFi engine under a representative fault
+/// intensity, with the resilience event stream (`fault_inject`,
+/// `lease_renew`, `degrade`, `recover`, `paws_vacated`) and the
+/// downtime/vacate-margin metrics the injector and lifecycles feed into
+/// the engine's obs bundle. Byte-identical at any `CELLFI_THREADS`: the
+/// lifecycles step serially in cell index order, and the engine's own
+/// events merge through the fork/absorb sinks.
+fn chaos_trace(config: ExpConfig) -> TraceOutput {
+    let seeds = SeedSeq::new(config.seed).child("trace").child("chaos");
+    let horizon = Instant::from_secs(if config.quick { 10 } else { 20 });
+    let out = super::chaos::chaos_run(ImMode::CellFi, 0.6, 3, 2, horizon, seeds, true);
+    TraceOutput {
+        events: out.engine.obs().tracer.to_jsonl(),
+        metrics: out.engine.obs().metrics.snapshot_jsonl(out.engine.now()),
     }
 }
 

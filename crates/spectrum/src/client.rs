@@ -8,7 +8,7 @@
 //! transmissions should stop within one minute after the channel ceases
 //! to be available" (§6.2).
 
-use crate::database::SpectrumDatabase;
+use crate::faults::{PawsFailure, PawsTransport};
 use crate::paws::{
     AvailSpectrumReq, DeviceDescriptor, GeoLocation, InitReq, InitResp, SpectrumGrant,
     SpectrumUseNotify,
@@ -22,10 +22,13 @@ pub const ETSI_VACATE_DEADLINE: Duration = Duration::from_secs(60);
 
 /// Why [`DatabaseClient::start_operation`] refused to begin transmitting.
 ///
-/// Both cases are *regulatory* failures — a compliant AP must treat them
-/// as "do not radiate", not as bugs, which is why the API returns them
-/// instead of panicking.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Every case means "do not radiate" — the first two are *regulatory*
+/// refusals by the client itself, the third a failed mandatory
+/// `SPECTRUM_USE_NOTIFY` (ETSI requires the notification before
+/// operation, so a lost or timed-out notify also blocks the radio). A
+/// compliant AP treats all of them as outcomes, not bugs, which is why
+/// the API returns them instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
 pub enum OperationError {
     /// No currently-valid grant covers the requested channel.
     NoValidGrant {
@@ -39,6 +42,8 @@ pub enum OperationError {
         /// The grant's maximum permitted EIRP, dBm.
         cap_dbm: f64,
     },
+    /// The mandatory use notification did not complete.
+    NotifyFailed(PawsFailure),
 }
 
 impl std::fmt::Display for OperationError {
@@ -54,6 +59,9 @@ impl std::fmt::Display for OperationError {
                 f,
                 "EIRP {requested_dbm} dBm exceeds grant cap {cap_dbm} dBm"
             ),
+            OperationError::NotifyFailed(ref failure) => {
+                write!(f, "SPECTRUM_USE_NOTIFY failed: {failure}")
+            }
         }
     }
 }
@@ -121,16 +129,24 @@ impl DatabaseClient {
 
     /// Perform the PAWS `INIT` handshake: the database's capabilities
     /// bound the client's polling cadence (a client may not cache an
-    /// availability answer longer than `max_polling_secs`).
-    pub fn init(&mut self, db: &SpectrumDatabase) -> InitResp {
-        let resp = db.init(&InitReq {
-            device: self.device.clone(),
-            location: self.location,
-        });
+    /// availability answer longer than `max_polling_secs`). A transport
+    /// failure leaves the client's cadence unchanged — it retries later.
+    pub fn init<T: PawsTransport>(
+        &mut self,
+        transport: &mut T,
+        now: Instant,
+    ) -> Result<InitResp, PawsFailure> {
+        let resp = transport.init(
+            &InitReq {
+                device: self.device.clone(),
+                location: self.location,
+            },
+            now,
+        )?;
         self.poll_interval = self
             .poll_interval
             .min(Duration::from_secs(resp.max_polling_secs));
-        resp
+        Ok(resp)
     }
 
     /// Whether a (re-)query is due.
@@ -144,13 +160,23 @@ impl DatabaseClient {
     /// Query the database. Updates grants and, if the channel currently
     /// in use is no longer granted, transitions to `Vacating` with the
     /// ETSI deadline. Returns the new state.
-    pub fn refresh(&mut self, db: &SpectrumDatabase, now: Instant) -> ClientState {
+    ///
+    /// A transport failure ([`PawsFailure`]) leaves the client entirely
+    /// unchanged — grants, query clock and lease state are all as
+    /// before, so a lost response can never wedge the lifecycle: the
+    /// caller backs off and retries while the existing lease (if any)
+    /// keeps running toward its own expiry.
+    pub fn refresh<T: PawsTransport>(
+        &mut self,
+        transport: &mut T,
+        now: Instant,
+    ) -> Result<ClientState, PawsFailure> {
         let req = AvailSpectrumReq {
             device: self.device.clone(),
             location: self.location,
             request_time_us: now.as_micros(),
         };
-        self.grants = db.avail_spectrum(&req).grants;
+        self.grants = transport.avail_spectrum(&req, now)?.grants;
         self.last_query = Some(now);
         self.state = match self.state {
             ClientState::Operating { channel, .. } => {
@@ -167,7 +193,7 @@ impl DatabaseClient {
             }
             other => other,
         };
-        self.state
+        Ok(self.state)
     }
 
     /// Begin operating on `channel`. Requires a currently-valid grant
@@ -175,9 +201,9 @@ impl DatabaseClient {
     /// `SPECTRUM_USE_NOTIFY` and enters [`ClientState::Operating`]. On
     /// failure the client state is unchanged and nothing is notified —
     /// the AP simply may not radiate.
-    pub fn start_operation(
+    pub fn start_operation<T: PawsTransport>(
         &mut self,
-        db: &mut SpectrumDatabase,
+        transport: &mut T,
         channel: ChannelId,
         eirp_dbm: f64,
         now: Instant,
@@ -193,15 +219,18 @@ impl DatabaseClient {
                 cap_dbm: grant.max_eirp_dbm,
             });
         }
-        db.notify_use(SpectrumUseNotify {
-            device: self.device.clone(),
-            channel,
-            eirp_dbm,
-        });
-        self.state = ClientState::Operating {
-            channel,
-            expires: Instant::from_micros(grant.expires_us),
-        };
+        let expires = Instant::from_micros(grant.expires_us);
+        transport
+            .notify_use(
+                SpectrumUseNotify {
+                    device: self.device.clone(),
+                    channel,
+                    eirp_dbm,
+                },
+                now,
+            )
+            .map_err(OperationError::NotifyFailed)?;
+        self.state = ClientState::Operating { channel, expires };
         Ok(())
     }
 
@@ -212,15 +241,16 @@ impl DatabaseClient {
 
     /// [`DatabaseClient::refresh`] that also emits the lease-lifecycle
     /// trace events: a renewal while operating, or the start of a vacate
-    /// with its ETSI deadline.
-    pub fn refresh_traced(
+    /// with its ETSI deadline. A transport failure emits nothing (the
+    /// harness traces injected faults separately).
+    pub fn refresh_traced<T: PawsTransport>(
         &mut self,
-        db: &SpectrumDatabase,
+        transport: &mut T,
         now: Instant,
         tracer: &mut Tracer,
-    ) -> ClientState {
+    ) -> Result<ClientState, PawsFailure> {
         let before = self.state;
-        let after = self.refresh(db, now);
+        let after = self.refresh(transport, now)?;
         match (before, after) {
             (ClientState::Operating { .. }, ClientState::Operating { channel, expires }) => {
                 tracer.emit(
@@ -242,20 +272,20 @@ impl DatabaseClient {
             }
             _ => {}
         }
-        after
+        Ok(after)
     }
 
     /// [`DatabaseClient::start_operation`] that also emits the
     /// [`Event::PawsGrant`] trace event on success.
-    pub fn start_operation_traced(
+    pub fn start_operation_traced<T: PawsTransport>(
         &mut self,
-        db: &mut SpectrumDatabase,
+        transport: &mut T,
         channel: ChannelId,
         eirp_dbm: f64,
         now: Instant,
         tracer: &mut Tracer,
     ) -> Result<(), OperationError> {
-        self.start_operation(db, channel, eirp_dbm, now)?;
+        self.start_operation(transport, channel, eirp_dbm, now)?;
         if let ClientState::Operating { expires, .. } = self.state {
             tracer.emit(
                 now,
@@ -310,6 +340,13 @@ impl DatabaseClient {
     /// `Operating` with an unexpired grant: yes. `Vacating`: only until
     /// the ETSI deadline (the stack is expected to stop far sooner — the
     /// paper's AP stopped 2 s after the DB change). Expired grant: no.
+    ///
+    /// Boundary semantics are **exclusive** everywhere, matching
+    /// [`SpectrumGrant::valid_at`] and the database's withdrawal
+    /// windows: at exactly `expires` the lease is already over and at
+    /// exactly `deadline` the vacate window is already over. A
+    /// zero-duration grant (`expires ==` grant time) therefore never
+    /// permits transmission.
     pub fn may_transmit(&self, now: Instant) -> bool {
         match self.state {
             ClientState::Idle => false,
@@ -336,6 +373,8 @@ impl DatabaseClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::SpectrumDatabase;
+    use crate::faults::{FaultInjector, FaultPlan, PAWS_CLIENT_TIMEOUT};
     use crate::plan::ChannelPlan;
     use cellfi_types::geo::Point;
 
@@ -356,7 +395,7 @@ mod tests {
     #[test]
     fn grant_then_operate() {
         let (mut db, mut c) = setup();
-        c.refresh(&db, Instant::from_secs(1));
+        c.refresh(&mut db, Instant::from_secs(1)).unwrap();
         assert!(!c.grants().is_empty());
         let ch = c.grants()[0].channel;
         c.start_operation(&mut db, ch, 36.0, Instant::from_secs(1))
@@ -368,7 +407,7 @@ mod tests {
     #[test]
     fn overpowered_operation_rejected() {
         let (mut db, mut c) = setup();
-        c.refresh(&db, Instant::ZERO);
+        c.refresh(&mut db, Instant::ZERO).unwrap();
         let ch = c.grants()[0].channel;
         let err = c.start_operation(&mut db, ch, 40.0, Instant::ZERO);
         assert!(
@@ -385,7 +424,7 @@ mod tests {
     #[test]
     fn operation_without_grant_rejected() {
         let (mut db, mut c) = setup();
-        c.refresh(&db, Instant::ZERO);
+        c.refresh(&mut db, Instant::ZERO).unwrap();
         let bogus = ChannelId::new(9_999);
         let err = c.start_operation(&mut db, bogus, 36.0, Instant::ZERO);
         assert_eq!(err, Err(OperationError::NoValidGrant { channel: bogus }));
@@ -396,13 +435,13 @@ mod tests {
     fn withdrawal_starts_vacate_with_etsi_deadline() {
         // The Fig 6 sequence, compliance side.
         let (mut db, mut c) = setup();
-        c.refresh(&db, Instant::from_secs(0));
+        c.refresh(&mut db, Instant::from_secs(0)).unwrap();
         let ch = c.grants()[0].channel;
         c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
             .expect("granted channel accepts operation");
         db.withdraw_channel(ch, None);
         let t = Instant::from_secs(57);
-        let state = c.refresh(&db, t);
+        let state = c.refresh(&mut db, t).unwrap();
         match state {
             ClientState::Vacating { channel, deadline } => {
                 assert_eq!(channel, ch);
@@ -421,7 +460,7 @@ mod tests {
     fn lease_expiry_between_polls_caught_by_tick() {
         let (mut db, mut c) = setup();
         db = db.with_lease_validity(Duration::from_secs(30));
-        c.refresh(&db, Instant::ZERO);
+        c.refresh(&mut db, Instant::ZERO).unwrap();
         let ch = c.grants()[0].channel;
         c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
             .expect("granted channel accepts operation");
@@ -435,7 +474,7 @@ mod tests {
     #[test]
     fn refresh_extends_operating_lease() {
         let (mut db, mut c) = setup();
-        c.refresh(&db, Instant::ZERO);
+        c.refresh(&mut db, Instant::ZERO).unwrap();
         let ch = c.grants()[0].channel;
         c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
             .expect("granted channel accepts operation");
@@ -443,7 +482,7 @@ mod tests {
             ClientState::Operating { expires, .. } => expires,
             _ => unreachable!(),
         };
-        c.refresh(&db, Instant::from_secs(3600));
+        c.refresh(&mut db, Instant::from_secs(3600)).unwrap();
         let after = match c.state() {
             ClientState::Operating { expires, .. } => expires,
             _ => panic!("should still be operating"),
@@ -453,13 +492,13 @@ mod tests {
 
     #[test]
     fn init_handshake_bounds_polling() {
-        let (db, mut c) = setup();
-        let resp = c.init(&db);
+        let (mut db, mut c) = setup();
+        let resp = c.init(&mut db, Instant::ZERO).unwrap();
         assert_eq!(resp.ruleset, "ETSI-EN-301-598-1.1.1");
         // A 30 s database cadence must tighten the client's 60 s default.
-        let strict = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_max_polling(30);
-        c.init(&strict);
-        c.refresh(&strict, Instant::ZERO);
+        let mut strict = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_max_polling(30);
+        c.init(&mut strict, Instant::ZERO).unwrap();
+        c.refresh(&mut strict, Instant::ZERO).unwrap();
         assert!(c.query_due(Instant::from_secs(31)));
     }
 
@@ -467,13 +506,14 @@ mod tests {
     fn traced_lifecycle_emits_grant_vacate_and_margin() {
         let (mut db, mut c) = setup();
         let mut tr = Tracer::new(true);
-        c.refresh_traced(&db, Instant::ZERO, &mut tr);
+        c.refresh_traced(&mut db, Instant::ZERO, &mut tr).unwrap();
         assert!(tr.is_empty(), "idle refresh is not a lifecycle transition");
         let ch = c.grants()[0].channel;
         c.start_operation_traced(&mut db, ch, 36.0, Instant::ZERO, &mut tr)
             .expect("granted channel accepts operation");
         db.withdraw_channel(ch, None);
-        c.refresh_traced(&db, Instant::from_secs(10), &mut tr);
+        c.refresh_traced(&mut db, Instant::from_secs(10), &mut tr)
+            .unwrap();
         // Stop 2 s after noticing, like the paper's AP: 48 s of margin.
         c.confirm_stopped_traced(Instant::from_secs(12), &mut tr);
         let jsonl = tr.to_jsonl();
@@ -491,9 +531,98 @@ mod tests {
 
     #[test]
     fn poll_cadence() {
-        let (db, mut c) = setup();
-        c.refresh(&db, Instant::from_secs(10));
+        let (mut db, mut c) = setup();
+        c.refresh(&mut db, Instant::from_secs(10)).unwrap();
         assert!(!c.query_due(Instant::from_secs(30)));
         assert!(c.query_due(Instant::from_secs(70)));
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive_on_both_sides() {
+        // Satellite: pin `expires == now` semantics. The client and the
+        // grant agree: the expiry instant itself is outside the lease.
+        let (mut db, mut c) = setup();
+        db = db.with_lease_validity(Duration::from_secs(100));
+        c.refresh(&mut db, Instant::ZERO).unwrap();
+        let ch = c.grants()[0].channel;
+        assert!(c.grants()[0].valid_at(Instant::from_micros(99_999_999)));
+        assert!(!c.grants()[0].valid_at(Instant::from_secs(100)));
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
+        assert!(c.may_transmit(Instant::from_micros(99_999_999)));
+        assert!(!c.may_transmit(Instant::from_secs(100)));
+    }
+
+    #[test]
+    fn zero_duration_grant_refused_without_underflow() {
+        // Satellite: a grant that expires the instant it is issued must
+        // refuse operation (valid_at is exclusive) rather than start a
+        // lease of negative length.
+        let (mut db, mut c) = setup();
+        db = db.with_lease_validity(Duration::ZERO);
+        let t = Instant::from_secs(5);
+        c.refresh(&mut db, t).unwrap();
+        assert!(!c.grants().is_empty(), "grants are issued, just expired");
+        let ch = c.grants()[0].channel;
+        let err = c.start_operation(&mut db, ch, 36.0, t);
+        assert_eq!(err, Err(OperationError::NoValidGrant { channel: ch }));
+        assert_eq!(c.state(), ClientState::Idle);
+        assert!(!c.may_transmit(t));
+    }
+
+    #[test]
+    fn transport_failure_leaves_client_unwedged() {
+        // Satellite: a lost response can never wedge the lifecycle —
+        // grants and lease state are untouched and the query stays due.
+        let (db, mut c) = setup();
+        let mut good = FaultInjector::new(db.clone(), FaultPlan::none());
+        c.refresh(&mut good, Instant::ZERO).unwrap();
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut good, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
+        let grants_before = c.grants().to_vec();
+        let state_before = c.state();
+        let mut lossy = FaultInjector::new(
+            db,
+            FaultPlan {
+                request_loss: 1.0,
+                ..FaultPlan::none()
+            },
+        );
+        let t = Instant::from_secs(120);
+        let err = c.refresh(&mut lossy, t);
+        assert_eq!(
+            err,
+            Err(PawsFailure::PawsTimeout {
+                waited: PAWS_CLIENT_TIMEOUT
+            })
+        );
+        assert_eq!(c.grants(), &grants_before[..]);
+        assert_eq!(c.state(), state_before);
+        assert!(c.query_due(t), "failed refresh must not reset the clock");
+    }
+
+    #[test]
+    fn failed_notify_blocks_operation() {
+        let (db, mut c) = setup();
+        let mut inj = FaultInjector::new(db, FaultPlan::none());
+        c.refresh(&mut inj, Instant::ZERO).unwrap();
+        let ch = c.grants()[0].channel;
+        // All requests lost from here on: the mandatory notify fails, so
+        // the client may not radiate even though the grant is valid.
+        inj = FaultInjector::new(
+            inj.database().clone(),
+            FaultPlan {
+                request_loss: 1.0,
+                ..FaultPlan::none()
+            },
+        );
+        let err = c.start_operation(&mut inj, ch, 36.0, Instant::ZERO);
+        assert!(
+            matches!(err, Err(OperationError::NotifyFailed(_))),
+            "{err:?}"
+        );
+        assert_eq!(c.state(), ClientState::Idle);
+        assert!(!c.may_transmit(Instant::ZERO));
     }
 }

@@ -22,6 +22,13 @@
 //! * [`client`] — the access-point-side database client: maintains the
 //!   lease, re-queries, and enforces the ETSI rule that transmissions
 //!   stop within 60 s of losing the channel.
+//! * [`faults`] — deterministic fault injection: a [`faults::FaultPlan`]
+//!   schedule and a [`faults::FaultInjector`] transport that perturbs
+//!   the PAWS exchange (loss, delay, outages, transient errors,
+//!   truncated grants, mid-lease revocation) from a seeded RNG.
+//! * [`lifecycle`] — the resilient lease lifecycle: proactive renewal,
+//!   deterministic retry/backoff, and the graceful-degradation ladder
+//!   (retry → channel fallback → EIRP reduction → vacate with margin).
 //! * [`selection`] — CellFi's channel-selection component: picks the best
 //!   channel using network-listen (prefer idle; else CellFi-occupied;
 //!   never non-CellFi-occupied if avoidable, §4.2) and maps it to an
@@ -32,14 +39,18 @@
 
 pub mod client;
 pub mod database;
+pub mod faults;
 pub mod incumbent;
+pub mod lifecycle;
 pub mod paws;
 pub mod plan;
 pub mod selection;
 
 pub use client::{ClientState, DatabaseClient, OperationError};
 pub use database::{ChannelAvailability, SpectrumDatabase};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, PawsFailure, PawsTransport};
 pub use incumbent::Incumbent;
+pub use lifecycle::{DegradeStep, LeaseLifecycle, LeasePhase, LifecycleConfig, LifecycleEvent};
 pub use paws::{AvailSpectrumReq, AvailSpectrumResp, DeviceDescriptor, GeoLocation};
 pub use plan::{ChannelPlan, TvChannel};
 pub use selection::{ChannelChoice, ChannelSelector, ListenObservation, OccupantKind};

@@ -40,7 +40,8 @@ fn main() {
 
     // Morning: the channel is free, the network comes up on ch36.
     let morning = Instant::from_secs(9 * 3600);
-    dbc.refresh(&db, morning);
+    dbc.refresh(&mut db, morning)
+        .expect("the in-process database transport is infallible");
     assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
     dbc.start_operation(&mut db, ChannelId::new(36), 36.0, morning)
         .expect("channel 36 was just confirmed granted");
@@ -58,7 +59,9 @@ fn main() {
 
     // Evening poll just after the show starts: the channel is gone.
     let poll = show_start + Duration::from_secs(30);
-    let state = dbc.refresh(&db, poll);
+    let state = dbc
+        .refresh(&mut db, poll)
+        .expect("the in-process database transport is infallible");
     let ClientState::Vacating { deadline, .. } = state else {
         panic!("expected Vacating, got {state:?}");
     };
@@ -77,7 +80,8 @@ fn main() {
 
     // During the show: the database refuses the channel.
     let mid_show = Instant::from_secs(21 * 3600);
-    dbc.refresh(&db, mid_show);
+    dbc.refresh(&mut db, mid_show)
+        .expect("the in-process database transport is infallible");
     assert!(
         !dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)),
         "channel must stay blocked during the event"
@@ -86,7 +90,8 @@ fn main() {
 
     // After the show: channel returns; network re-acquires.
     let late = show_end + Duration::from_secs(60);
-    dbc.refresh(&db, late);
+    dbc.refresh(&mut db, late)
+        .expect("the in-process database transport is infallible");
     assert!(dbc.grants().iter().any(|g| g.channel == ChannelId::new(36)));
     dbc.start_operation(&mut db, ChannelId::new(36), 36.0, late)
         .expect("channel 36 was just confirmed granted again");

@@ -36,7 +36,9 @@ fn main() {
     let ap_position = Point::new(0.0, 0.0);
     let mut client = DatabaseClient::new("cellfi-quickstart-ap", 3, GeoLocation::gps(ap_position));
     let now = Instant::ZERO;
-    client.refresh(&db, now);
+    client
+        .refresh(&mut db, now)
+        .expect("the in-process database transport is infallible");
     println!("database granted {} channels", client.grants().len());
     assert!(
         client

@@ -45,4 +45,17 @@ for name in fig7b fig9a; do
     "$EXP" trace-diff "tests/goldens/METRICS_$name.jsonl" "$TRACE_TMP/METRICS_$name.jsonl"
 done
 
+echo "== tier1: chaos smoke (fault-injected trace byte-identical across thread counts) =="
+# The chaos experiment layers the fault injector and lease lifecycles on
+# top of the engine; its resilience event stream must stay a pure
+# function of the seed regardless of worker count. No committed golden:
+# the contract here is thread independence, pinned values live in
+# tests/goldens/values_chaos.json.
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" chaos --trace --quick > /dev/null)
+mv "$TRACE_TMP/TRACE_chaos.jsonl" "$TRACE_TMP/trace_t1.jsonl"
+mv "$TRACE_TMP/METRICS_chaos.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
+(cd "$TRACE_TMP" && CELLFI_THREADS=8 "$OLDPWD/$EXP" chaos --trace --quick > /dev/null)
+"$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_chaos.jsonl"
+"$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_chaos.jsonl"
+
 echo "== tier1: OK =="

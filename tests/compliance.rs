@@ -13,9 +13,11 @@
 use cellfi::lte::cell::{Cell, CellConfig};
 use cellfi::lte::earfcn::{Band, Earfcn};
 use cellfi::lte::ue::{RrcState, Ue, UeTimings};
-use cellfi::spectrum::client::{ClientState, DatabaseClient, ETSI_VACATE_DEADLINE};
+use cellfi::spectrum::client::{ClientState, DatabaseClient, OperationError, ETSI_VACATE_DEADLINE};
 use cellfi::spectrum::database::SpectrumDatabase;
+use cellfi::spectrum::faults::{FaultInjector, FaultPlan};
 use cellfi::spectrum::incumbent::Incumbent;
+use cellfi::spectrum::lifecycle::{LeaseLifecycle, LifecycleConfig};
 use cellfi::spectrum::paws::GeoLocation;
 use cellfi::spectrum::plan::ChannelPlan;
 use cellfi::types::geo::Point;
@@ -39,7 +41,9 @@ fn bring_up(
     ue: &mut Ue,
     at: Instant,
 ) -> ChannelId {
-    client.refresh(db, at);
+    client
+        .refresh(db, at)
+        .expect("the in-process database transport is infallible");
     let ch = client.grants()[0].channel;
     client
         .start_operation(db, ch, 36.0, at)
@@ -73,7 +77,9 @@ fn full_bringup_then_instant_client_silence_on_vacate() {
     // Regulator withdraws the channel.
     db.withdraw_channel(ch, None);
     let t = Instant::from_secs(100);
-    let state = client.refresh(&db, t);
+    let state = client
+        .refresh(&mut db, t)
+        .expect("the in-process database transport is infallible");
     assert!(matches!(state, ClientState::Vacating { .. }));
     // The AP shuts down; the client is silent in the same instant — the
     // §4.2 LTE-architecture compliance property.
@@ -91,11 +97,95 @@ fn vacate_deadline_is_the_etsi_minute() {
     let ch = bring_up(&mut db, &mut client, &mut cell, &mut ue, Instant::ZERO);
     db.withdraw_channel(ch, None);
     let t = Instant::from_secs(50);
-    client.refresh(&db, t);
+    client
+        .refresh(&mut db, t)
+        .expect("the in-process database transport is infallible");
     // Even before shutdown completes, transmission past the deadline is
     // forbidden.
     assert!(client.may_transmit(t + Duration::from_secs(59)));
     assert!(!client.may_transmit(t + Duration::from_secs(60)));
+}
+
+/// The grant-expiry boundary is *exclusive* on both sides of the
+/// protocol: a grant with `expires == now` is already invalid to the
+/// client (`valid_at`, `may_transmit`), matching the database, which
+/// also treats a withdrawal's `until == now` as already lifted
+/// (`now < until`). Pinning this here keeps client and database from
+/// drifting apart on the off-by-one that decides regulatory legality.
+#[test]
+fn grant_expiry_boundary_is_exclusive_end_to_end() {
+    let validity = Duration::from_secs(100);
+    let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_lease_validity(validity);
+    let mut client = DatabaseClient::new("it-ap", 4, GeoLocation::gps(Point::ORIGIN));
+    client
+        .refresh(&mut db, Instant::ZERO)
+        .expect("the in-process database transport is infallible");
+    let g = client.grants()[0];
+    let last_valid = Instant::from_micros(validity.as_micros() - 1);
+    assert!(g.valid_at(last_valid), "valid up to the final microsecond");
+    assert!(!g.valid_at(Instant::from_secs(100)), "invalid AT expiry");
+    client
+        .start_operation(&mut db, g.channel, 30.0, Instant::ZERO)
+        .expect("channel comes from the grant list just fetched");
+    assert!(client.may_transmit(last_valid));
+    assert!(!client.may_transmit(Instant::from_secs(100)));
+    // The database side of the same convention: a withdrawal `until`
+    // boundary is exclusive too — the channel is available again AT
+    // `until`, not one tick later.
+    let until = Instant::from_secs(40);
+    db.withdraw_channel(g.channel, Some(until));
+    assert!(!db.is_available(g.channel, Point::ORIGIN, until - Duration::from_micros(1)));
+    assert!(db.is_available(g.channel, Point::ORIGIN, until));
+}
+
+/// Zero-duration (and by extension already-expired) grants must be
+/// refused outright — no operation starts, and nothing underflows when
+/// computing margins against an expiry that is not in the future.
+#[test]
+fn zero_duration_grants_refused_without_margin_underflow() {
+    let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_lease_validity(Duration::ZERO);
+    let mut client = DatabaseClient::new("it-ap", 4, GeoLocation::gps(Point::ORIGIN));
+    let now = Instant::from_secs(5);
+    client
+        .refresh(&mut db, now)
+        .expect("the in-process database transport is infallible");
+    assert!(
+        !client.grants().is_empty(),
+        "grants are issued, just dead on arrival"
+    );
+    let ch = client.grants()[0].channel;
+    let err = client
+        .start_operation(&mut db, ch, 30.0, now)
+        .expect_err("a grant expiring now must not start an operation");
+    assert_eq!(err, OperationError::NoValidGrant { channel: ch });
+    assert!(matches!(client.state(), ClientState::Idle));
+    assert!(!client.may_transmit(now));
+    // Already-expired: asking later than the expiry must behave the same.
+    let err = client
+        .start_operation(&mut db, ch, 30.0, now + Duration::from_secs(30))
+        .expect_err("an expired grant must not start an operation");
+    assert!(matches!(err, OperationError::NoValidGrant { .. }));
+    // And the resilient lifecycle never gets on the air under such a
+    // database — but also never panics or wedges.
+    let mut lc = LeaseLifecycle::new(
+        "it-ap-lc",
+        4,
+        GeoLocation::gps(Point::ORIGIN),
+        ChannelPlan::Eu,
+        LifecycleConfig::paper_default(30.0),
+        1,
+    );
+    let mut inj = FaultInjector::new(db, FaultPlan::none());
+    let mut t = Instant::ZERO;
+    while t < Instant::from_secs(120) {
+        lc.step(&mut inj, &[], t);
+        assert!(
+            !lc.may_transmit(t),
+            "no transmission on a dead-on-arrival lease"
+        );
+        t += Duration::from_secs(1);
+    }
+    assert_eq!(lc.stats().missed_deadlines, 0);
 }
 
 #[test]
@@ -140,10 +230,13 @@ proptest! {
                 },
             ],
         );
+        let mut db = db;
         let mut client =
             DatabaseClient::new("prop-ap", 1, GeoLocation::gps(Point::new(ap_x, ap_y)));
         let now = Instant::from_secs(t_secs);
-        client.refresh(&db, now);
+        client
+            .refresh(&mut db, now)
+            .expect("the in-process database transport is infallible");
         let dist = Point::new(ap_x, ap_y).distance(Point::ORIGIN).value();
         // Within the protected contour (plus the client's own location
         // uncertainty), protected channels must be absent.
@@ -195,6 +288,83 @@ proptest! {
             prop_assert!(!drop_cell, "transmitted after cell loss");
             prop_assert!(power <= 20.0, "transmitted at {power} dBm");
             prop_assert!(cell.radio_on());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The ISSUE 5 tentpole property: across arbitrary generated fault
+    /// schedules (losses, delays, outages, transient errors, truncated
+    /// grant lists, mid-lease revocations), the resilient lifecycle
+    /// never transmits without a valid lease — ground truth checked
+    /// against the database every simulated second, allowing only the
+    /// ETSI one-minute vacate window after an unobserved withdrawal —
+    /// and every vacate lands with margin ≥ 0 (no missed deadlines).
+    #[test]
+    fn lease_lifecycle_compliant_under_arbitrary_fault_schedules(
+        fault_seed in any::<u64>(),
+        jitter_seed in any::<u64>(),
+        intensity in 0.0..1.0f64,
+        extra_outages in proptest::collection::vec((0u64..500, 1u64..120), 0..4),
+        extra_revocations in proptest::collection::vec(0u64..500, 0..4),
+    ) {
+        let horizon = Instant::from_secs(500);
+        let mut plan = FaultPlan::at_intensity(fault_seed, intensity, horizon);
+        for (start, len) in extra_outages {
+            plan.outages
+                .push((Instant::from_secs(start), Instant::from_secs(start + len)));
+        }
+        for at in extra_revocations {
+            plan.revocations.push((Instant::from_secs(at), None));
+        }
+        plan.revocations.sort_by_key(|(at, _)| at.as_micros());
+        let loc = Point::new(100_000.0, 0.0);
+        let mut inj = FaultInjector::new(SpectrumDatabase::new(ChannelPlan::Eu, vec![]), plan);
+        let mut lc = LeaseLifecycle::new(
+            "prop-ap",
+            4,
+            GeoLocation::gps(loc),
+            ChannelPlan::Eu,
+            LifecycleConfig::paper_default(30.0),
+            jitter_seed,
+        );
+        let tick = Duration::from_secs(1);
+        let mut unavailable_since: Option<Instant> = None;
+        let mut t = Instant::ZERO;
+        while t < horizon {
+            inj.advance_to(t);
+            lc.step(&mut inj, &[], t);
+            let on_channel = match lc.client().state() {
+                ClientState::Operating { channel, .. } => Some(channel),
+                ClientState::Vacating { channel, .. } => Some(channel),
+                ClientState::Idle => None,
+            };
+            match (on_channel, lc.may_transmit(t)) {
+                (None, transmitting) => {
+                    prop_assert!(!transmitting, "transmitting with no lease at {t:?}");
+                    unavailable_since = None;
+                }
+                (Some(_), false) => unavailable_since = None,
+                (Some(ch), true) => {
+                    if inj.database().is_available(ch, loc, t) {
+                        unavailable_since = None;
+                    } else {
+                        let since = *unavailable_since.get_or_insert(t);
+                        prop_assert!(
+                            t.duration_since(since) <= ETSI_VACATE_DEADLINE,
+                            "transmitting on {ch} unavailable since {since:?} at {t:?}"
+                        );
+                    }
+                }
+            }
+            t += tick;
+        }
+        let stats = lc.stats();
+        prop_assert!(stats.missed_deadlines == 0, "a vacate missed its deadline");
+        if stats.vacates > 0 {
+            prop_assert!(stats.min_vacate_margin_us < u64::MAX);
         }
     }
 }

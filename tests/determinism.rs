@@ -129,6 +129,35 @@ fn trace_bytes_are_identical_for_any_thread_count() {
     }
 }
 
+/// The chaos experiment extends the tracing contract to the fault
+/// injector and lease lifecycles: the resilience event stream
+/// (`fault_inject`, `lease_renew`, `degrade`, `recover`) and metrics
+/// snapshot are byte-identical at 1 and 8 workers.
+#[test]
+fn chaos_trace_bytes_identical_for_any_thread_count() {
+    use cellfi::sim::experiments::trace_run;
+    use cellfi::sim::parallel;
+
+    let cfg = ExpConfig {
+        seed: 7,
+        quick: true,
+    };
+    let run = |threads: usize| {
+        parallel::with_threads(threads, || {
+            let out = trace_run::traced("chaos", cfg).expect("chaos is a known experiment");
+            (out.events, out.metrics)
+        })
+    };
+    let serial = run(1);
+    assert!(
+        serial.0.contains("\"ev\":\"lease_renew\""),
+        "chaos trace carries lease lifecycle events"
+    );
+    let threaded = run(8);
+    assert_eq!(threaded.0, serial.0, "chaos trace bytes, threads=8");
+    assert_eq!(threaded.1, serial.1, "chaos metrics bytes, threads=8");
+}
+
 #[test]
 fn experiment_registry_is_complete_and_unique() {
     let mut names: Vec<&str> = experiments::ALL.to_vec();

@@ -21,7 +21,8 @@ fn full_pipeline_from_database_to_scheduled_bits() {
     // 1. Database interaction over PAWS.
     let mut db = SpectrumDatabase::new(ChannelPlan::Us, vec![]);
     let mut dbc = DatabaseClient::new("e2e-ap", 2, GeoLocation::gps(Point::ORIGIN));
-    dbc.refresh(&db, Instant::ZERO);
+    dbc.refresh(&mut db, Instant::ZERO)
+        .expect("the in-process database transport is infallible");
     assert_eq!(dbc.grants().len(), ChannelPlan::Us.len());
 
     // 2. Channel selection: a full network-listen survey — one CellFi

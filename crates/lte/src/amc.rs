@@ -173,6 +173,74 @@ impl CqiTable {
     }
 }
 
+/// The CQI table's SINR grid, inverted into the linear domain.
+///
+/// `cqi_for_linear(r)` returns exactly `CqiTable::cqi_for_sinr(Db(10·log10 r))`
+/// for every positive ratio `r`, without the `log10`: each dB threshold is
+/// mapped to the smallest positive f64 whose dB value reaches it (found by
+/// bisection over the monotone bit patterns of positive floats), so the
+/// comparison moves to the linear domain with zero transcendental math and
+/// zero behaviour change.
+#[derive(Debug, Clone)]
+pub struct LinearCqiMap {
+    /// `bounds[i]` is the smallest linear ratio reporting CQI `i+1`.
+    bounds: [f64; 15],
+}
+
+impl LinearCqiMap {
+    /// Invert `table`'s SINR thresholds into linear-ratio boundaries.
+    pub fn new(table: &CqiTable) -> LinearCqiMap {
+        let mut bounds = [0.0; 15];
+        for (b, e) in bounds.iter_mut().zip(table.entries().iter()) {
+            *b = smallest_linear_at_or_above(e.sinr_threshold);
+        }
+        LinearCqiMap { bounds }
+    }
+
+    /// The CQI an ideal UE reports for a linear SINR ratio; equivalent to
+    /// `cqi_for_sinr` on `10·log10(ratio)`.
+    #[inline]
+    pub fn cqi_for_linear(&self, ratio: f64) -> Cqi {
+        let mut best = Cqi::OUT_OF_RANGE;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if ratio >= b {
+                best = Cqi(i as u8 + 1);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+impl Default for LinearCqiMap {
+    fn default() -> LinearCqiMap {
+        LinearCqiMap::new(&CqiTable)
+    }
+}
+
+/// Smallest positive f64 `x` with `10·log10(x) >= thr`. Positive f64 bit
+/// patterns order identically to their values and `log10` is monotone, so
+/// binary search over the bit space finds the exact boundary.
+fn smallest_linear_at_or_above(thr: Db) -> f64 {
+    let at_or_above = |bits: u64| {
+        let x = f64::from_bits(bits);
+        10.0 * x.log10() >= thr.value()
+    };
+    let mut lo = 1u64; // smallest positive subnormal: far below any threshold
+    let mut hi = f64::to_bits(1e30); // far above the 22.7 dB top threshold
+    debug_assert!(!at_or_above(lo) && at_or_above(hi));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if at_or_above(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    f64::from_bits(hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,5 +357,53 @@ mod tests {
     #[should_panic(expected = "CQI 0 has no MCS")]
     fn entry_for_cqi0_panics() {
         let _ = T.entry(Cqi::OUT_OF_RANGE);
+    }
+
+    #[test]
+    fn linear_map_matches_db_table_on_dense_sweep() {
+        let m = LinearCqiMap::default();
+        // Dense dB sweep from well below CQI 1 to well above CQI 15.
+        for i in -3000..=3000 {
+            let db = f64::from(i) / 100.0;
+            let ratio = Db(db).to_linear();
+            assert_eq!(
+                m.cqi_for_linear(ratio),
+                T.cqi_for_sinr(Db(10.0 * ratio.log10())),
+                "divergence near {db} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_map_matches_db_table_at_boundary_neighbours() {
+        // The exactness claim is strongest at the bisected boundaries:
+        // walk a few ulps either side of every threshold.
+        let m = LinearCqiMap::default();
+        for e in T.entries() {
+            let b = m.bounds[(e.cqi.0 - 1) as usize];
+            for bits in (b.to_bits() - 4)..=(b.to_bits() + 4) {
+                let r = f64::from_bits(bits);
+                assert_eq!(
+                    m.cqi_for_linear(r),
+                    T.cqi_for_sinr(Db(10.0 * r.log10())),
+                    "divergence {} ulps from CQI {} boundary",
+                    bits as i64 - b.to_bits() as i64,
+                    e.cqi.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_map_boundary_is_tight() {
+        // bounds[i] reaches the threshold; one ulp below does not.
+        let m = LinearCqiMap::default();
+        for e in T.entries() {
+            let b = m.bounds[(e.cqi.0 - 1) as usize];
+            let thr = e.sinr_threshold.value();
+            assert!(10.0 * b.log10() >= thr);
+            let below = f64::from_bits(b.to_bits() - 1);
+            assert!(10.0 * below.log10() < thr);
+        }
     }
 }

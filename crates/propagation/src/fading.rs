@@ -41,9 +41,11 @@ pub enum FadingKind {
 /// Deterministic per-(link, subchannel) block-fading process.
 #[derive(Debug, Clone, Copy)]
 pub struct BlockFading {
-    seeds: SeedSeq,
     kind: FadingKind,
     coherence: Duration,
+    /// `seeds.seed("fading")`, hashed once at construction so per-draw
+    /// seeding is a pure integer mix (no string hashing in hot loops).
+    label_seed: u64,
 }
 
 impl BlockFading {
@@ -55,9 +57,9 @@ impl BlockFading {
             "coherence time must be positive"
         );
         BlockFading {
-            seeds,
             kind,
             coherence,
+            label_seed: seeds.seed("fading"),
         }
     }
 
@@ -83,16 +85,54 @@ impl BlockFading {
         if matches!(self.kind, FadingKind::None) {
             return Db::ZERO;
         }
+        Db(10.0 * self.power(a, b, subchannel, now).max(1e-12).log10())
+    }
+
+    /// Linear power gain for the given link, subchannel and instant. The
+    /// draw sequence is shared with [`BlockFading::gain`]; `None` fading
+    /// reports exactly 1.0.
+    pub fn power(&self, a: u32, b: u32, subchannel: SubchannelId, now: Instant) -> f64 {
+        if matches!(self.kind, FadingKind::None) {
+            return 1.0;
+        }
+        let key = self
+            .lane_base(a, b, now)
+            .wrapping_add(u64::from(subchannel.0) << 48);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SeedSeq::seed_with(self.label_seed, key));
+        self.draw_power(&mut rng)
+    }
+
+    /// Fill `out[s]` with the linear power gain of subchannel `s` for one
+    /// link at one instant — the batched form of [`BlockFading::power`]
+    /// used by the engine's flat-lane fading refresh. Bit-identical to
+    /// per-subchannel `power` calls.
+    pub fn fill_power_lane(&self, a: u32, b: u32, now: Instant, out: &mut [f64]) {
+        if matches!(self.kind, FadingKind::None) {
+            out.fill(1.0);
+            return;
+        }
+        let base = self.lane_base(a, b, now);
+        for (s, o) in out.iter_mut().enumerate() {
+            let key = base.wrapping_add((s as u64) << 48);
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(SeedSeq::seed_with(self.label_seed, key));
+            *o = self.draw_power(&mut rng);
+        }
+    }
+
+    /// Fold link and block into the subchannel-independent part of the
+    /// stream index (the full key adds `subchannel << 48`).
+    fn lane_base(&self, a: u32, b: u32, now: Instant) -> u64 {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let block = now.as_micros() / self.coherence.as_micros();
-        // Fold link, subchannel and block into one stream index.
         let link_key = (u64::from(lo) << 32) | u64::from(hi);
-        let key = link_key
+        link_key
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(subchannel.0) << 48)
-            .wrapping_add(block);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seeds.seed_indexed("fading", key));
-        let power = match self.kind {
+            .wrapping_add(block)
+    }
+
+    fn draw_power(&self, rng: &mut rand::rngs::StdRng) -> f64 {
+        match self.kind {
             FadingKind::None => 1.0,
             FadingKind::Rayleigh => {
                 // Power ~ Exp(1): −ln U.
@@ -110,8 +150,7 @@ impl BlockFading {
                 let g_im = r * (2.0 * std::f64::consts::PI * u2).sin() * sigma2.sqrt();
                 g_re * g_re + g_im * g_im
             }
-        };
-        Db(10.0 * power.max(1e-12).log10())
+        }
     }
 }
 
@@ -165,6 +204,36 @@ mod tests {
             f.gain(0, 1, SubchannelId::new(0), Instant::from_millis(3)),
             Db::ZERO
         );
+    }
+
+    #[test]
+    fn power_and_lane_fill_share_the_gain_draw_sequence() {
+        for f in [
+            rayleigh(),
+            BlockFading::new(
+                SeedSeq::new(7),
+                FadingKind::Rician { k: 4.0 },
+                Duration::from_millis(100),
+            ),
+            BlockFading::disabled(SeedSeq::new(7)),
+        ] {
+            let t = Instant::from_millis(37);
+            let mut lane = vec![0.0; 13];
+            f.fill_power_lane(3, 11, t, &mut lane);
+            for (s, &p) in lane.iter().enumerate() {
+                let sc = SubchannelId::new(s as u32);
+                assert_eq!(p.to_bits(), f.power(3, 11, sc, t).to_bits());
+                let from_power = Db(10.0 * p.max(1e-12).log10());
+                let g = f.gain(3, 11, sc, t);
+                assert_eq!(g.value().to_bits(), from_power.value().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_power_is_exactly_unity() {
+        let f = BlockFading::disabled(SeedSeq::new(5));
+        assert_eq!(f.power(0, 1, SubchannelId::new(2), Instant::ZERO), 1.0);
     }
 
     #[test]

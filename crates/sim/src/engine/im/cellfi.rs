@@ -33,7 +33,7 @@ impl ImStrategy for CellFi {
                     if e.queued_bits(ue) == 0 || e.scenario.assoc[ue] == c {
                         continue;
                     }
-                    let snr_db = e.ul_snr_db[ue][c];
+                    let snr_db = e.ul_snr_db.at(ue, c);
                     if prach::heard(Db(snr_db)) {
                         e.obs.tracer.emit(
                             now,
@@ -161,7 +161,7 @@ impl LteEngine {
             if self.scenario.assoc[ue] == cell {
                 own += 1;
                 heard += 1;
-            } else if prach::heard(Db(self.ul_snr_db[ue][cell])) {
+            } else if prach::heard(Db(self.ul_snr_db.at(ue, cell))) {
                 heard += 1;
             }
         }

@@ -66,7 +66,7 @@ impl LteEngine {
             // Energy detect against everyone who radiated last subframe.
             let busy_mw: f64 = (0..n)
                 .filter(|&o| o != c && active_last[o])
-                .map(|o| Dbm(self.ap_mean_dbm[c][o]).to_milliwatts().value())
+                .map(|o| Dbm(self.ap_mean_dbm.at(c, o)).to_milliwatts().value())
                 .sum();
             let busy = 10.0 * busy_mw.max(1e-30).log10() >= LBT_THRESHOLD_DBM;
             if busy {

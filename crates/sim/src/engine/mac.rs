@@ -37,10 +37,10 @@ impl LteEngine {
         let ap = self.scenario.assoc[ue];
         let strongest_other = (0..self.cells.len())
             .filter(|&c| c != ap && self.cell_active(c))
-            .map(|c| self.dl_mean_dbm[ue][c] + self.power_offset_db[c])
+            .map(|c| self.dl_mean_dbm.at(ue, c) + self.power_offset_db[c])
             .fold(f64::NEG_INFINITY, f64::max);
         if strongest_other.is_finite() {
-            Db(self.dl_mean_dbm[ue][ap] + self.power_offset_db[ap] - strongest_other)
+            Db(self.dl_mean_dbm.at(ue, ap) + self.power_offset_db[ap] - strongest_other)
         } else {
             Db(100.0) // no other radio: effectively clean
         }
@@ -80,9 +80,13 @@ impl LteEngine {
             // (LAA's listen-before-talk gates on last subframe's sensed
             // energy; every other system always allows).
             let may_transmit: Vec<bool> = im::strategy_for(self.config.mode).transmit_gate(self);
-            // 1. Schedule every cell.
+            // 1. Schedule every cell. UE lists and rate rows live in
+            // engine-owned scratch buffers, so the steady-state subframe
+            // loop allocates nothing here.
             let mut allocations: Vec<Option<cellfi_lte::scheduler::Allocation>> =
                 vec![None; self.cells.len()];
+            let mut ues = std::mem::take(&mut self.ue_scratch);
+            let mut rates = std::mem::take(&mut self.rates_scratch);
             for c in 0..self.cells.len() {
                 if !may_transmit[c] {
                     continue;
@@ -90,19 +94,27 @@ impl LteEngine {
                 if !self.cell_active(c) || self.cells[c].total_queued_bits() == 0 {
                     continue;
                 }
-                let ues: Vec<UeId> = self.cells[c].attached_ues().to_vec();
-                let rates: Vec<Vec<f64>> = ues
-                    .iter()
-                    .map(|ue| {
-                        (0..n_sub)
-                            .map(|s| self.rate_bits(ue.index(), s, dl_capacity))
-                            .collect()
-                    })
-                    .collect();
-                allocations[c] = Some(self.cells[c].schedule_downlink(&rates));
+                ues.clear();
+                ues.extend_from_slice(self.cells[c].attached_ues());
+                if rates.len() < ues.len() {
+                    rates.resize_with(ues.len(), Vec::new);
+                }
+                for (row, ue) in rates.iter_mut().zip(&ues) {
+                    row.clear();
+                    row.extend((0..n_sub).map(|s| self.rate_bits(ue.index(), s, dl_capacity)));
+                }
+                allocations[c] = Some(self.cells[c].schedule_downlink(&rates[..ues.len()]));
             }
-            // 2. Per-subchannel transmitter sets.
-            let mut tx: Vec<Vec<usize>> = vec![Vec::new(); n_sub];
+            self.ue_scratch = ues;
+            self.rates_scratch = rates;
+            // 2. Per-subchannel transmitter sets (scratch-backed rows).
+            let mut tx = std::mem::take(&mut self.tx_scratch);
+            if tx.len() != n_sub {
+                tx.resize_with(n_sub, Vec::new);
+            }
+            for row in tx.iter_mut() {
+                row.clear();
+            }
             for (c, alloc) in allocations.iter().enumerate() {
                 if let Some(a) = alloc {
                     for (s, assigned) in a.assignment.iter().enumerate() {
@@ -116,29 +128,47 @@ impl LteEngine {
             // transmitter sets just built are exactly next subframe's
             // `tx_last`, so warming the interference cache here makes the
             // upcoming CQI scan a cache hit as well.
+            self.tracker.observe(&tx);
             let span = self.obs.profiler.begin();
-            self.interf.refresh(self.gain_gen, &tx, &self.lin_mw);
+            self.interf
+                .refresh(self.gain_gen, self.tracker.ids(), &tx, &self.lin_mw);
             self.obs
                 .profiler
                 .end(cellfi_obs::profile::SpanId::SinrCache, span);
+            let mut pairs = std::mem::take(&mut self.pairs_scratch);
             for (c, alloc) in allocations.iter().enumerate() {
                 let Some(a) = alloc else { continue };
-                let mut per_ue: std::collections::BTreeMap<usize, Vec<usize>> =
-                    std::collections::BTreeMap::new();
+                // Group the cell's grants by UE. A stable sort keeps
+                // subchannels ascending within each UE group and UEs
+                // ascending overall — the iteration order of the
+                // BTreeMap this replaces (an allocation holds at most
+                // n_sub pairs, well inside the sort's no-alloc
+                // insertion-sort regime).
+                pairs.clear();
                 for (s, assigned) in a.assignment.iter().enumerate() {
                     if let Some(ue) = assigned {
-                        per_ue.entry(ue.index()).or_default().push(s);
+                        pairs.push((ue.index() as u32, s as u32));
                     }
                 }
-                for (ue, scs) in per_ue {
+                pairs.sort_by_key(|&(ue, _)| ue);
+                let mut i = 0;
+                while i < pairs.len() {
+                    let ue = pairs[i].0 as usize;
+                    let mut j = i + 1;
+                    while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                        j += 1;
+                    }
+                    let scs = &pairs[i..j];
+                    i = j;
                     let mean_linear = scs
                         .iter()
-                        .map(|&s| {
+                        .map(|&(_, s)| {
+                            let s = s as usize;
                             // The serving cell `c` transmits on `s` by
                             // construction; its share of the cached total
                             // is the signal itself.
-                            let signal = self.lin_mw[ue][c][s];
-                            let interference = (self.interf.total_mw[s][ue] - signal).max(0.0);
+                            let signal = self.lin_mw.at(ue, c, s);
+                            let interference = (self.interf.total(s, ue) - signal).max(0.0);
                             signal / (interference + self.noise_mw[s])
                         })
                         .sum::<f64>()
@@ -146,7 +176,7 @@ impl LteEngine {
                     let eff_sinr = Db(10.0 * mean_linear.max(1e-12).log10());
                     let cqi = scs
                         .iter()
-                        .map(|&s| self.ue_cqi[ue][s])
+                        .map(|&(_, s)| self.ue_cqi[ue][s as usize])
                         .max()
                         .unwrap_or(Cqi::OUT_OF_RANGE);
                     if !cqi.usable() {
@@ -154,13 +184,13 @@ impl LteEngine {
                     }
                     let bits: f64 = scs
                         .iter()
-                        .map(|&s| self.rate_bits(ue, s, dl_capacity))
+                        .map(|&(_, s)| self.rate_bits(ue, s as usize, dl_capacity))
                         .sum();
                     let process = (self.now.as_millis() % 8) as usize;
                     let outcome =
                         self.harq[ue].transmit(process, cqi, eff_sinr, &mut self.ue_rng[ue]);
-                    for &s in &scs {
-                        self.epoch[ue].sched_subframes[s] += 1;
+                    for &(_, s) in scs {
+                        self.epoch[ue].sched_subframes[s as usize] += 1;
                     }
                     match outcome {
                         HarqOutcome::Ack { .. } => {
@@ -190,7 +220,9 @@ impl LteEngine {
                     }
                 }
             }
-            self.tx_last = tx;
+            self.pairs_scratch = pairs;
+            std::mem::swap(&mut self.tx_last, &mut tx);
+            self.tx_scratch = tx;
         } else {
             // Uplink subframe: GPS-synchronized TDD means downlink data
             // pauses everywhere while the uplink runs. Uplink deliveries
@@ -198,7 +230,10 @@ impl LteEngine {
             // downlink deliveries only, which is what the web-workload
             // consumers track).
             let _ = self.step_uplink();
-            self.tx_last = vec![Vec::new(); n_sub];
+            for row in self.tx_last.iter_mut() {
+                row.clear();
+            }
+            self.tracker.observe(&self.tx_last);
         }
 
         self.now += Duration::SUBFRAME;
@@ -274,7 +309,7 @@ impl LteEngine {
         let mut signal = 0.0f64;
         let mut interference = 0.0f64;
         for &(u, offset) in &tx[s] {
-            let p = Dbm(self.ul_mean_dbm[u][cell] + offset + fade(u))
+            let p = Dbm(self.ul_mean_dbm.at(u, cell) + offset + fade(u))
                 .to_milliwatts()
                 .value();
             if u == ue {
@@ -328,7 +363,7 @@ impl LteEngine {
                                     self.now,
                                 )
                                 .value();
-                            let snr = self.ul_mean_dbm[u.index()][c] + fade
+                            let snr = self.ul_mean_dbm.at(u.index(), c) + fade
                                 - 10.0 * self.noise_mw[s].log10();
                             let cqi = self.table.cqi_for_sinr(Db(snr));
                             if cqi.usable() {
@@ -410,9 +445,9 @@ impl LteEngine {
         let serving = self.scenario.assoc[ue];
         let (best, best_dbm) = (0..self.cells.len())
             .filter(|&c| self.cell_active(c))
-            .map(|c| (c, self.dl_mean_dbm[ue][c]))
+            .map(|c| (c, self.dl_mean_dbm.at(ue, c)))
             .max_by(|a, b| a.1.total_cmp(&b.1))?;
-        if best == serving || best_dbm < self.dl_mean_dbm[ue][serving] + hysteresis_db {
+        if best == serving || best_dbm < self.dl_mean_dbm.at(ue, serving) + hysteresis_db {
             return None;
         }
         let ueid = UeId::new(ue as u32);
@@ -423,9 +458,12 @@ impl LteEngine {
             self.cells[best].enqueue(ueid, pending); // X2 data forwarding
         }
         self.scenario.assoc[ue] = best;
-        // Fresh HARQ state towards the new cell.
+        // Fresh HARQ state towards the new cell, and a new association
+        // generation: memoized CQI scans keyed on the old serving cells
+        // must miss from here on.
         self.harq[ue] = HarqEntity::new();
         self.ul_harq[ue] = HarqEntity::new();
+        self.assoc_gen += 1;
         self.handovers += 1;
         Some(best)
     }

@@ -33,6 +33,7 @@
 //! with respect to the propagation model but ~100× faster than
 //! recomputing link budgets per sample.
 
+mod cache;
 pub mod im;
 mod mac;
 mod phy;
@@ -42,11 +43,13 @@ mod tests;
 pub use im::laa::{LBT_CW, LBT_MCOT_SUBFRAMES, LBT_THRESHOLD_DBM};
 pub use system::{steady_state_bps, SimHarness, SystemEngine};
 
+use crate::slab::{Slab2, Slab3};
 use crate::topology::Scenario;
+use cache::{CqiMemo, TxSetTracker};
 use cellfi_core::manager::InterferenceManager;
 use cellfi_core::sensing::ImperfectSensing;
 use cellfi_core::ConflictGraph;
-use cellfi_lte::amc::{Cqi, CqiTable};
+use cellfi_lte::amc::{Cqi, CqiTable, LinearCqiMap};
 use cellfi_lte::cell::{Cell, CellConfig};
 use cellfi_lte::earfcn::{Band, Earfcn};
 use cellfi_lte::grid::{ChannelBandwidth, ResourceGrid};
@@ -57,7 +60,7 @@ use cellfi_obs::Obs;
 use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::Instant;
 use cellfi_types::units::Db;
-use cellfi_types::{ApId, UeId};
+use cellfi_types::{ApId, SubchannelId, UeId};
 use phy::InterferenceCache;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -159,31 +162,69 @@ pub struct LteEngine {
     epoch_retx: Vec<u64>,
 
     // ---- static link caches (positions never move within a run) ----
-    /// Mean downlink rx power (dBm) per [ue][ap] at AP power.
-    dl_mean_dbm: Vec<Vec<f64>>,
-    /// Mean uplink SNR (dB) per [ue][ap] at UE power over the channel
+    /// Mean downlink rx power (dBm) per `[ue][ap]` at AP power.
+    dl_mean_dbm: Slab2,
+    /// Mean uplink SNR (dB) per `[ue][ap]` at UE power over the channel
     /// (drives PRACH hearing).
-    ul_snr_db: Vec<Vec<f64>>,
+    ul_snr_db: Slab2,
     /// Per-subchannel noise floor, mW.
     noise_mw: Vec<f64>,
-    /// Instantaneous linear rx power (mW) per [ue][ap][sc], refreshed per
-    /// fading coherence block.
-    lin_mw: Vec<Vec<Vec<f64>>>,
+    /// Per-subchannel interference threshold, mW: the interference power
+    /// above which SINR sits at least `interference_margin` below the
+    /// clean SNR (`noise_mw[s] · (10^(margin/10) − 1)`, precomputed so
+    /// the CQI scan's ground-truth test never leaves the linear domain).
+    interf_thresh_mw: Vec<f64>,
+    /// Per-subchannel downlink power split (dB relative to full AP
+    /// power): a subchannel receives only its share of the cell's total
+    /// power. A function of the resource grid alone, hoisted out of
+    /// every gain rebuild.
+    split_db: Vec<f64>,
+    /// Static linear rx power (mW) per `[ue][ap][sc]`: mean gain + EIRP
+    /// offset + power split, precombined through one batched dB→linear
+    /// pass. Rebuilt only when a UE moves or an EIRP offset changes.
+    static_mw: Slab3,
+    /// Instantaneous linear rx power (mW) per `[ue][ap][sc]`:
+    /// `static_mw × fading power`, refreshed per fading coherence block.
+    lin_mw: Slab3,
     fading_block: u64,
     /// Generation counter for `lin_mw`: bumped whenever any cached gain
     /// changes (fading block roll, client move) so dependent caches can
     /// tell stale from fresh without comparing the tensor itself.
     gain_gen: u64,
+    /// Generation counter for UE↔cell association (handovers): part of
+    /// the CQI memo key, since the scan reads the serving cell per UE.
+    assoc_gen: u64,
     /// Memoized per-subchannel interference accumulation over `lin_mw`.
     interf: InterferenceCache,
+    /// Interned per-subchannel transmitter-set ids + membership masks.
+    tracker: TxSetTracker,
+    /// Two-slot memo of recent CQI scans (the steady-state fast path).
+    memo: CqiMemo,
+    /// Whether the steady-state CQI fast path is enabled (default on;
+    /// the equivalence tests switch it off to drive the full scan).
+    fast_path: bool,
+    /// Linear-domain CQI mapper (bisected boundaries of the 4-bit table).
+    linmap: LinearCqiMap,
+    /// Per-UE scratch for the CQI scan's "any subchannel decodable" bit.
+    any_usable_scratch: Vec<bool>,
+    /// MAC scheduling scratch buffers, reused across subframes so the
+    /// steady-state subframe loop allocates nothing.
+    ue_scratch: Vec<UeId>,
+    rates_scratch: Vec<Vec<f64>>,
+    tx_scratch: Vec<Vec<usize>>,
+    pairs_scratch: Vec<(u32, u32)>,
+    /// Consecutive epochs whose steady-state signature was unchanged.
+    quiescent_epochs: u64,
+    /// The previous epoch's `(total hops, interned sets, handovers)`.
+    last_epoch_sig: Option<(u64, u64, u64)>,
     /// True conflict graph (static; used by the oracle).
     conflict: ConflictGraph,
     /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
-    ap_mean_dbm: Vec<Vec<f64>>,
-    /// Mean uplink rx power (dBm) per [ue][ap] at *full* UE power; a UE
+    ap_mean_dbm: Slab2,
+    /// Mean uplink rx power (dBm) per `[ue][ap]` at *full* UE power; a UE
     /// concentrating into fewer subchannels splits this across only its
     /// granted ones (§3.1's single-carrier uplink advantage).
-    ul_mean_dbm: Vec<Vec<f64>>,
+    ul_mean_dbm: Slab2,
     /// Uplink queues (bits) per UE.
     ul_queue: Vec<u64>,
     /// Uplink delivered bits per UE.
@@ -269,6 +310,21 @@ impl LteEngine {
 
         // Static mean-gain matrices and the true conflict graph.
         let links = phy::LinkMatrices::build(&scenario, &config, &grid);
+        // Downlink power is split across the carrier's RBs: a subchannel
+        // receives only its share of the cell's total power.
+        let split_db: Vec<f64> = (0..n_sub)
+            .map(|s| {
+                let sc = SubchannelId::new(s as u32);
+                (grid.subchannel_tx_power(scenario.config.ap_power, sc) - scenario.config.ap_power)
+                    .value()
+            })
+            .collect();
+        let margin_lin = config.interference_margin.to_linear();
+        let interf_thresh_mw: Vec<f64> = links
+            .noise_mw
+            .iter()
+            .map(|n| n * (margin_lin - 1.0))
+            .collect();
 
         let mut engine = LteEngine {
             grid,
@@ -303,10 +359,25 @@ impl LteEngine {
             dl_mean_dbm: links.dl_mean_dbm,
             ul_snr_db: links.ul_snr_db,
             noise_mw: links.noise_mw,
-            lin_mw: vec![vec![vec![0.0; n_sub]; n_ap]; n_ue],
+            interf_thresh_mw,
+            split_db,
+            static_mw: Slab3::new(n_ue, n_ap, n_sub, 0.0),
+            lin_mw: Slab3::new(n_ue, n_ap, n_sub, 0.0),
             fading_block: u64::MAX,
             gain_gen: 0,
+            assoc_gen: 0,
             interf: InterferenceCache::new(n_sub, n_ue),
+            tracker: TxSetTracker::new(n_sub, n_ap),
+            memo: CqiMemo::new(),
+            fast_path: true,
+            linmap: LinearCqiMap::default(),
+            any_usable_scratch: vec![false; n_ue],
+            ue_scratch: Vec::new(),
+            rates_scratch: Vec::new(),
+            tx_scratch: Vec::new(),
+            pairs_scratch: Vec::new(),
+            quiescent_epochs: 0,
+            last_epoch_sig: None,
             conflict: links.conflict,
             ap_mean_dbm: links.ap_mean_dbm,
             ul_mean_dbm: links.ul_mean_dbm,
@@ -332,6 +403,7 @@ impl LteEngine {
             scenario,
             config,
         };
+        engine.rebuild_static();
         engine.refresh_fading();
         engine.recompute_retention();
         engine.measure_cqi();
@@ -444,8 +516,10 @@ impl LteEngine {
     pub fn set_power_offset_db(&mut self, cell: usize, offset_db: f64) {
         if self.power_offset_db[cell] != offset_db {
             self.power_offset_db[cell] = offset_db;
-            // Invalidate the fading block so the next refresh rebuilds
-            // `lin_mw` with the new offset even mid-coherence-block.
+            // Fold the new offset into the static gains, then invalidate
+            // the fading block so the next refresh rebuilds `lin_mw`
+            // even mid-coherence-block.
+            self.rebuild_static();
             self.fading_block = u64::MAX;
             self.recompute_retention();
         }
@@ -468,7 +542,22 @@ impl LteEngine {
     pub fn ue_snr(&self, ue: usize) -> Db {
         let ap = self.scenario.assoc[ue];
         let noise_total: f64 = self.noise_mw.iter().sum();
-        Db(self.dl_mean_dbm[ue][ap] - 10.0 * noise_total.log10())
+        Db(self.dl_mean_dbm.at(ue, ap) - 10.0 * noise_total.log10())
+    }
+
+    /// Enable or disable the steady-state CQI fast path (on by default).
+    /// Testing hook: the fast-path equivalence tests run one scenario
+    /// with the memo off to drive the full scan every period.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Consecutive interference-management epochs whose steady-state
+    /// signature — total manager hops, distinct transmitter sets seen,
+    /// handovers — was unchanged. Grows once hopping has converged and
+    /// associations are stable; any new hop, set, or handover resets it.
+    pub fn quiescent_epochs(&self) -> u64 {
+        self.quiescent_epochs
     }
 
     /// Run until `deadline`.
@@ -494,10 +583,21 @@ impl LteEngine {
         }
         im::strategy_for(self.config.mode).run_epoch(self);
         for e in self.epoch.iter_mut() {
-            e.sched_subframes = vec![0; n_sub];
-            e.interfered = vec![false; n_sub];
+            e.sched_subframes.fill(0);
+            e.interfered.fill(false);
         }
         self.dl_subframes_this_epoch = 0;
         self.recompute_retention();
+        // Quiescence detection: an epoch that hopped nothing, saw no new
+        // transmitter set, and moved no client left the system exactly
+        // where it was. Harnesses can stop on a run of such epochs.
+        let hops: u64 = self.managers.iter().map(|m| m.total_hops()).sum();
+        let sig = (hops, self.tracker.interned(), self.handovers);
+        if self.last_epoch_sig == Some(sig) {
+            self.quiescent_epochs += 1;
+        } else {
+            self.quiescent_epochs = 0;
+            self.last_epoch_sig = Some(sig);
+        }
     }
 }

@@ -23,6 +23,9 @@
 //! * [`parallel`] — deterministic scoped-thread work splitting
 //!   (`CELLFI_THREADS`); the engine and experiment drivers fan out
 //!   through it with results reduced in fixed index order.
+//! * [`slab`] — flat strided 2-D/3-D `f64` slabs backing the PHY gain
+//!   tensors (contiguous lanes for vectorization and stride-aligned
+//!   parallel splitting).
 //! * [`report`] — plain-text rendering of tables and CDF series.
 //! * [`experiments`] — one driver per paper table/figure.
 //!
@@ -37,6 +40,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod parallel;
 pub mod report;
+pub mod slab;
 pub mod topology;
 pub mod wifi_engine;
 pub mod workload;

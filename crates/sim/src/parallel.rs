@@ -150,6 +150,53 @@ where
     });
 }
 
+/// Parallel in-place update of a flat slab split at fixed `chunk_len`
+/// boundaries: `f(c, chunk)` receives chunk index `c` and the mutable
+/// sub-slice `data[c*chunk_len..(c+1)*chunk_len]`. This is the strided
+/// analogue of [`for_each_row`] for slab-backed tensors: the data is one
+/// contiguous allocation and workers take whole chunks, so a chunk index
+/// maps to a semantic row (e.g. one UE's gain block) for any thread
+/// count. `data.len()` must be a multiple of `chunk_len`. Chunks smaller
+/// than `min_chunks_per_thread` per worker stay serial.
+pub fn for_each_chunk<F>(data: &mut [f64], chunk_len: usize, min_chunks_per_thread: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "slab length must divide into whole chunks"
+    );
+    let n = data.len() / chunk_len;
+    let threads = configured_threads()
+        .min(n / min_chunks_per_thread.max(1))
+        .max(1);
+    if threads <= 1 {
+        for (c, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {
+            f(c, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut start = 0;
+        for (lo, hi) in chunk_bounds(n, threads) {
+            let (span, tail) = rest.split_at_mut((hi - lo) * chunk_len);
+            rest = tail;
+            scope.spawn(move || {
+                with_threads(1, || {
+                    for (j, chunk) in span.chunks_exact_mut(chunk_len).enumerate() {
+                        f(start + j, chunk);
+                    }
+                })
+            });
+            start = hi;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +246,29 @@ mod tests {
         let mut rows = vec![1i32; 3];
         with_threads(8, || for_each_row(&mut rows, 64, |_, row| *row *= 2));
         assert_eq!(rows, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn for_each_chunk_is_thread_count_independent() {
+        let chunk_len = 7;
+        let n_chunks = 23;
+        let mut serial = vec![0.0f64; chunk_len * n_chunks];
+        for_each_chunk(&mut serial, chunk_len, usize::MAX, |c, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (c * 100 + k) as f64;
+            }
+        });
+        for threads in [1, 2, 3, 8] {
+            let mut par = vec![0.0f64; chunk_len * n_chunks];
+            with_threads(threads, || {
+                for_each_chunk(&mut par, chunk_len, 1, |c, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (c * 100 + k) as f64;
+                    }
+                })
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -53,7 +53,15 @@ impl SeedSeq {
     /// Derive the child seed for `label` and a numeric index (e.g. one
     /// stream per access point).
     pub fn seed_indexed(self, label: &str, index: u64) -> u64 {
-        splitmix64(self.seed(label) ^ splitmix64(index.wrapping_add(1)))
+        Self::seed_with(self.seed(label), index)
+    }
+
+    /// Derive an indexed seed from an already-derived label seed (the
+    /// value returned by [`SeedSeq::seed`]). Hot loops that draw many
+    /// indexed streams under one label can hash the label once and call
+    /// this per index; the result is bit-identical to `seed_indexed`.
+    pub fn seed_with(label_seed: u64, index: u64) -> u64 {
+        splitmix64(label_seed ^ splitmix64(index.wrapping_add(1)))
     }
 
     /// A ready-to-use deterministic RNG for `label`.
@@ -85,6 +93,18 @@ mod tests {
         let s = SeedSeq::new(42);
         assert_eq!(s.seed("topology"), s.seed("topology"));
         assert_eq!(s.seed_indexed("fading", 3), s.seed_indexed("fading", 3));
+    }
+
+    #[test]
+    fn seed_with_matches_seed_indexed() {
+        let s = SeedSeq::new(42);
+        let label_seed = s.seed("fading");
+        for i in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(
+                SeedSeq::seed_with(label_seed, i),
+                s.seed_indexed("fading", i)
+            );
+        }
     }
 
     #[test]

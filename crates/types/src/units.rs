@@ -272,6 +272,79 @@ impl fmt::Display for Meters {
     }
 }
 
+/// Convert a slab of dB-domain values to linear milliwatts in one pass:
+/// `out[i] = 10^(db[i]/10)`, bit-identical to [`Dbm::to_milliwatts`] per
+/// element. Centralising the batched kernel here keeps `powf` confined to
+/// this module and gives the optimizer one straight-line loop over
+/// contiguous lanes.
+pub fn db_slab_to_mw(db: &[f64], out: &mut [f64]) {
+    assert_eq!(db.len(), out.len(), "slab length mismatch in db_slab_to_mw");
+    for (o, &d) in out.iter_mut().zip(db) {
+        *o = 10f64.powf(d / 10.0);
+    }
+}
+
+/// A precomputed, quantized dB→linear lookup table.
+///
+/// Covers `[lo, hi]` in uniform steps; [`DbLinearLut::lookup`] snaps its
+/// argument to the nearest grid point and returns the precomputed
+/// `10^(grid/10)`. At grid points the result is bit-identical to
+/// [`Dbm::to_milliwatts`] (see the exactness test); between grid points the
+/// error is bounded by half a step in the dB domain.
+///
+/// Quantization contract: paths that feed golden reports or traces must
+/// stay bit-identical to the exact conversion and therefore use
+/// [`db_slab_to_mw`] / [`Dbm::to_milliwatts`]; the LUT is for estimate-only
+/// consumers (dashboards, admission heuristics) where a half-step dB error
+/// is acceptable. Routing a golden path through the LUT is a deliberate
+/// re-pin, never a silent swap.
+#[derive(Debug, Clone)]
+pub struct DbLinearLut {
+    lo: f64,
+    step: f64,
+    inv_step: f64,
+    table: Vec<f64>,
+}
+
+impl DbLinearLut {
+    /// Build a table covering `[lo, hi]` with the given step in dB.
+    pub fn new(lo: f64, hi: f64, step: f64) -> DbLinearLut {
+        assert!(
+            step > 0.0 && hi > lo,
+            "LUT grid must be ascending with positive step"
+        );
+        let n = ((hi - lo) / step).ceil() as usize + 1;
+        let table = (0..n)
+            .map(|i| Dbm(lo + i as f64 * step).to_milliwatts().value())
+            .collect();
+        DbLinearLut {
+            lo,
+            step,
+            inv_step: 1.0 / step,
+            table,
+        }
+    }
+
+    /// The dB value of grid point `i`.
+    pub fn grid_point(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.step
+    }
+
+    /// Number of grid points.
+    pub fn grid_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Nearest-grid-point linear value for a dB-domain input; inputs outside
+    /// `[lo, hi]` clamp to the end points.
+    #[inline]
+    pub fn lookup(&self, db_value: f64) -> f64 {
+        let idx = ((db_value - self.lo) * self.inv_step).round();
+        let idx = (idx.max(0.0) as usize).min(self.table.len() - 1);
+        self.table[idx]
+    }
+}
+
 /// Sum a slice of power levels in the linear domain and return the total in
 /// dBm. This is the only correct way to aggregate interference power.
 ///
@@ -411,6 +484,58 @@ mod tests {
         assert_eq!(format!("{}", Hertz::from_mhz(5.0)), "5.0 MHz");
         assert_eq!(format!("{}", Meters(1300.0)), "1.30 km");
         assert_eq!(format!("{}", Meters(250.0)), "250 m");
+    }
+
+    #[test]
+    fn db_slab_to_mw_matches_scalar_conversion_bitwise() {
+        let db: Vec<f64> = (-1200..=360).map(|i| f64::from(i) / 10.0).collect();
+        let mut out = vec![0.0; db.len()];
+        db_slab_to_mw(&db, &mut out);
+        for (&d, &o) in db.iter().zip(&out) {
+            assert_eq!(
+                o.to_bits(),
+                Dbm(d).to_milliwatts().value().to_bits(),
+                "slab kernel diverged from Dbm::to_milliwatts at {d} dBm"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_is_exact_on_the_quantized_grid() {
+        // The LUT's contract: at every grid point the stored value is
+        // bit-identical to the exact powf conversion.
+        let lut = DbLinearLut::new(-150.0, 40.0, 0.25);
+        for i in 0..lut.grid_len() {
+            let g = lut.grid_point(i);
+            assert_eq!(
+                lut.lookup(g).to_bits(),
+                Dbm(g).to_milliwatts().value().to_bits(),
+                "LUT inexact at grid point {g} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_quantization_error_is_bounded_by_half_step() {
+        let step = 0.5;
+        let lut = DbLinearLut::new(-100.0, 30.0, step);
+        let mut x = -100.0;
+        while x <= 30.0 {
+            let approx = lut.lookup(x);
+            let exact_db = 10.0 * approx.log10();
+            assert!(
+                (exact_db - x).abs() <= step / 2.0 + 1e-9,
+                "quantization error at {x} dB"
+            );
+            x += 0.137;
+        }
+    }
+
+    #[test]
+    fn lut_clamps_out_of_range_inputs() {
+        let lut = DbLinearLut::new(-10.0, 10.0, 1.0);
+        assert_eq!(lut.lookup(-999.0), lut.lookup(-10.0));
+        assert_eq!(lut.lookup(999.0), lut.lookup(10.0));
     }
 
     #[test]

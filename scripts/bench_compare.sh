@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Compare two BENCH_engine.json reports (baseline vs candidate) and fail
+# if the candidate's steady-state engine rate has regressed by more than
+# an allowed percentage.
+#
+#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [MAX_DROP_PCT]
+#
+# The headline gate is `engine_subframes_per_sec` — the one number the
+# performance work is pinned on. The PRACH line-rate factor is printed
+# for context but never gates: it benches a single-core DSP kernel whose
+# wall clock is too noisy on shared CI hardware to fail a build over.
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [MAX_DROP_PCT]" >&2
+    exit 2
+fi
+BASE=$1
+CAND=$2
+MAX_DROP=${3:-20}
+
+# Pull one numeric field out of a flat pretty-printed JSON report. The
+# bench reports are machine-written by serde_json with one key per line,
+# so a line-oriented extraction is exact.
+field() {
+    awk -F': ' -v key="\"$2\"" '$1 ~ key { gsub(/[,[:space:]]/, "", $2); print $2 }' "$1"
+}
+
+for f in "$BASE" "$CAND"; do
+    if [ ! -f "$f" ]; then
+        echo "bench-compare: missing report $f" >&2
+        exit 2
+    fi
+done
+
+BASE_RATE=$(field "$BASE" engine_subframes_per_sec)
+CAND_RATE=$(field "$CAND" engine_subframes_per_sec)
+BASE_PRACH=$(field "$BASE" prach_line_rate_factor)
+CAND_PRACH=$(field "$CAND" prach_line_rate_factor)
+
+awk -v b="$BASE_RATE" -v c="$CAND_RATE" \
+    -v bp="$BASE_PRACH" -v cp="$CAND_PRACH" -v drop="$MAX_DROP" '
+BEGIN {
+    printf "engine_subframes_per_sec: baseline %.0f, candidate %.0f (%+.1f%%)\n",
+        b, c, (c / b - 1) * 100
+    printf "prach_line_rate_factor:   baseline %.2f, candidate %.2f (informational)\n",
+        bp, cp
+    if (c < b * (1 - drop / 100)) {
+        printf "bench-compare: FAIL — engine rate dropped more than %.0f%%\n", drop
+        exit 1
+    }
+    printf "bench-compare: OK (allowed drop %.0f%%)\n", drop
+}'

@@ -58,4 +58,12 @@ mv "$TRACE_TMP/METRICS_chaos.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_chaos.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_chaos.jsonl"
 
+echo "== tier1: bench regression smoke (engine rate vs committed baseline) =="
+# A cheap single-threaded rerun of the engine bench, gated loosely
+# (20% drop) so hot-path regressions fail fast while CI wall-clock
+# noise does not. Re-pin BENCH_engine.json deliberately after intended
+# performance changes.
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" overhead --bench --quick > /dev/null)
+sh scripts/bench_compare.sh BENCH_engine.json "$TRACE_TMP/BENCH_engine.json" 20
+
 echo "== tier1: OK =="

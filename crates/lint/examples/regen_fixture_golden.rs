@@ -1,0 +1,31 @@
+//! Regenerates the fixture-corpus golden: lints every on-disk fixture
+//! under its pseudo engine path and prints the JSON report. Redirect
+//! into `crates/lint/tests/goldens/fixtures.json` after a deliberate
+//! rule or fixture change:
+//!
+//! ```text
+//! cargo run -p cellfi-lint --example regen_fixture_golden \
+//!     > crates/lint/tests/goldens/fixtures.json
+//! ```
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    let mut findings = Vec::new();
+    for p in entries {
+        let name = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture names are UTF-8");
+        let src = std::fs::read_to_string(&p).expect("fixture is readable");
+        findings.extend(cellfi_lint::lint_source(
+            &format!("crates/core/src/{name}"),
+            &src,
+        ));
+    }
+    println!("{}", cellfi_lint::report::to_json(&findings));
+}

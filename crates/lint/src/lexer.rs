@@ -9,8 +9,9 @@
 //!   (string quotes are kept so literal extents stay visible). Byte
 //!   offsets in the masked text therefore map 1:1 onto the original,
 //!   which is how findings get line numbers.
-//! * [`collect_allows`] extracts `// cellfi-lint: allow(<rules>) — <reason>`
-//!   directives from the comments the mask removed.
+//! * [`collect_directives`] extracts `// cellfi-lint: allow(<rules>) — <reason>`
+//!   directives and `// cellfi-lint: hot` hot-path markers from the
+//!   comments the mask removed.
 //! * [`test_line_ranges`] finds the line spans of `#[cfg(test)]` /
 //!   `#[test]` items so rules can skip test code.
 //!
@@ -47,6 +48,10 @@ pub struct ScannedFile {
     pub allows: Vec<AllowDirective>,
     /// Inclusive 1-based line ranges occupied by test-only items.
     pub test_ranges: Vec<(usize, usize)>,
+    /// Lines targeted by `// cellfi-lint: hot` markers (the next line
+    /// holding code, like allow directives). Each marks the fn item
+    /// starting there as a hot-path allocation root (`hot` rule).
+    pub hot_markers: Vec<usize>,
 }
 
 impl ScannedFile {
@@ -77,7 +82,7 @@ impl ScannedFile {
 pub fn scan(source: &str) -> ScannedFile {
     let (masked, comments) = mask_source(source);
     let line_starts = line_starts(source);
-    let allows = collect_allows(&comments, &masked, &line_starts);
+    let (allows, hot_markers) = collect_directives(&comments, &masked, &line_starts);
     let test_ranges = test_line_ranges(&masked, &line_starts);
     ScannedFile {
         raw: source.to_owned(),
@@ -85,6 +90,7 @@ pub fn scan(source: &str) -> ScannedFile {
         line_starts,
         allows,
         test_ranges,
+        hot_markers,
     }
 }
 
@@ -231,9 +237,15 @@ pub fn mask_source(source: &str) -> (String, Vec<Comment>) {
 
 fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     // `r"` or `r#...#"`, and the `r` must not be part of an identifier
-    // (e.g. the trailing r of `var`).
+    // (e.g. the trailing r of `var`) — except for the `br`/`cr` raw
+    // byte-/C-string prefixes, where the prefix byte itself must start
+    // the token.
     if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return false;
+        let prefixed = (bytes[i - 1] == b'b' || bytes[i - 1] == b'c')
+            && (i < 2 || !(bytes[i - 2].is_ascii_alphanumeric() || bytes[i - 2] == b'_'));
+        if !prefixed {
+            return false;
+        }
     }
     let mut j = i + 1;
     while bytes.get(j) == Some(&b'#') {
@@ -247,8 +259,10 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
 fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     let next = *bytes.get(i + 1)?;
     if next == b'\\' {
-        // Escaped char: find the closing quote.
-        let mut j = i + 2;
+        // Escaped char: find the closing quote. Start past the escaped
+        // character itself so `'\''` closes at the final quote, not at
+        // the quote being escaped.
+        let mut j = i + 3;
         while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
             j += 1;
         }
@@ -263,12 +277,13 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
 
 const DIRECTIVE: &str = "cellfi-lint:";
 
-fn collect_allows(
+fn collect_directives(
     comments: &[Comment],
     masked: &str,
     line_starts: &[usize],
-) -> Vec<AllowDirective> {
-    let mut out = Vec::new();
+) -> (Vec<AllowDirective>, Vec<usize>) {
+    let mut allows = Vec::new();
+    let mut hot_markers = Vec::new();
     for c in comments {
         // Directives live in plain comments only; doc comments merely
         // *describe* the syntax (as this crate's own docs do).
@@ -283,21 +298,28 @@ fn collect_allows(
             continue;
         };
         let rest = c.text[pos + DIRECTIVE.len()..].trim_start();
-        let (rules, reason) = parse_allow_body(rest);
         let directive_line = line_of(line_starts, c.start);
         let applies_to_line = if line_has_code(masked, line_starts, directive_line) {
             directive_line
         } else {
             next_code_line(masked, line_starts, directive_line)
         };
-        out.push(AllowDirective {
+        // `hot` marks the next fn item as a hot-path allocation root;
+        // it has no rule list or reason, so it must not fall through to
+        // allow parsing (which would flag it as malformed).
+        if rest == "hot" || rest.starts_with("hot ") {
+            hot_markers.push(applies_to_line);
+            continue;
+        }
+        let (rules, reason) = parse_allow_body(rest);
+        allows.push(AllowDirective {
             directive_line,
             applies_to_line,
             rules,
             reason,
         });
     }
-    out
+    (allows, hot_markers)
 }
 
 /// Parse `allow(rule, rule) — reason`. Unparseable bodies yield an empty

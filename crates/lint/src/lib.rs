@@ -11,9 +11,12 @@
 //! Run it with `cargo run -p cellfi-lint` (add `--json` for machine
 //! output); `scripts/tier1.sh` runs it on every verification pass.
 
+pub mod dataflow;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod rules_v2;
 pub mod walk;
 
 use report::Finding;

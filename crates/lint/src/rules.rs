@@ -96,8 +96,19 @@ pub const INVARIANT_STEMS: &[&str] = &[
 
 /// Rule names accepted in `allow(...)` directives. `structure` findings
 /// are file-level and cannot be waived, but the name is known so a stray
-/// `allow(structure)` reads as unused rather than as a typo.
-pub const RULE_NAMES: &[&str] = &["determinism", "panic", "units", "obs", "structure"];
+/// `allow(structure)` reads as unused rather than as a typo. The last
+/// four are the parse-aware v2 families (see [`crate::rules_v2`]).
+pub const RULE_NAMES: &[&str] = &[
+    "determinism",
+    "panic",
+    "units",
+    "obs",
+    "structure",
+    "parallel",
+    "slab",
+    "hot",
+    "cachegen",
+];
 
 /// Directories whose files must stay decomposed (the engine was once a
 /// ~1,900-line monolith; see the `structure` rule).
@@ -159,6 +170,7 @@ impl FileContext {
 
 /// Run every applicable rule over one already-scanned file.
 pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
+    let parsed = crate::parse::parse(scanned);
     let mut sink = Sink::new(ctx, scanned);
 
     if ctx.order_sensitive() {
@@ -181,12 +193,20 @@ pub fn lint_scanned(ctx: &FileContext, scanned: &ScannedFile) -> Vec<Finding> {
     if ctx.in_structure_dir() {
         check_structure(&mut sink);
     }
+    crate::rules_v2::run(&mut sink, ctx, scanned, &parsed);
     check_allow_hygiene(&mut sink);
-    sink.findings
+    let mut findings = sink.findings;
+    findings.sort_by(|a, b| {
+        (a.line, a.rule, a.message.as_str()).cmp(&(b.line, b.rule, b.message.as_str()))
+    });
+    findings
 }
 
 /// Collects findings, applying test-code exclusion and allow directives.
-struct Sink<'a> {
+/// Shared by the v1 catalogue here and the v2 families in
+/// [`crate::rules_v2`], so both honor the same test exclusion and
+/// allow-directive bookkeeping (unused allows stay detectable).
+pub(crate) struct Sink<'a> {
     ctx: &'a FileContext,
     scanned: &'a ScannedFile,
     findings: Vec<Finding>,
@@ -206,7 +226,7 @@ impl<'a> Sink<'a> {
 
     /// Report `rule` at byte `offset` unless the line is test code or a
     /// valid allow directive covers it.
-    fn report(&mut self, rule: &'static str, offset: usize, message: String) {
+    pub(crate) fn report(&mut self, rule: &'static str, offset: usize, message: String) {
         let line = self.scanned.line_of(offset);
         if self.scanned.in_test_code(line) {
             return;

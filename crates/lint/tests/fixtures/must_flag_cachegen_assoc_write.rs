@@ -1,0 +1,9 @@
+// An association-table rewrite with no `assoc_gen` bump in the same
+// fn: the CQI memo keys on (gain_gen, assoc_gen, set ids), so a silent
+// re-association replays scans for the old serving cell.
+
+impl Engine {
+    fn rehome(&mut self, ue: usize, ap: usize) {
+        self.scenario.assoc[ue] = ap;
+    }
+}

@@ -1,0 +1,9 @@
+// A slab gain write with no `gain_gen` bump in the same fn: the
+// (gain_gen, set_id) cache keys never move, so the interference cache
+// and CQI memo replay results computed for the old gains.
+
+impl Engine {
+    fn poke(&mut self, u: usize, a: usize) {
+        self.lin_mw.lane_mut(u, a).fill(0.0);
+    }
+}

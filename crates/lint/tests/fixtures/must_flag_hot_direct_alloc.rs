@@ -1,0 +1,9 @@
+// Allocation directly inside a hot-marked root: `collect` lands in a
+// plain binding, not a reserved scratch buffer, so every steady-state
+// subframe pays a fresh heap allocation.
+
+// cellfi-lint: hot
+fn refresh(values: &mut [f64]) -> f64 {
+    let doubled: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+    doubled.iter().sum()
+}

@@ -1,0 +1,12 @@
+// Allocation in a fn *reached* from a hot root through a direct
+// same-file call: hotness propagates along the per-file call graph, so
+// the helper's `push` into a non-scratch buffer is still a violation.
+
+// cellfi-lint: hot
+fn tick(log: &mut Vec<f64>, x: f64) {
+    record(log, x);
+}
+
+fn record(log: &mut Vec<f64>, x: f64) {
+    log.push(x);
+}

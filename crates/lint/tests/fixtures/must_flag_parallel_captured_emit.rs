@@ -1,0 +1,10 @@
+// Emitting through a captured sink inside a fan-out closure interleaves
+// trace events in schedule order; workers must fork per-entity sinks
+// and the caller absorbs them back in entity-index order.
+
+fn scan(rows: &mut [f64], tracer: &mut EventSink, now: Instant) {
+    for_each_row(rows, 8, |ue, row| {
+        *row = 0.0;
+        tracer.emit(now, Event::Hop { cell: ue as u32 });
+    });
+}

@@ -1,0 +1,11 @@
+// A fan-out worker closure mutating captured state: `totals` aliases
+// across chunks, so the merged result depends on worker scheduling.
+
+fn scan(rows: &mut [f64], totals: &mut Vec<f64>) {
+    for_each_chunk(rows, 4, 16, |_i, chunk| {
+        for v in chunk.iter_mut() {
+            *v += 1.0;
+        }
+        totals.push(chunk[0]);
+    });
+}

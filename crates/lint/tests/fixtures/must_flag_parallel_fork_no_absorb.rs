@@ -1,0 +1,11 @@
+// Forked per-entity sinks that are never absorbed: the events die with
+// the workers (or merge in whatever order drops fall), so the trace is
+// not schedule-independent.
+
+fn scan(tracer: &mut EventSink, n: usize) -> Vec<EventSink> {
+    let mut sinks = Vec::new();
+    for _ in 0..n {
+        sinks.push(tracer.fork());
+    }
+    sinks
+}

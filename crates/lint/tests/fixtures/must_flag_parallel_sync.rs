@@ -1,0 +1,10 @@
+// Scheduling-dependent synchronization inside a fan-out closure: the
+// atomic's observed order varies run to run, breaking byte-identical
+// replay across CELLFI_THREADS settings.
+
+fn scan(rows: &mut [f64], progress: &AtomicUsize) {
+    for_each_row(rows, 8, |_i, row| {
+        progress.fetch_add(1, Ordering::Relaxed);
+        *row += 1.0;
+    });
+}

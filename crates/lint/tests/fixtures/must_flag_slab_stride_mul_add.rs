@@ -1,0 +1,7 @@
+// Raw multiply-add stride arithmetic inside an index expression:
+// re-derives the slab layout by hand instead of going through the
+// Slab2/Slab3 accessors.
+
+fn at(data: &[f64], cols: usize, i: usize, j: usize) -> f64 {
+    data[i * cols + j]
+}

@@ -1,0 +1,7 @@
+// Raw multiply-range stride arithmetic inside an index expression: a
+// hand-rolled row slice that silently desynchronizes if the slab's
+// layout (stride, padding) ever changes.
+
+fn row(data: &[f64], cols: usize, i: usize) -> &[f64] {
+    &data[i * cols..(i + 1) * cols]
+}

@@ -1,0 +1,29 @@
+// Each v2 rule family honours the reasoned allow escape hatch, and each
+// allow below suppresses a real violation (an unused allow would itself
+// be flagged by lint-allow hygiene).
+
+fn flat(data: &[f64], cols: usize, i: usize, j: usize) -> f64 {
+    // cellfi-lint: allow(slab) — fixture exercises the documented escape hatch
+    data[i * cols + j]
+}
+
+fn scan(rows: &mut [f64], count: &mut usize) {
+    for_each_chunk(rows, 4, 16, |_i, chunk| {
+        chunk[0] = 1.0;
+        // cellfi-lint: allow(parallel) — chunks are provably disjoint here
+        *count += 1;
+    });
+}
+
+// cellfi-lint: hot
+fn tick(totals: &mut Vec<f64>) {
+    // cellfi-lint: allow(hot) — warm-up growth, measured and bounded
+    totals.push(0.0);
+}
+
+impl Engine {
+    fn poke(&mut self, u: usize, a: usize) {
+        // cellfi-lint: allow(cachegen) — the sole caller bumps the generation
+        self.lin_mw.lane_mut(u, a).fill(0.0);
+    }
+}

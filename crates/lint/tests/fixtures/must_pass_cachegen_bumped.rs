@@ -1,0 +1,14 @@
+// Gain and association writes paired with their generation bumps in the
+// same fn — the invariant the cachegen rule proves.
+
+impl Engine {
+    fn rebuild(&mut self, u: usize, a: usize) {
+        self.gain_gen += 1;
+        self.lin_mw.lane_mut(u, a).fill(0.0);
+    }
+
+    fn rehome(&mut self, ue: usize, ap: usize) {
+        self.assoc_gen += 1;
+        self.scenario.assoc[ue] = ap;
+    }
+}

@@ -1,0 +1,17 @@
+// The reserved-scratch idiom the hot rule exists to enforce: refills of
+// `*scratch*`-named buffers (and `extend_from_slice`, which reuses
+// capacity) are the allocation-free steady state.
+
+// cellfi-lint: hot
+fn refresh(totals_scratch: &mut Vec<f64>, xs: &[f64]) {
+    totals_scratch.clear();
+    for &x in xs {
+        totals_scratch.push(x * 2.0);
+    }
+}
+
+// cellfi-lint: hot
+fn replay(row_scratch: &mut Vec<f64>, saved: &[f64]) {
+    row_scratch.clear();
+    row_scratch.extend_from_slice(saved);
+}

@@ -1,0 +1,18 @@
+// The disciplined fan-out shape: the worker closure writes only its own
+// chunk, events go through forked per-entity sinks, and the caller
+// absorbs them back in entity-index order in the same fn.
+
+fn scan(rows: &mut [f64], tracer: &mut EventSink) {
+    let mut sinks = Vec::new();
+    for _ in 0..2 {
+        sinks.push(tracer.fork());
+    }
+    for_each_chunk(rows, 4, 16, |_i, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= 2.0;
+        }
+    });
+    for sink in sinks {
+        tracer.absorb(sink);
+    }
+}

@@ -1,0 +1,16 @@
+// Slab reads through the accessor API, plus the index shapes the slab
+// rule must keep accepting: additive offsets and plain ranges carry no
+// stride information.
+
+fn read(s: &Slab3, ue: usize, ap: usize, sub: usize) -> f64 {
+    s.at(ue, ap, sub) + s.lane(ue, ap)[sub]
+}
+
+fn window(data: &[f64], i: usize) -> f64 {
+    data[i + 1] + data[i..i + 2][0]
+}
+
+fn doubled(data: &[f64], i: usize) -> f64 {
+    // Multiplication *outside* the index is ordinary arithmetic.
+    data[i] * 2.0
+}

@@ -1,0 +1,53 @@
+//! Byte-exact golden for the fixture corpus's `--json` report.
+//!
+//! Every on-disk fixture is linted under a pseudo engine-crate path and
+//! the concatenated findings are rendered through [`report::to_json`];
+//! the result must match `tests/goldens/fixtures.json` byte for byte.
+//! This pins rule names, messages, line numbers, *and* the JSON shape
+//! downstream tooling (the tier-1 baseline gate) diffs against. After a
+//! deliberate rule or fixture change, regenerate with:
+//!
+//! ```text
+//! cargo run -p cellfi-lint --example regen_fixture_golden \
+//!     > crates/lint/tests/goldens/fixtures.json
+//! ```
+
+use cellfi_lint::{lint_source, report};
+use std::path::Path;
+
+#[test]
+fn fixture_corpus_json_matches_golden_byte_for_byte() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<_> = std::fs::read_dir(base.join("tests/fixtures"))
+        .expect("fixtures directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 20, "fixture sweep found {}", entries.len());
+    let mut findings = Vec::new();
+    for p in &entries {
+        let name = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture names are UTF-8");
+        let src = std::fs::read_to_string(p).expect("fixture is readable");
+        findings.extend(lint_source(&format!("crates/core/src/{name}"), &src));
+    }
+    let got = format!("{}\n", report::to_json(&findings));
+    let golden = std::fs::read_to_string(base.join("tests/goldens/fixtures.json"))
+        .expect("golden exists — regenerate with the regen_fixture_golden example");
+    assert!(
+        got == golden,
+        "fixture JSON diverged from tests/goldens/fixtures.json; if the \
+         change is deliberate, regenerate via the regen_fixture_golden \
+         example\n--- got ---\n{got}\n--- golden ---\n{golden}"
+    );
+    // The golden must exercise all four v2 families, or the corpus has
+    // rotted out from under the rules it documents.
+    for family in ["parallel", "slab", "hot", "cachegen"] {
+        assert!(
+            golden.contains(&format!("\"rule\":\"{family}\"")),
+            "golden lost its `{family}` coverage"
+        );
+    }
+}

@@ -332,6 +332,280 @@ fn structure_counts_test_code_and_ignores_allows() {
     );
 }
 
+// ------------------------------------------------------ rule v2: parallel
+
+#[test]
+fn parallel_flags_captured_mutation_in_fanout_closures() {
+    let f = lint_core(
+        "fn s(rows: &mut [f64], out: &mut Vec<f64>) {\n\
+         \x20   for_each_chunk(rows, 4, 16, |_i, chunk| {\n\
+         \x20       out.push(chunk[0]);\n\
+         \x20   });\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["parallel"], "{f:?}");
+}
+
+#[test]
+fn parallel_accepts_chunk_local_writes_and_locals() {
+    let f = lint_core(
+        "fn s(rows: &mut [f64]) {\n\
+         \x20   for_each_chunk(rows, 4, 16, |_i, chunk| {\n\
+         \x20       let mut acc = 0.0;\n\
+         \x20       for v in chunk.iter_mut() {\n\
+         \x20           *v += 1.0;\n\
+         \x20           acc += *v;\n\
+         \x20       }\n\
+         \x20       chunk[0] = acc;\n\
+         \x20   });\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn parallel_flags_sync_primitives_in_fanout_closures() {
+    let f = lint_core(
+        "fn s(rows: &mut [f64], n: &AtomicU64) {\n\
+         \x20   for_each_row(rows, 8, |_i, row| {\n\
+         \x20       n.fetch_add(1, Ordering::Relaxed);\n\
+         \x20       *row = 0.0;\n\
+         \x20   });\n\
+         }\n",
+    );
+    assert!(rules(&f).contains(&"parallel"), "{f:?}");
+}
+
+#[test]
+fn parallel_flags_captured_sink_emission_but_not_forked_sinks() {
+    let f = lint_core(
+        "fn s(rows: &mut [f64], t: &mut EventSink, now: Instant) {\n\
+         \x20   for_each_row(rows, 8, |ue, row| {\n\
+         \x20       *row = 0.0;\n\
+         \x20       t.emit(now, Event::Hop { cell: ue as u32 });\n\
+         \x20   });\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["parallel"], "{f:?}");
+    // A sink living inside the per-entity row struct is local discipline.
+    let f = lint_core(
+        "fn s(rows: &mut [Row], now: Instant) {\n\
+         \x20   for_each_row(rows, 8, |_ue, row| {\n\
+         \x20       row.sink.emit(now, Event::Hop { cell: 0 });\n\
+         \x20   });\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn parallel_requires_fork_and_absorb_in_the_same_fn() {
+    let f = lint_core(
+        "fn s(t: &mut EventSink) -> EventSink {\n\
+         \x20   t.fork()\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["parallel"], "{f:?}");
+    let f = lint_core(
+        "fn s(t: &mut EventSink) {\n\
+         \x20   let s = t.fork();\n\
+         \x20   t.absorb(s);\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn parallel_rule_exempts_the_parallel_module_itself() {
+    let f = lint_source(
+        "crates/sim/src/parallel.rs",
+        "fn s(rows: &mut [f64], out: &mut Vec<f64>) {\n\
+         \x20   for_each_chunk(rows, 4, 16, |_i, chunk| { out.push(chunk[0]); });\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------- rule v2: slab
+
+#[test]
+fn slab_flags_stride_arithmetic_in_index_expressions() {
+    let f = lint_core("fn f(d: &[f64], c: usize, i: usize, j: usize) -> f64 { d[i * c + j] }\n");
+    assert_eq!(rules(&f), ["slab"], "multiply-add: {f:?}");
+    let f = lint_core("fn f(d: &[f64], c: usize, i: usize) -> &[f64] { &d[i * c..(i + 1) * c] }\n");
+    assert_eq!(rules(&f), ["slab"], "multiply-range: {f:?}");
+}
+
+#[test]
+fn slab_accepts_plain_offsets_ranges_and_array_literals() {
+    for src in [
+        "fn f(d: &[f64], i: usize) -> f64 { d[i + 1] }\n",
+        "fn f(d: &[f64], i: usize, j: usize) -> &[f64] { &d[i..j] }\n",
+        "fn f(d: &[f64], i: usize) -> f64 { d[i] * 2.0 }\n",
+        "fn f(i: usize) -> [usize; 2] { return [i * 2 + 1, i]; }\n",
+        "fn f(s: &Slab3, u: usize, a: usize, k: usize) -> f64 { s.lane(u, a)[k] }\n",
+    ] {
+        let f = lint_core(src);
+        assert!(f.is_empty(), "{src}: {f:?}");
+    }
+}
+
+#[test]
+fn slab_rule_exempts_the_slab_module_itself() {
+    let f = lint_source(
+        "crates/sim/src/slab.rs",
+        "fn at(d: &[f64], c: usize, i: usize, j: usize) -> f64 { d[i * c + j] }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ----------------------------------------------------------- rule v2: hot
+
+#[test]
+fn hot_flags_allocation_in_marked_roots() {
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn refresh(xs: &[f64]) -> Vec<f64> {\n\
+         \x20   xs.iter().map(|v| v * 2.0).collect()\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["hot"], "{f:?}");
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn label(id: u32) -> String {\n\
+         \x20   format!(\"ue{}\", id)\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["hot"], "{f:?}");
+}
+
+#[test]
+fn hot_propagates_through_direct_same_file_calls() {
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn tick(log: &mut Vec<f64>) {\n\
+         \x20   record(log);\n\
+         }\n\
+         fn record(log: &mut Vec<f64>) {\n\
+         \x20   log.push(0.0);\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["hot"], "{f:?}");
+    assert!(f[0].message.contains("root `tick`"), "{f:?}");
+}
+
+#[test]
+fn hot_does_not_propagate_through_foreign_type_constructors() {
+    // `UeId::new(...)` must not mark this file's own `new` as hot.
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn tick(u: usize) -> UeId {\n\
+         \x20   UeId::new(u as u32)\n\
+         }\n\
+         fn new(n: usize) -> Vec<f64> {\n\
+         \x20   vec![0.0; n]\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hot_exempts_scratch_buffer_refills_and_cold_fns() {
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn refresh(row_scratch: &mut Vec<f64>, xs: &[f64]) {\n\
+         \x20   row_scratch.clear();\n\
+         \x20   for &x in xs {\n\
+         \x20       row_scratch.push(x);\n\
+         \x20   }\n\
+         \x20   row_scratch.extend_from_slice(xs);\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Unmarked fns allocate freely.
+    let f = lint_core("fn build(n: usize) -> Vec<f64> { vec![0.0; n] }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hot_flags_slab_clones() {
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn snap(g: &Slab3) -> Slab3 {\n\
+         \x20   g.clone()\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["hot"], "{f:?}");
+    // clone_from reuses the destination's capacity: distinct ident.
+    let f = lint_core(
+        "// cellfi-lint: hot\n\
+         fn save(dst: &mut Vec<usize>, src: &Vec<usize>) {\n\
+         \x20   dst.clone_from(src);\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ------------------------------------------------------ rule v2: cachegen
+
+#[test]
+fn cachegen_flags_gain_writes_without_a_generation_bump() {
+    let f = lint_core(
+        "impl Engine {\n\
+         \x20   fn poke(&mut self, u: usize, a: usize) {\n\
+         \x20       self.lin_mw.lane_mut(u, a).fill(0.0);\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["cachegen"], "{f:?}");
+    let f = lint_core(
+        "impl Engine {\n\
+         \x20   fn set_mean(&mut self, u: usize, a: usize, v: f64) {\n\
+         \x20       self.dl_mean_dbm.set(u, a, v);\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["cachegen"], "{f:?}");
+}
+
+#[test]
+fn cachegen_flags_assoc_writes_without_a_generation_bump() {
+    let f = lint_core(
+        "impl Engine {\n\
+         \x20   fn rehome(&mut self, ue: usize, ap: usize) {\n\
+         \x20       self.scenario.assoc[ue] = ap;\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(rules(&f), ["cachegen"], "{f:?}");
+}
+
+#[test]
+fn cachegen_accepts_writes_paired_with_their_bump() {
+    let f = lint_core(
+        "impl Engine {\n\
+         \x20   fn rebuild(&mut self, u: usize, a: usize) {\n\
+         \x20       self.gain_gen += 1;\n\
+         \x20       self.lin_mw.lane_mut(u, a).fill(0.0);\n\
+         \x20   }\n\
+         \x20   fn rehome(&mut self, ue: usize, ap: usize) {\n\
+         \x20       self.assoc_gen += 1;\n\
+         \x20       self.scenario.assoc[ue] = ap;\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // Reads of gain state and of the association are unconstrained.
+    let f = lint_core(
+        "impl Engine {\n\
+         \x20   fn read(&self, u: usize, a: usize, s: usize) -> f64 {\n\
+         \x20       self.lin_mw.at(u, a, s) + (self.scenario.assoc[u] as f64)\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
 // ------------------------------------------------------- allow directives
 
 #[test]

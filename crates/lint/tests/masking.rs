@@ -1,0 +1,102 @@
+//! Regression tests for the lexer's source masking: raw-string
+//! prefixes (`r#"…"#`, `br#"…"#`, `cr"…"`), escaped-quote char
+//! literals, and nested block comments must all mask to a same-length
+//! text with the following code intact — a mis-scanned literal extent
+//! desynchronizes every byte offset (and thus line number) after it.
+
+use cellfi_lint::lexer::{mask_source, scan};
+
+#[test]
+fn nested_block_comments_mask_to_spaces() {
+    let src = "let a = 1; /* x /* y */ z */ let b = 2;";
+    let (masked, comments) = mask_source(src);
+    assert_eq!(masked.len(), src.len());
+    assert_eq!(
+        masked,
+        format!(
+            "let a = 1; {} let b = 2;",
+            " ".repeat("/* x /* y */ z */".len())
+        )
+    );
+    assert_eq!(comments.len(), 1, "one nested comment, one extent");
+    assert_eq!(comments[0].text, "/* x /* y */ z */");
+}
+
+#[test]
+fn raw_string_body_masks_but_comment_lookalikes_outside_do_not() {
+    let src = r###"let s = r#"a "b" // c"#; s2();"###;
+    let (masked, comments) = mask_source(src);
+    assert_eq!(masked.len(), src.len());
+    assert_eq!(
+        masked,
+        format!(
+            r###"let s = r#"{}"#; s2();"###,
+            " ".repeat(r#"a "b" // c"#.len())
+        )
+    );
+    assert!(
+        comments.is_empty(),
+        "the // inside the literal is not a comment"
+    );
+}
+
+#[test]
+fn byte_and_c_string_raw_prefixes_are_recognized() {
+    // Before `br`/`cr` support, the `"` after the hash opened a *plain*
+    // string whose scan ran to the next quote inside the body, leaving
+    // the literal extent wrong and the trailing code half-masked.
+    let src = r###"let b = br#"x " y"#; let keep = after();"###;
+    let (masked, _) = mask_source(src);
+    assert_eq!(masked.len(), src.len());
+    assert_eq!(
+        masked,
+        format!(
+            r###"let b = br#"{}"#; let keep = after();"###,
+            " ".repeat(r#"x " y"#.len())
+        )
+    );
+
+    let src = r#"let c = cr"q//q"; done();"#;
+    let (masked, comments) = mask_source(src);
+    assert_eq!(masked, format!(r#"let c = cr"{}"; done();"#, " ".repeat(4)));
+    assert!(comments.is_empty());
+}
+
+#[test]
+fn identifier_ending_in_r_is_not_a_raw_string_prefix() {
+    // `configr` ends in `r` but the `r` is part of the identifier; the
+    // next token must scan as an ordinary expression, not a raw string.
+    let src = "let configr = 1; let s = \"a\"; tail();";
+    let (masked, _) = mask_source(src);
+    assert_eq!(masked, "let configr = 1; let s = \" \"; tail();");
+}
+
+#[test]
+fn escaped_quote_char_literal_closes_at_final_quote() {
+    // `'\''` previously closed at the *escaped* quote, leaving a stray
+    // quote in the masked text that swallowed the rest of the line.
+    let src = "let q = '\\''; let keep = 1; // note";
+    let (masked, comments) = mask_source(src);
+    assert_eq!(masked.len(), src.len());
+    assert_eq!(masked, "let q = '  '; let keep = 1;        ");
+    assert_eq!(comments.len(), 1);
+    assert_eq!(comments[0].text, "// note");
+}
+
+#[test]
+fn lifetimes_survive_masking_unchanged() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+    let (masked, _) = mask_source(src);
+    assert_eq!(masked, src);
+}
+
+#[test]
+fn hot_marker_targets_next_code_line_and_is_not_a_malformed_allow() {
+    let src = "// cellfi-lint: hot\nfn fast() {}\n";
+    let sf = scan(src);
+    assert_eq!(sf.hot_markers, vec![2]);
+    assert!(
+        sf.allows.is_empty(),
+        "hot is a marker, not an allow directive"
+    );
+}

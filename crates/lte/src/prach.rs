@@ -186,8 +186,9 @@ impl PrachDetector {
             *a = *a * *b;
         }
         self.plan.fft(&mut y, true);
-        y[N_ZC - 1..2 * N_ZC - 1]
+        y[N_ZC - 1..]
             .iter()
+            .take(N_ZC)
             .map(|c| c.norm_sq())
             .collect()
     }

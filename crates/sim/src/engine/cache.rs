@@ -27,10 +27,9 @@
 pub(crate) struct TxSetTracker {
     /// Current interned id per subchannel; 0 = empty set.
     ids: Vec<u64>,
-    /// Membership bitmask words per subchannel, `words_per_sub` each:
-    /// bit `ap % 64` of word `ap / 64` is set iff `ap` transmits.
-    mask: Vec<u64>,
-    words_per_sub: usize,
+    /// Per-subchannel membership bitmask: bit `ap` of row `s` is set
+    /// iff `ap` transmits on subchannel `s`.
+    mask: crate::slab::BitRows,
     /// Two-slot LRU of `(id, set)` per subchannel, most recent first.
     slots: Vec<[(u64, Vec<usize>); 2]>,
     /// Next fresh id; also a cheap "new set appeared" signal for
@@ -40,11 +39,9 @@ pub(crate) struct TxSetTracker {
 
 impl TxSetTracker {
     pub fn new(n_sub: usize, n_ap: usize) -> TxSetTracker {
-        let words_per_sub = n_ap.div_ceil(64).max(1);
         TxSetTracker {
             ids: vec![0; n_sub],
-            mask: vec![0; n_sub * words_per_sub],
-            words_per_sub,
+            mask: crate::slab::BitRows::new(n_sub, n_ap),
             slots: (0..n_sub)
                 .map(|_| [(0, Vec::new()), (0, Vec::new())])
                 .collect(),
@@ -55,6 +52,7 @@ impl TxSetTracker {
     /// Bring ids and masks in line with `tx` (the per-subchannel
     /// transmitter sets just installed as `tx_last`). Sets already seen
     /// on their subchannel re-use their id without allocating.
+    // cellfi-lint: hot
     pub fn observe(&mut self, tx: &[Vec<usize>]) {
         for (s, set) in tx.iter().enumerate() {
             let id = if set.is_empty() {
@@ -78,24 +76,25 @@ impl TxSetTracker {
             };
             if self.ids[s] != id {
                 self.ids[s] = id;
-                let words = &mut self.mask[s * self.words_per_sub..(s + 1) * self.words_per_sub];
-                words.fill(0);
+                self.mask.clear_row(s);
                 for &ap in set {
-                    words[ap / 64] |= 1u64 << (ap % 64);
+                    self.mask.set(s, ap);
                 }
             }
         }
     }
 
     /// Current id per subchannel (0 = empty set).
+    // cellfi-lint: hot
     pub fn ids(&self) -> &[u64] {
         &self.ids
     }
 
     /// Whether `ap` is in subchannel `s`'s current transmitter set.
+    // cellfi-lint: hot
     #[inline]
     pub fn is_member(&self, s: usize, ap: usize) -> bool {
-        (self.mask[s * self.words_per_sub + ap / 64] >> (ap % 64)) & 1 != 0
+        self.mask.get(s, ap)
     }
 
     /// Total distinct non-empty sets interned so far (monotone): stable
@@ -146,6 +145,7 @@ impl CqiMemo {
     }
 
     /// The remembered scan for this key, if any.
+    // cellfi-lint: hot
     pub fn lookup(&mut self, gain_gen: u64, assoc_gen: u64, ids: &[u64]) -> Option<&CqiScanEntry> {
         self.clock += 1;
         let clock = self.clock;
@@ -163,6 +163,7 @@ impl CqiMemo {
     /// Remember a freshly computed scan, evicting the least recently
     /// used slot. Buffers are reused, so steady-state stores after the
     /// first two scans allocate only when a hit list grows.
+    // cellfi-lint: hot
     pub fn store(
         &mut self,
         gain_gen: u64,

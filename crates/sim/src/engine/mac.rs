@@ -54,6 +54,7 @@ impl LteEngine {
 
     /// Bits one subchannel can carry for a UE this subframe at its CQI.
     /// Zero while the UE is reconnecting after a radio-link failure.
+    // cellfi-lint: hot
     pub(super) fn rate_bits(&self, ue: usize, s: usize, dl_capacity: f64) -> f64 {
         if self.now < self.outage_until[ue] {
             return 0.0;

@@ -207,6 +207,12 @@ pub struct LteEngine {
     linmap: LinearCqiMap,
     /// Per-UE scratch for the CQI scan's "any subchannel decodable" bit.
     any_usable_scratch: Vec<bool>,
+    /// Per-UE scratch for the CQI scan's interference hits (`(ue, sub,
+    /// sinr_db, clean_db)`), reused across scans.
+    hit_scratch: Vec<Vec<(u32, u32, f64, f64)>>,
+    /// Flat merge of `hit_scratch` in UE index order — the hit list the
+    /// memo remembers for replay.
+    scan_hits_scratch: Vec<(u32, u32, f64, f64)>,
     /// MAC scheduling scratch buffers, reused across subframes so the
     /// steady-state subframe loop allocates nothing.
     ue_scratch: Vec<UeId>,
@@ -372,6 +378,8 @@ impl LteEngine {
             fast_path: true,
             linmap: LinearCqiMap::default(),
             any_usable_scratch: vec![false; n_ue],
+            hit_scratch: vec![Vec::new(); n_ue],
+            scan_hits_scratch: Vec::new(),
             ue_scratch: Vec::new(),
             rates_scratch: Vec::new(),
             tx_scratch: Vec::new(),

@@ -276,6 +276,10 @@ impl LteEngine {
     /// `static_mw[ue][ap][s] = 10^((mean + offset + split)/10)` through
     /// the batched conversion kernel. `lane_db` is an `n_sub` scratch.
     pub(super) fn rebuild_static_row(&mut self, u: usize, lane_db: &mut [f64]) {
+        // The static slab feeds every downstream gain cache; bump the
+        // generation here so a rewritten row can never be replayed
+        // through a stale interference column or memoized scan.
+        self.gain_gen += 1;
         for a in 0..self.scenario.aps.len() {
             let base = self.dl_mean_dbm.at(u, a) + self.power_offset_db[a];
             for (slot, &split) in lane_db.iter_mut().zip(&self.split_db) {
@@ -298,6 +302,7 @@ impl LteEngine {
     /// precombined static gains. All dB→linear math happened at static
     /// rebuild time, so the per-block work is one RNG draw and one
     /// multiply per element over contiguous lanes.
+    // cellfi-lint: hot
     pub(super) fn refresh_fading(&mut self) {
         let coherence = self.scenario.env.fading.coherence();
         let block = self.now.as_micros() / coherence.as_micros();
@@ -359,6 +364,7 @@ impl LteEngine {
     /// the two-slot [`super::cache::CqiMemo`] replays the remembered
     /// result (CQI values, interference events in scan order) and only
     /// the time-varying RLF bookkeeping runs live.
+    // cellfi-lint: hot
     pub(super) fn measure_cqi(&mut self) {
         let n_sub = self.grid.num_subchannels() as usize;
         // Bring the per-subchannel interference columns up to date (a
@@ -383,8 +389,8 @@ impl LteEngine {
                 // restored wholesale; interference events re-apply
                 // through the epoch flags in the same (ue, subchannel)
                 // order the parallel scan's absorb step would emit them.
-                for (u, row) in self.ue_cqi.iter_mut().enumerate() {
-                    row.copy_from_slice(&entry.cqi[u * n_sub..(u + 1) * n_sub]);
+                for (row, saved) in self.ue_cqi.iter_mut().zip(entry.cqi.chunks_exact(n_sub)) {
+                    row.copy_from_slice(saved);
                 }
                 let now = self.now;
                 let tracer = &mut self.obs.tracer;
@@ -442,15 +448,17 @@ impl LteEngine {
             outage_until: &'a mut Instant,
             rrc_drops: &'a mut u64,
             any_usable: &'a mut bool,
-            /// Interference hits (flag state ignored) for the memo.
-            hits: Vec<(u32, u32, f64, f64)>,
+            /// Interference hits (flag state ignored) for the memo;
+            /// borrows the engine's per-UE scratch buffer so the
+            /// steady-state scan allocates nothing once warm.
+            hit_scratch: &'a mut Vec<(u32, u32, f64, f64)>,
             /// Per-row event buffer: rows emit concurrently, the caller
             /// absorbs the buffers back in UE index order so the merged
             /// trace is independent of worker scheduling.
             sink: EventSink,
         }
         let tracer = &mut self.obs.tracer;
-        let mut rows: Vec<UeRow> = self
+        let mut row_scratch: Vec<UeRow> = self
             .ue_cqi
             .iter_mut()
             .zip(self.epoch.iter_mut())
@@ -458,23 +466,30 @@ impl LteEngine {
             .zip(self.outage_until.iter_mut())
             .zip(self.rrc_drops.iter_mut())
             .zip(self.any_usable_scratch.iter_mut())
+            .zip(self.hit_scratch.iter_mut())
             .map(
-                |(((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops), any_usable)| UeRow {
-                    cqi,
-                    epoch,
-                    bad_streak_ms,
-                    outage_until,
-                    rrc_drops,
-                    any_usable,
-                    hits: Vec::new(),
-                    sink: tracer.fork(),
+                |(
+                    (((((cqi, epoch), bad_streak_ms), outage_until), rrc_drops), any_usable),
+                    hit_scratch,
+                )| {
+                    hit_scratch.clear();
+                    UeRow {
+                        cqi,
+                        epoch,
+                        bad_streak_ms,
+                        outage_until,
+                        rrc_drops,
+                        any_usable,
+                        hit_scratch,
+                        sink: tracer.fork(),
+                    }
                 },
             )
             .collect();
         // Each row is only ~n_sub float ops but this scan fires every
         // CQI period (2 ms of sim time): below 64 rows per worker the
         // spawn cost dwarfs the row work, so small scenarios stay serial.
-        crate::parallel::for_each_row(&mut rows, 64, |ue, row| {
+        crate::parallel::for_each_row(&mut row_scratch, 64, |ue, row| {
             let ap = assoc[ue];
             let mut any_usable = false;
             let ids = tracker.ids();
@@ -497,7 +512,7 @@ impl LteEngine {
                 if ids[s] != 0 && interference > interf_thresh_mw[s] {
                     let sinr_v = 10.0 * (signal / (interference + noise_mw[s])).log10();
                     let clean_v = 10.0 * (signal / noise_mw[s]).log10();
-                    row.hits.push((ue as u32, s as u32, sinr_v, clean_v));
+                    row.hit_scratch.push((ue as u32, s as u32, sinr_v, clean_v));
                     if !row.epoch.interfered[s] {
                         row.epoch.interfered[s] = true;
                         row.sink.emit(
@@ -523,9 +538,9 @@ impl LteEngine {
                 row.rrc_drops,
             );
         });
-        let mut all_hits: Vec<(u32, u32, f64, f64)> = Vec::new();
-        for row in rows {
-            all_hits.extend_from_slice(&row.hits);
+        self.scan_hits_scratch.clear();
+        for row in row_scratch {
+            self.scan_hits_scratch.extend_from_slice(row.hit_scratch);
             tracer.absorb(row.sink);
         }
         if self.fast_path {
@@ -535,7 +550,7 @@ impl LteEngine {
                 self.tracker.ids(),
                 &self.ue_cqi,
                 &self.any_usable_scratch,
-                &all_hits,
+                &self.scan_hits_scratch,
             );
         }
         self.obs.profiler.end(SpanId::CqiScan, span);

@@ -149,6 +149,47 @@ impl Slab3 {
     }
 }
 
+/// Fixed-width rows of `u64` bitmask words in one allocation: row `r`
+/// holds bits `0..bits_per_row`, bit `b` living at bit `b % 64` of word
+/// `b / 64`. The engine's per-subchannel transmitter-membership masks
+/// (`TxSetTracker`) index this way; keeping the stride math here keeps
+/// it out of the engine (see the `slab` lint rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitRows {
+    words: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl BitRows {
+    /// `rows` rows of `bits_per_row` bits each, all clear.
+    pub fn new(rows: usize, bits_per_row: usize) -> BitRows {
+        let words_per_row = bits_per_row.div_ceil(64).max(1);
+        BitRows {
+            words: vec![0; rows * words_per_row],
+            words_per_row,
+        }
+    }
+
+    /// Clear every bit of row `row`.
+    #[inline]
+    pub fn clear_row(&mut self, row: usize) {
+        let base = row * self.words_per_row;
+        self.words[base..base + self.words_per_row].fill(0);
+    }
+
+    /// Set bit `bit` of row `row`.
+    #[inline]
+    pub fn set(&mut self, row: usize, bit: usize) {
+        self.words[row * self.words_per_row + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Whether bit `bit` of row `row` is set.
+    #[inline]
+    pub fn get(&self, row: usize, bit: usize) -> bool {
+        (self.words[row * self.words_per_row + bit / 64] >> (bit % 64)) & 1 != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +234,20 @@ mod tests {
         assert_eq!(s.rows(), 0);
         let t = Slab3::new(0, 2, 3, 0.0);
         assert_eq!(t.as_slice().len(), 0);
+    }
+
+    #[test]
+    fn bitrows_set_get_clear_across_word_boundaries() {
+        let mut b = BitRows::new(2, 130);
+        b.set(0, 5);
+        b.set(0, 64);
+        b.set(0, 129);
+        b.set(1, 0);
+        assert!(b.get(0, 5) && b.get(0, 64) && b.get(0, 129));
+        assert!(!b.get(0, 63) && !b.get(0, 128));
+        assert!(b.get(1, 0) && !b.get(1, 5));
+        b.clear_row(0);
+        assert!(!b.get(0, 5) && !b.get(0, 64) && !b.get(0, 129));
+        assert!(b.get(1, 0), "clearing one row leaves others intact");
     }
 }

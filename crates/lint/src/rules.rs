@@ -641,13 +641,32 @@ const EMIT_ALLOC_MARKERS: &[&str] = &[
 ];
 
 /// obs: `.emit(...)` must build its payload without allocating, so an
-/// emission on the disabled path costs exactly one branch.
+/// emission on the disabled path costs exactly one branch — and
+/// `.register(...)` monitor check closures run every armed tick, so
+/// they must be allocation-free too.
 fn check_obs_emit(sink: &mut Sink) {
+    check_obs_alloc_free(
+        sink,
+        "emit",
+        "event payloads must be allocation-free plain numerics so disabled \
+         tracing costs one branch",
+    );
+    check_obs_alloc_free(
+        sink,
+        "register",
+        "monitor check closures run on every armed tick and must stay \
+         allocation-free (return plain Option<f64> from the facts)",
+    );
+}
+
+/// Scan every `.{method}(...)` argument list for [`EMIT_ALLOC_MARKERS`]
+/// and report hits under the `obs` rule with `why` as the rationale.
+fn check_obs_alloc_free(sink: &mut Sink, method: &str, why: &str) {
     let masked = sink.masked();
     let bytes = masked.as_bytes();
     let mut from = 0;
-    while let Some(pos) = find_word(masked, "emit", from) {
-        from = pos + "emit".len();
+    while let Some(pos) = find_word(masked, method, from) {
+        from = pos + method.len();
         let is_method = pos > 0 && bytes[pos - 1] == b'.';
         if !is_method || bytes.get(from) != Some(&b'(') {
             continue;
@@ -657,8 +676,8 @@ fn check_obs_emit(sink: &mut Sink) {
         };
         let args = &masked[from + 1..close];
         for marker in EMIT_ALLOC_MARKERS {
-            let hit = if let Some((ty, method)) = marker.split_once("::") {
-                find_qualified(args, &[ty, method], 0).map(|(p, _)| p)
+            let hit = if let Some((ty, m)) = marker.split_once("::") {
+                find_qualified(args, &[ty, m], 0).map(|(p, _)| p)
             } else if let Some(mac) = marker.strip_suffix('!') {
                 let mut at = 0;
                 let mut found = None;
@@ -677,11 +696,7 @@ fn check_obs_emit(sink: &mut Sink) {
                 sink.report(
                     "obs",
                     from + 1 + rel,
-                    format!(
-                        "`{marker}` inside .emit(...): event payloads must be \
-                         allocation-free plain numerics so disabled tracing \
-                         costs one branch"
-                    ),
+                    format!("`{marker}` inside .{method}(...): {why}"),
                 );
             }
         }

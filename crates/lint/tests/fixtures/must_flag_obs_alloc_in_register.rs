@@ -1,0 +1,9 @@
+//! Rule obs: monitor check closures registered on the registry run on
+//! every armed tick — their bodies must not allocate.
+
+pub fn bad_register(reg: &mut MonitorRegistry) {
+    reg.register("rlf_rate", 30.0, |facts, thr| {
+        let label = format!("rlf at {}", facts.tick_us);
+        if label.len() > thr as usize { Some(1.0) } else { None }
+    });
+}

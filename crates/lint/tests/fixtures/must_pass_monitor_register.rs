@@ -1,0 +1,17 @@
+//! Clean monitor idiom: registered checks compute plain numerics from
+//! the fact sheet and return Option<f64> without allocating.
+
+pub fn good_register(reg: &mut MonitorRegistry) {
+    reg.register("cache_hit_floor", 0.5, |facts, thr| {
+        let probes = facts.cache_hits + facts.cache_misses;
+        if probes < 1024 {
+            return None;
+        }
+        let rate = facts.cache_hits as f64 / probes as f64;
+        if rate < thr {
+            Some(rate)
+        } else {
+            None
+        }
+    });
+}

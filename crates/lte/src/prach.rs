@@ -244,9 +244,9 @@ impl PrachDetector {
         rx: &[Complex],
         profiler: &mut cellfi_obs::profile::Profiler,
     ) -> Detection {
-        let t0 = profiler.begin();
+        profiler.begin(cellfi_obs::profile::SpanId::PrachCorrelator);
         let d = self.detect(rx);
-        profiler.end(cellfi_obs::profile::SpanId::PrachCorrelator, t0);
+        profiler.end(cellfi_obs::profile::SpanId::PrachCorrelator);
         d
     }
 }

@@ -12,10 +12,15 @@
 //!   `CELLFI_THREADS` setting.
 //! * [`metrics`] — a registry of counters/gauges/histograms snapshotable
 //!   at any tick and exported as JSONL.
-//! * [`profile`] — span timers around the SINR cache, PRACH correlator
-//!   and fading scans. The library never reads a clock itself: the
+//! * [`profile`] — a hierarchical span profiler from the harness tick
+//!   down to the caches. The library never reads a clock itself: the
 //!   bench/bin layer injects a `fn() -> u64` nanosecond source, keeping
 //!   cellfi-lint's determinism rule intact for every lib crate.
+//! * [`monitor`] — online invariant monitors (ETSI vacate margin, RLF
+//!   ceiling, scheduler starvation, cache hit floor) backed by the
+//!   tracer's flight-recorder ring.
+//! * [`query`] — filter / group-by / aggregate over emitted JSONL
+//!   traces (`exp trace-query`).
 //!
 //! Everything is allocation-free on the disabled path: a disabled
 //! [`trace::Tracer`] or [`profile::Profiler`] costs one branch per call
@@ -25,25 +30,32 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod monitor;
 pub mod profile;
+pub mod query;
 pub mod trace;
 
 pub use metrics::Registry;
+pub use monitor::{MonitorRegistry, TickFacts, Violation};
 pub use profile::{Profiler, SpanId};
-pub use trace::{Event, EventSink, Tracer};
+pub use trace::{Event, EventSink, SampleSpec, Tracer};
 
 /// The full observability bundle an engine owns: one tracer, one metrics
-/// registry, one profiler. Constructed disabled by default; each layer is
-/// switched on independently (tracing by `--trace`, profiling by the
-/// bench harness installing a clock).
+/// registry, one profiler, one monitor registry. Constructed disabled by
+/// default; each layer is switched on independently (tracing by
+/// `--trace`, sampling by `--sample`, monitors by `--monitors`,
+/// profiling by the bench harness installing a clock).
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
-    /// Tick-keyed structured event stream.
+    /// Tick-keyed structured event stream (with optional sampling and
+    /// flight-recorder layers).
     pub tracer: Tracer,
     /// Counter/gauge/histogram registry.
     pub metrics: Registry,
-    /// Injected-clock span timers.
+    /// Injected-clock hierarchical span profiler.
     pub profiler: Profiler,
+    /// Online invariant monitors ([`monitor`]); disarmed by default.
+    pub monitors: MonitorRegistry,
     /// Detail stream switch (`--trace-detail`): when set, engines also
     /// emit high-rate events (per-epoch `sched` occupancy decisions,
     /// per-block `harq_retx`) and per-epoch histogram window snapshots.

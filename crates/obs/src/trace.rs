@@ -166,6 +166,121 @@ pub enum Event {
     },
 }
 
+/// Number of distinct event kinds (one per [`Event`] variant).
+pub const N_KINDS: usize = 15;
+
+impl Event {
+    /// Stable kind name — the `"ev"` field value in the JSONL stream.
+    pub fn kind(&self) -> &'static str {
+        KIND_NAMES[self.kind_code() as usize]
+    }
+
+    /// Dense kind code, `0..N_KINDS`, stable across releases (new kinds
+    /// append). Sampling keys and sketch tables index on it.
+    pub fn kind_code(&self) -> u32 {
+        match self {
+            Event::Hop { .. } => 0,
+            Event::Share { .. } => 1,
+            Event::PrachHeard { .. } => 2,
+            Event::CqiInterference { .. } => 3,
+            Event::Pack { .. } => 4,
+            Event::PawsGrant { .. } => 5,
+            Event::PawsRenew { .. } => 6,
+            Event::PawsVacate { .. } => 7,
+            Event::PawsVacated { .. } => 8,
+            Event::FaultInject { .. } => 9,
+            Event::LeaseRenew { .. } => 10,
+            Event::Degrade { .. } => 11,
+            Event::Recover { .. } => 12,
+            Event::Sched { .. } => 13,
+            Event::HarqRetx { .. } => 14,
+        }
+    }
+
+    /// The event's primary entity id: the cell for cell-scoped events,
+    /// the UE for per-client reports, the channel for PAWS lease events.
+    /// Stratified sampling keys on `(kind_code, entity)`.
+    pub fn entity(&self) -> u32 {
+        match *self {
+            Event::Hop { cell, .. }
+            | Event::Share { cell, .. }
+            | Event::PrachHeard { cell, .. }
+            | Event::Pack { cell, .. }
+            | Event::FaultInject { cell, .. }
+            | Event::LeaseRenew { cell, .. }
+            | Event::Degrade { cell, .. }
+            | Event::Recover { cell, .. }
+            | Event::Sched { cell, .. } => cell,
+            Event::CqiInterference { ue, .. } | Event::HarqRetx { ue, .. } => ue,
+            Event::PawsGrant { channel, .. }
+            | Event::PawsRenew { channel, .. }
+            | Event::PawsVacate { channel, .. }
+            | Event::PawsVacated { channel, .. } => channel,
+        }
+    }
+
+    /// The magnitude a histogram sketch aggregates for this kind, if the
+    /// kind has one (pure lease bookkeeping events are count-only).
+    /// Vacate margins are scaled to seconds so they fit a fixed range.
+    pub fn value(&self) -> Option<f64> {
+        match *self {
+            Event::Hop { to_utility, .. } => Some(to_utility),
+            Event::Share { share, .. } => Some(share as f64),
+            Event::PrachHeard { snr_db, .. } => Some(snr_db),
+            Event::CqiInterference { sinr_db, .. } => Some(sinr_db),
+            Event::Pack { to, .. } => Some(to as f64),
+            Event::PawsGrant { .. }
+            | Event::PawsRenew { .. }
+            | Event::PawsVacate { .. }
+            | Event::LeaseRenew { .. }
+            | Event::Recover { .. } => None,
+            Event::PawsVacated { margin_us, .. } => Some(margin_us as f64 / 1e6),
+            Event::FaultInject { kind, .. } => Some(kind as f64),
+            Event::Degrade { step, .. } => Some(step as f64),
+            Event::Sched { owned, .. } => Some(owned as f64),
+            Event::HarqRetx { process, .. } => Some(process as f64),
+        }
+    }
+}
+
+/// Kind names indexed by [`Event::kind_code`].
+pub const KIND_NAMES: [&str; N_KINDS] = [
+    "hop",
+    "share",
+    "prach",
+    "cqi_interf",
+    "pack",
+    "paws_grant",
+    "paws_renew",
+    "paws_vacate",
+    "paws_vacated",
+    "fault_inject",
+    "lease_renew",
+    "degrade",
+    "recover",
+    "sched",
+    "harq_retx",
+];
+
+/// Per-kind sketch value range `(lo, hi)` — fixed at compile time so two
+/// sketches for the same kind always have identical bucket edges and
+/// merge bucket-by-bucket.
+pub fn sketch_range(kind_code: u32) -> (f64, f64) {
+    match kind_code {
+        0 => (0.0, 1e8),    // hop: acquired-subchannel utility (bps scale)
+        1 => (0.0, 32.0),   // share: computed share S_i
+        2 => (-40.0, 40.0), // prach: uplink SNR dB
+        3 => (-40.0, 40.0), // cqi_interf: observed SINR dB
+        4 => (0.0, 32.0),   // pack: target subchannel index
+        8 => (0.0, 120.0),  // paws_vacated: margin seconds
+        9 => (0.0, 8.0),    // fault_inject: fault kind code
+        11 => (0.0, 4.0),   // degrade: ladder rung code
+        13 => (0.0, 32.0),  // sched: owned subchannel count
+        14 => (0.0, 16.0),  // harq_retx: HARQ process index
+        _ => (0.0, 1.0),    // count-only kinds never bucket a value
+    }
+}
+
 /// An event with the simulation tick at which it was observed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
@@ -175,6 +290,301 @@ pub struct Record {
     pub event: Event,
 }
 
+/// Deterministic stratified sampling: keep `keep` out of every `out_of`
+/// `(kind, entity)` strata.
+///
+/// The keep/drop decision is a pure function of `(entity_id, kind)` — no
+/// counters, no RNG state, no emission order — so a given cell's hops
+/// are either *all* in the sampled trace or *all* aggregated into the
+/// sketch, and the sampled byte stream is identical for any
+/// `CELLFI_THREADS` setting and any worker interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Strata kept per `out_of` (clamped: `keep >= out_of` keeps all).
+    pub keep: u32,
+    /// Stratum modulus.
+    pub out_of: u32,
+}
+
+impl SampleSpec {
+    /// Keep everything (the default: traces stay full fidelity).
+    pub const FULL: SampleSpec = SampleSpec { keep: 1, out_of: 1 };
+
+    /// Parse `"K/N"` (e.g. `"1/8"`). `None` on malformed input or a
+    /// zero modulus.
+    pub fn parse(s: &str) -> Option<SampleSpec> {
+        let (k, n) = s.split_once('/')?;
+        let keep: u32 = k.trim().parse().ok()?;
+        let out_of: u32 = n.trim().parse().ok()?;
+        if out_of == 0 {
+            return None;
+        }
+        Some(SampleSpec { keep, out_of })
+    }
+
+    /// Whether this spec keeps every event.
+    pub fn is_full(&self) -> bool {
+        self.keep >= self.out_of
+    }
+
+    /// Whether `event`'s `(kind, entity)` stratum is in the sample.
+    /// Pure: same event, same answer, forever.
+    #[inline]
+    pub fn keeps(&self, event: &Event) -> bool {
+        if self.is_full() {
+            return true;
+        }
+        let key = ((event.kind_code() as u64) << 32) | event.entity() as u64;
+        (mix64(key) % self.out_of as u64) < self.keep as u64
+    }
+}
+
+impl Default for SampleSpec {
+    fn default() -> SampleSpec {
+        SampleSpec::FULL
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed pure hash for stratum selection.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fixed bucket count for every histogram sketch.
+pub const SKETCH_BUCKETS: usize = 16;
+
+/// A fixed-bucket streaming histogram over one event kind's values.
+///
+/// Bucket edges are fixed per kind ([`sketch_range`]) and out-of-range
+/// values clamp to the edge buckets, so the sketch is a plain vector of
+/// counts. The running value sum is held in fixed-point micro-units
+/// (`i128`), not `f64`: integer addition is exact, so merging two
+/// sketches is element-wise addition throughout — associative and
+/// commutative, hence independent of worker count *and* merge order
+/// (float accumulation would drift in the last ulp under re-bracketing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindSketch {
+    /// The aggregated kind ([`Event::kind_code`]).
+    pub kind_code: u32,
+    /// Inclusive lower edge of bucket 0.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bucket (values above clamp in).
+    pub hi: f64,
+    /// Value counts per bucket.
+    pub buckets: [u64; SKETCH_BUCKETS],
+    /// Events aggregated (kept out of the sampled stream).
+    pub count: u64,
+    /// Of those, events that carried a finite value.
+    pub valued: u64,
+    /// Sum of the finite values in micro-units (value × 10⁶, rounded).
+    /// Mean = `sum_micro as f64 / 1e6 / valued as f64`.
+    pub sum_micro: i128,
+}
+
+impl KindSketch {
+    /// An empty sketch for `kind_code`, edges from [`sketch_range`].
+    pub fn new(kind_code: u32) -> KindSketch {
+        let (lo, hi) = sketch_range(kind_code);
+        KindSketch {
+            kind_code,
+            lo,
+            hi,
+            buckets: [0; SKETCH_BUCKETS],
+            count: 0,
+            valued: 0,
+            sum_micro: 0,
+        }
+    }
+
+    fn bucket(&self, v: f64) -> usize {
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = (frac * SKETCH_BUCKETS as f64).floor();
+        if idx < 0.0 {
+            0
+        } else if idx >= SKETCH_BUCKETS as f64 {
+            SKETCH_BUCKETS - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    fn add_value(&mut self, v: f64) {
+        if v.is_finite() {
+            self.buckets[self.bucket(v)] += 1;
+            self.valued += 1;
+            self.sum_micro += (v * 1e6).round() as i128;
+        }
+    }
+
+    /// Sum of the finite values, unquantized back to the value scale.
+    pub fn sum(&self) -> f64 {
+        self.sum_micro as f64 / 1e6
+    }
+
+    /// Fold `other` in (element-wise). Both sides must sketch the same
+    /// kind so their bucket edges agree.
+    pub fn merge(&mut self, other: &KindSketch) {
+        debug_assert_eq!(self.kind_code, other.kind_code);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.valued += other.valued;
+        self.sum_micro += other.sum_micro;
+    }
+}
+
+/// Per-kind sketches of the events sampling dropped, indexed by kind
+/// code (no hashing: emission order never matters).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SketchSet {
+    kinds: Vec<Option<KindSketch>>,
+}
+
+impl SketchSet {
+    /// Aggregate one dropped event.
+    pub fn add(&mut self, event: &Event) {
+        if self.kinds.is_empty() {
+            self.kinds.resize(N_KINDS, None);
+        }
+        let code = event.kind_code() as usize;
+        let sketch = self.kinds[code].get_or_insert_with(|| KindSketch::new(code as u32));
+        sketch.count += 1;
+        if let Some(v) = event.value() {
+            sketch.add_value(v);
+        }
+    }
+
+    /// Fold `other` in. Element-wise per kind: associative, commutative.
+    pub fn merge(&mut self, other: &SketchSet) {
+        if other.kinds.is_empty() {
+            return;
+        }
+        if self.kinds.is_empty() {
+            self.kinds.resize(N_KINDS, None);
+        }
+        for (slot, o) in self.kinds.iter_mut().zip(other.kinds.iter()) {
+            if let Some(o) = o {
+                match slot {
+                    Some(s) => s.merge(o),
+                    None => *slot = Some(o.clone()),
+                }
+            }
+        }
+    }
+
+    /// Whether no event has been aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.iter().all(|k| k.is_none())
+    }
+
+    /// The non-empty sketches, in kind-code order.
+    pub fn iter(&self) -> impl Iterator<Item = &KindSketch> {
+        self.kinds.iter().filter_map(|k| k.as_ref())
+    }
+
+    /// Serialize as JSON Lines, one sketch per kind in kind-code order,
+    /// fixed field order (byte-comparable like the event stream).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.iter() {
+            let _ = write!(
+                out,
+                "{{\"sketch\":\"{}\",\"count\":{},\"valued\":{},\"sum\":",
+                KIND_NAMES[s.kind_code as usize], s.count, s.valued
+            );
+            write_f64(&mut out, s.sum());
+            out.push_str(",\"lo\":");
+            write_f64(&mut out, s.lo);
+            out.push_str(",\"hi\":");
+            write_f64(&mut out, s.hi);
+            out.push_str(",\"buckets\":[");
+            for (i, b) in s.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+/// A bounded ring of the most recent events, full fidelity, kept even
+/// when sampling drops them from the exported trace. The invariant
+/// monitors dump it as `FLIGHT_<exp>.jsonl` on a violation so the ticks
+/// leading up to the failure are always inspectable.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: Vec<Record>,
+    /// Next write position once `buf` is full.
+    head: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events (0 = disabled).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            buf: Vec::new(),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Whether the recorder is retaining events.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Lifetime number of events pushed (retained or since overwritten).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retain `r`, overwriting the oldest entry when full.
+    #[inline]
+    pub fn push(&mut self, r: Record) {
+        if self.cap == 0 {
+            return;
+        }
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(r);
+        } else {
+            self.buf[self.head] = r;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn records_in_order(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Serialize the retained ring as JSON Lines, oldest first — the
+    /// `FLIGHT_<exp>.jsonl` format (same per-event schema as the trace).
+    pub fn to_jsonl(&self) -> String {
+        let records = self.records_in_order();
+        let mut out = String::with_capacity(records.len() * 64);
+        for r in &records {
+            write_record(&mut out, r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// The trace collector an engine owns.
 ///
 /// Disabled (the default), [`Tracer::emit`] is a single branch and the
@@ -182,10 +592,18 @@ pub struct Record {
 /// [`Tracer::fork`] to hand each entity its own [`EventSink`], then
 /// [`Tracer::absorb`] the sinks back **in entity index order** — that
 /// fixed merge order is the whole determinism argument.
+///
+/// Two optional layers ride on the emit path, both off by default:
+/// a [`SampleSpec`] diverts dropped strata into [`SketchSet`] histogram
+/// sketches, and a [`FlightRecorder`] ring retains the most recent
+/// events at full fidelity for the invariant monitors.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     enabled: bool,
     events: Vec<Record>,
+    spec: SampleSpec,
+    sketches: SketchSet,
+    flight: FlightRecorder,
 }
 
 impl Tracer {
@@ -198,7 +616,7 @@ impl Tracer {
     pub fn new(enabled: bool) -> Tracer {
         Tracer {
             enabled,
-            events: Vec::new(),
+            ..Tracer::default()
         }
     }
 
@@ -207,30 +625,82 @@ impl Tracer {
         self.enabled
     }
 
+    /// Install a sampling spec. Dropped strata aggregate into
+    /// [`Tracer::sketches`]; the default [`SampleSpec::FULL`] keeps all.
+    pub fn set_sample(&mut self, spec: SampleSpec) {
+        self.spec = spec;
+    }
+
+    /// The active sampling spec.
+    pub fn sample_spec(&self) -> SampleSpec {
+        self.spec
+    }
+
+    /// Histogram sketches of the events sampling dropped.
+    pub fn sketches(&self) -> &SketchSet {
+        &self.sketches
+    }
+
+    /// Retain the last `cap` events in a flight-recorder ring (0 turns
+    /// it off). Independent of the enabled flag: monitor-only runs keep
+    /// a ring without paying for a full trace.
+    pub fn enable_flight(&mut self, cap: usize) {
+        self.flight = FlightRecorder::with_capacity(cap);
+    }
+
+    /// The flight-recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Record `event` at simulation time `at`. One branch when disabled.
     #[inline]
     pub fn emit(&mut self, at: Instant, event: Event) {
-        if self.enabled {
-            self.events.push(Record {
-                tick_us: at.as_micros(),
-                event,
-            });
+        if self.enabled || self.flight.is_enabled() {
+            self.record(at, event);
         }
     }
 
-    /// A fresh per-entity sink sharing this tracer's enabled flag.
+    fn record(&mut self, at: Instant, event: Event) {
+        let r = Record {
+            tick_us: at.as_micros(),
+            event,
+        };
+        self.flight.push(r);
+        if self.enabled {
+            if self.spec.keeps(&event) {
+                self.events.push(r);
+            } else {
+                self.sketches.add(&event);
+            }
+        }
+    }
+
+    /// A fresh per-entity sink sharing this tracer's enabled flag,
+    /// sampling spec, and flight switch.
     pub fn fork(&self) -> EventSink {
         EventSink {
             enabled: self.enabled,
+            flight_on: self.flight.is_enabled(),
+            spec: self.spec,
             events: Vec::new(),
+            flight_buf: Vec::new(),
+            sketches: SketchSet::default(),
         }
     }
 
     /// Append a per-entity sink's events. Call in entity index order so
-    /// the merged stream is independent of worker scheduling.
+    /// the merged stream is independent of worker scheduling. (Sketches
+    /// merge element-wise, so for them even the order is immaterial.)
     pub fn absorb(&mut self, sink: EventSink) {
+        if self.flight.is_enabled() {
+            for r in &sink.flight_buf {
+                self.flight.push(*r);
+            }
+        }
         if self.enabled {
             self.events.extend(sink.events);
+            self.sketches.merge(&sink.sketches);
         }
     }
 
@@ -273,18 +743,36 @@ impl Tracer {
 #[derive(Debug, Default)]
 pub struct EventSink {
     enabled: bool,
+    flight_on: bool,
+    spec: SampleSpec,
     events: Vec<Record>,
+    flight_buf: Vec<Record>,
+    sketches: SketchSet,
 }
 
 impl EventSink {
     /// Record `event` at simulation time `at`. One branch when disabled.
     #[inline]
     pub fn emit(&mut self, at: Instant, event: Event) {
+        if self.enabled || self.flight_on {
+            self.record(at, event);
+        }
+    }
+
+    fn record(&mut self, at: Instant, event: Event) {
+        let r = Record {
+            tick_us: at.as_micros(),
+            event,
+        };
+        if self.flight_on {
+            self.flight_buf.push(r);
+        }
         if self.enabled {
-            self.events.push(Record {
-                tick_us: at.as_micros(),
-                event,
-            });
+            if self.spec.keeps(&event) {
+                self.events.push(r);
+            } else {
+                self.sketches.add(&event);
+            }
         }
     }
 
@@ -621,6 +1109,223 @@ mod tests {
             },
         );
         assert!(t.to_jsonl().contains("\"snr_db\":null"));
+    }
+
+    fn cqi(ue: u32) -> Event {
+        Event::CqiInterference {
+            ue,
+            subchannel: 1,
+            sinr_db: -2.0,
+            clean_db: 15.0,
+        }
+    }
+
+    #[test]
+    fn sampling_partitions_by_stratum() {
+        let spec = SampleSpec::parse("1/4").expect("valid spec");
+        let mut t = Tracer::new(true);
+        t.set_sample(spec);
+        let total = 64u32;
+        for ue in 0..total {
+            t.emit(Instant::from_millis(1), cqi(ue));
+        }
+        let kept = t.len() as u64;
+        let sketched: u64 = t.sketches().iter().map(|s| s.count).sum();
+        assert_eq!(kept + sketched, total as u64, "no event lost or duplicated");
+        assert!(kept > 0 && sketched > 0, "1/4 spec keeps a strict subset");
+        // Stratification: every kept event's stratum passes `keeps`, and
+        // a repeat emission of a kept entity is kept again.
+        for r in t.records() {
+            assert!(spec.keeps(&r.event));
+        }
+    }
+
+    #[test]
+    fn sampling_decision_is_pure_and_split_invariant() {
+        let spec = SampleSpec { keep: 1, out_of: 8 };
+        // Emitting through one tracer or through forked sinks absorbed
+        // in entity order yields byte-identical sampled streams.
+        let direct = {
+            let mut t = Tracer::new(true);
+            t.set_sample(spec);
+            for ue in 0..40 {
+                t.emit(Instant::from_millis(3), cqi(ue));
+            }
+            t.to_jsonl()
+        };
+        let forked = {
+            let mut t = Tracer::new(true);
+            t.set_sample(spec);
+            let mut sinks: Vec<EventSink> = (0..40).map(|_| t.fork()).collect();
+            // Emit in reverse worker order — absorb order is what counts.
+            for ue in (0..40u32).rev() {
+                sinks[ue as usize].emit(Instant::from_millis(3), cqi(ue));
+            }
+            for s in sinks {
+                t.absorb(s);
+            }
+            t.to_jsonl()
+        };
+        assert_eq!(direct, forked);
+    }
+
+    #[test]
+    fn sketches_merge_associatively() {
+        let events: Vec<Event> = (0..30).map(cqi).collect();
+        let set = |evs: &[Event]| {
+            let mut s = SketchSet::default();
+            for e in evs {
+                s.add(e);
+            }
+            s
+        };
+        let (a, b, c) = (set(&events[..7]), set(&events[7..19]), set(&events[19..]));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+        assert_eq!(ab_c.to_jsonl(), a_bc.to_jsonl());
+        let merged: u64 = ab_c.iter().map(|s| s.count).sum();
+        assert_eq!(merged, 30);
+    }
+
+    #[test]
+    fn sketch_buckets_clamp_out_of_range_values() {
+        let mut s = SketchSet::default();
+        s.add(&Event::PrachHeard {
+            cell: 0,
+            ue: 0,
+            snr_db: -500.0,
+        });
+        s.add(&Event::PrachHeard {
+            cell: 0,
+            ue: 1,
+            snr_db: 500.0,
+        });
+        let k = s.iter().next().expect("prach sketch exists");
+        assert_eq!(k.buckets[0], 1, "below-range clamps to first bucket");
+        assert_eq!(
+            k.buckets[SKETCH_BUCKETS - 1],
+            1,
+            "above-range clamps to last bucket"
+        );
+    }
+
+    #[test]
+    fn flight_ring_keeps_most_recent_events() {
+        let mut t = Tracer::disabled();
+        t.enable_flight(3);
+        assert!(!t.is_enabled(), "flight works without full tracing");
+        for ue in 0..5 {
+            t.emit(Instant::from_millis(ue as u64), cqi(ue));
+        }
+        assert!(t.is_empty(), "flight never feeds the exported trace");
+        let ring = t.flight().records_in_order();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(t.flight().total(), 5);
+        let ticks: Vec<u64> = ring.iter().map(|r| r.tick_us).collect();
+        assert_eq!(ticks, [2000, 3000, 4000], "oldest first, last three kept");
+        assert_eq!(t.flight().to_jsonl().lines().count(), 3);
+    }
+
+    #[test]
+    fn flight_absorbs_sink_events() {
+        let mut t = Tracer::disabled();
+        t.enable_flight(8);
+        let mut sink = t.fork();
+        sink.emit(Instant::from_millis(1), cqi(7));
+        t.absorb(sink);
+        assert_eq!(t.flight().records_in_order().len(), 1);
+    }
+
+    #[test]
+    fn kind_tables_are_consistent() {
+        let samples = [
+            Event::Hop {
+                cell: 0,
+                from: 0,
+                to: 1,
+                from_utility: 0.0,
+                to_utility: 1.0,
+            },
+            Event::Share {
+                cell: 0,
+                own_active: 1,
+                heard_active: 1,
+                share: 1,
+            },
+            Event::PrachHeard {
+                cell: 0,
+                ue: 0,
+                snr_db: 0.0,
+            },
+            cqi(0),
+            Event::Pack {
+                cell: 0,
+                from: 1,
+                to: 0,
+            },
+            Event::PawsGrant {
+                channel: 21,
+                expires_us: 1,
+            },
+            Event::PawsRenew {
+                channel: 21,
+                expires_us: 1,
+            },
+            Event::PawsVacate {
+                channel: 21,
+                deadline_us: 1,
+            },
+            Event::PawsVacated {
+                channel: 21,
+                margin_us: 1,
+            },
+            Event::FaultInject { cell: 0, kind: 0 },
+            Event::LeaseRenew {
+                cell: 0,
+                channel: 21,
+                expires_us: 1,
+            },
+            Event::Degrade {
+                cell: 0,
+                channel: 21,
+                step: 0,
+            },
+            Event::Recover {
+                cell: 0,
+                channel: 21,
+            },
+            Event::Sched {
+                cell: 0,
+                mask_bits: 1,
+                owned: 1,
+            },
+            Event::HarqRetx {
+                ue: 0,
+                cell: 0,
+                process: 0,
+            },
+        ];
+        assert_eq!(samples.len(), N_KINDS);
+        for (i, e) in samples.iter().enumerate() {
+            assert_eq!(e.kind_code() as usize, i, "dense codes in variant order");
+            assert_eq!(e.kind(), KIND_NAMES[i]);
+            // The serialized "ev" field matches the kind table.
+            let mut line = String::new();
+            write_record(
+                &mut line,
+                &Record {
+                    tick_us: 0,
+                    event: *e,
+                },
+            );
+            assert!(line.contains(&format!("\"ev\":\"{}\"", e.kind())), "{line}");
+        }
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! exp <name>... [--quick] [--seed N] [--json] [--bench] [--trace] [--trace-detail]
+//!               [--sample K/N] [--monitors]
 //! exp all [--quick]          # every table and figure, paper order
 //! exp list                   # available experiment names
 //! exp trace-diff <a> <b>     # byte-compare two trace streams
+//! exp trace-query <t.jsonl> [--kind K] [--entity N] [--from US] [--to US]
+//!                           [--group-by F] [--agg count|sum:F|mean:F|q0.9:F]
 //! exp replay <TRACE.jsonl>   # reconstruct per-cell occupancy from a trace
 //! ```
 //!
@@ -12,19 +15,27 @@
 //! headline values as a JSON object (consumed by EXPERIMENTS.md tooling).
 //! `--bench` additionally writes `BENCH_engine.json` — wall-clock per
 //! experiment, engine subframes/sec, and the PRACH line-rate factor —
-//! plus `BENCH_obs.json` with span timings from the profiling hooks
-//! (SINR cache, fading and CQI scans, PRACH correlator). `--trace`
-//! writes `TRACE_<name>.jsonl` (the tick-keyed event stream) and
-//! `METRICS_<name>.jsonl` (the final metrics snapshot) per experiment;
-//! `--trace-detail` additionally switches on the detail stream
-//! (per-epoch `sched` occupancy decisions, per-block `harq_retx`, and
-//! per-epoch histogram window snapshots in the metrics export).
-//! `trace-diff` compares two such streams line by line and exits
-//! non-zero on the first divergence — identical seeds must produce
-//! byte-identical traces at any `CELLFI_THREADS`. `replay` reads a
-//! written `TRACE_<name>.jsonl` back and prints the final per-cell
-//! subchannel allocation table it implies (exact when the trace has
-//! `sched` events, folded from hop/pack moves otherwise).
+//! plus `BENCH_obs.json` with the hierarchical span profile (flat
+//! per-span totals and the harness-tick call tree) and
+//! `BENCH_flame.txt`, the same tree in folded-stack flamegraph format.
+//! `--trace` writes `TRACE_<name>.jsonl` (the tick-keyed event stream)
+//! and `METRICS_<name>.jsonl` (the final metrics snapshot) per
+//! experiment; `--trace-detail` additionally switches on the detail
+//! stream (per-epoch `sched` occupancy decisions, per-block
+//! `harq_retx`, and per-epoch histogram window snapshots in the metrics
+//! export). `--sample K/N` keeps the deterministic per-entity stratum
+//! `K/N` of the stream and writes the dropped remainder's histogram
+//! sketches to `SKETCH_<name>.jsonl`; `--monitors` arms the invariant
+//! monitors and the flight recorder — a violation dumps the ring as
+//! `FLIGHT_<name>.jsonl` and fails the run with the violating tick.
+//! `trace-diff` compares two such streams line by line; on divergence
+//! it reports the first differing line plus a per-kind count summary of
+//! the event tails — identical seeds must produce byte-identical traces
+//! at any `CELLFI_THREADS`. `trace-query` filters, groups, and
+//! aggregates a written trace. `replay` reads a written
+//! `TRACE_<name>.jsonl` back and prints the final per-cell subchannel
+//! allocation table it implies (exact when the trace has `sched`
+//! events, folded from hop/pack moves otherwise).
 
 use cellfi_sim::experiments::{self, ExpConfig};
 use std::collections::BTreeMap;
@@ -84,14 +95,17 @@ fn clock_ns() -> u64 {
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// Profile the engine's hot paths (SINR cache refresh, fading and CQI
-/// scans) and the PRACH correlator, and write the span totals to
-/// `BENCH_obs.json`.
+/// Profile the whole hierarchy — harness ticks down through the engine
+/// subframe pipeline (MAC scheduling, SINR cache, fading/CQI scans, IM
+/// epochs), the PRACH correlator, and the PAWS lease lifecycle — and
+/// write the span tree to `BENCH_obs.json` plus the folded-stack
+/// flamegraph lines to `BENCH_flame.txt`.
 fn write_obs_bench(config: ExpConfig) {
     use cellfi_obs::Profiler;
+    use cellfi_sim::engine::SimHarness;
     use cellfi_sim::{ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
     use cellfi_types::rng::SeedSeq;
-    use cellfi_types::time::Instant;
+    use cellfi_types::time::{Duration, Instant};
     use serde_json::Value;
 
     let seeds = SeedSeq::new(config.seed).child("bench-obs");
@@ -104,9 +118,10 @@ fn write_obs_bench(config: ExpConfig) {
     e.backlog_all(u64::MAX / 4);
     e.run_until(Instant::from_secs(1)); // warmup: caches filled, unprofiled
     e.obs_mut().profiler = Profiler::with_clock(clock_ns);
-    for _ in 0..1_000 {
-        e.step_subframe();
-    }
+    // Drive the profiled second through the harness so every subframe
+    // nests under a `harness_tick` root span.
+    let harness = SimHarness::new(Duration::from_millis(1), e.now() + Duration::from_secs(1));
+    harness.run(&mut e, &mut (), |_, _, _| {}, |_, _, _, _| {});
     let mut profiler = std::mem::replace(&mut e.obs_mut().profiler, Profiler::disabled());
 
     // The PRACH correlator runs in its own detector loop, not the
@@ -123,6 +138,28 @@ fn write_obs_bench(config: ExpConfig) {
         }
     }
 
+    // The PAWS lease lifecycle also runs outside the subframe path;
+    // step one client against a clean database at the chaos cadence.
+    {
+        use cellfi_spectrum::database::SpectrumDatabase;
+        use cellfi_spectrum::lifecycle::{LeaseLifecycle, LifecycleConfig};
+        use cellfi_spectrum::paws::GeoLocation;
+        use cellfi_spectrum::plan::ChannelPlan;
+        use cellfi_types::geo::Point;
+        let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]);
+        let mut lc = LeaseLifecycle::new(
+            "bench-ap-000",
+            6,
+            GeoLocation::gps(Point::new(0.0, 0.0)),
+            ChannelPlan::Eu,
+            LifecycleConfig::paper_default(30.0),
+            config.seed,
+        );
+        for i in 0..400u64 {
+            lc.step_profiled(&mut db, &[], Instant::from_millis(i * 250), &mut profiler);
+        }
+    }
+
     let mut spans = BTreeMap::new();
     for (name, stats) in profiler.report() {
         if stats.count == 0 {
@@ -131,11 +168,31 @@ fn write_obs_bench(config: ExpConfig) {
         let mut entry = BTreeMap::new();
         entry.insert("count".to_owned(), Value::Number(stats.count as f64));
         entry.insert("total_ns".to_owned(), Value::Number(stats.total_ns as f64));
+        entry.insert("self_ns".to_owned(), Value::Number(stats.self_ns as f64));
         entry.insert(
             "mean_ns".to_owned(),
             Value::Number(stats.total_ns as f64 / stats.count as f64),
         );
         spans.insert(name.to_owned(), Value::Object(entry));
+    }
+    let mut tree = Vec::new();
+    for node in profiler.tree() {
+        if node.stats.count == 0 {
+            continue;
+        }
+        let mut entry = BTreeMap::new();
+        entry.insert("path".to_owned(), Value::String(node.path.clone()));
+        entry.insert("depth".to_owned(), Value::Number(node.depth as f64));
+        entry.insert("count".to_owned(), Value::Number(node.stats.count as f64));
+        entry.insert(
+            "total_ns".to_owned(),
+            Value::Number(node.stats.total_ns as f64),
+        );
+        entry.insert(
+            "self_ns".to_owned(),
+            Value::Number(node.stats.self_ns as f64),
+        );
+        tree.push(Value::Object(entry));
     }
     let mut root = BTreeMap::new();
     root.insert(
@@ -144,10 +201,15 @@ fn write_obs_bench(config: ExpConfig) {
     );
     root.insert("profiled_subframes".to_owned(), Value::Number(1_000.0));
     root.insert("spans".to_owned(), Value::Object(spans));
+    root.insert("tree".to_owned(), Value::Array(tree));
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("bench report serializes");
     match std::fs::write("BENCH_obs.json", json + "\n") {
         Ok(()) => eprintln!("wrote BENCH_obs.json"),
         Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+    }
+    match std::fs::write("BENCH_flame.txt", profiler.folded()) {
+        Ok(()) => eprintln!("wrote BENCH_flame.txt"),
+        Err(e) => eprintln!("could not write BENCH_flame.txt: {e}"),
     }
 }
 
@@ -193,9 +255,110 @@ fn trace_diff(path_a: &str, path_b: &str) -> ExitCode {
             (None, None) => {
                 // Same lines but different bytes (e.g. trailing newline).
                 eprintln!("trace-diff: files differ only in trailing bytes");
+                return ExitCode::FAILURE;
             }
         }
+        // Summarise the tails: per-kind event counts from the first
+        // divergence onward, so a thread-count or seed mismatch shows
+        // *what* diverged (one kind drifting vs. wholesale reordering)
+        // without scrolling thousands of raw lines.
+        let counts_a = kind_counts(a.lines().skip(lineno - 1));
+        let counts_b = kind_counts(b.lines().skip(lineno - 1));
+        let mut kinds: Vec<&str> = counts_a.keys().chain(counts_b.keys()).copied().collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        eprintln!("trace-diff: per-kind event counts after line {lineno}:");
+        eprintln!("  {:<16} {:>10} {:>10}", "kind", "a", "b");
+        for kind in kinds {
+            let na = counts_a.get(kind).copied().unwrap_or(0);
+            let nb = counts_b.get(kind).copied().unwrap_or(0);
+            let marker = if na == nb { "" } else { "  <- differs" };
+            eprintln!("  {kind:<16} {na:>10} {nb:>10}{marker}");
+        }
         return ExitCode::FAILURE;
+    }
+}
+
+/// Per-kind line counts of a trace tail: the `"ev"` value per event
+/// line, `<other>` for lines without one (metrics, sketches).
+fn kind_counts<'a>(lines: impl Iterator<Item = &'a str>) -> BTreeMap<&'a str, u64> {
+    let mut counts = BTreeMap::new();
+    for line in lines {
+        let kind = line
+            .split("\"ev\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or("<other>");
+        *counts.entry(kind).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// `exp trace-query`: filter/group/aggregate a written trace stream.
+fn trace_query(args: &[String]) -> ExitCode {
+    use cellfi_obs::query::{run_query, Agg, Query};
+    let mut path: Option<&str> = None;
+    let mut query = Query::default();
+    let mut it = args.iter();
+    let usage = "usage: exp trace-query <TRACE.jsonl> [--kind K] [--entity N] \
+                 [--from US] [--to US] [--group-by FIELD] \
+                 [--agg count|sum:F|mean:F|q<frac>:F]";
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{what} needs a value")),
+        };
+        let r = match a.as_str() {
+            "--kind" => grab("--kind").map(|v| query.kind = Some(v)),
+            "--entity" => grab("--entity").and_then(|v| {
+                v.parse()
+                    .map(|n| query.entity = Some(n))
+                    .map_err(|_| "--entity needs an integer".to_owned())
+            }),
+            "--from" => grab("--from").and_then(|v| {
+                v.parse()
+                    .map(|n| query.tick_lo = Some(n))
+                    .map_err(|_| "--from needs a microsecond tick".to_owned())
+            }),
+            "--to" => grab("--to").and_then(|v| {
+                v.parse()
+                    .map(|n| query.tick_hi = Some(n))
+                    .map_err(|_| "--to needs a microsecond tick".to_owned())
+            }),
+            "--group-by" => grab("--group-by").map(|v| query.group_by = Some(v)),
+            "--agg" => grab("--agg").and_then(|v| Agg::parse(&v).map(|a| query.agg = a)),
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(a.as_str());
+                Ok(())
+            }
+            other => Err(format!("unknown argument {other}")),
+        };
+        if let Err(e) = r {
+            eprintln!("trace-query: {e}");
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-query: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_query(&text, &query) {
+        Ok(table) => {
+            print!("{table}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-query: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -222,11 +385,17 @@ fn replay_trace(path: &str) -> ExitCode {
 }
 
 /// Write `TRACE_<name>.jsonl` and `METRICS_<name>.jsonl` for each
-/// experiment name.
-fn write_traces(names: &[&str], config: ExpConfig, detail: bool) -> bool {
+/// experiment name — plus `SKETCH_<name>.jsonl` under `--sample` and,
+/// on a monitor violation, the `FLIGHT_<name>.jsonl` ring dump (the
+/// violation also fails the run).
+fn write_traces(
+    names: &[&str],
+    config: ExpConfig,
+    opts: &experiments::trace_run::TraceOptions,
+) -> bool {
     let mut ok = true;
     for name in names {
-        let Some(out) = experiments::trace_run::traced_with(name, config, detail) else {
+        let Some(out) = experiments::trace_run::traced_opts(name, config, opts) else {
             eprintln!("no trace runner for {name}");
             ok = false;
             continue;
@@ -242,6 +411,31 @@ fn write_traces(names: &[&str], config: ExpConfig, detail: bool) -> bool {
                     ok = false;
                 }
             }
+        }
+        if !out.sketches.is_empty() {
+            let path = format!("SKETCH_{name}.jsonl");
+            match std::fs::write(&path, &out.sketches) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if !out.verdict.is_empty() {
+            println!("{name}: {}", out.verdict);
+        }
+        if let Some(v) = out.violation {
+            eprintln!(
+                "{name}: monitor {} violated at tick {} us (value {}, threshold {})",
+                v.monitor, v.tick_us, v.value, v.threshold
+            );
+            let path = format!("FLIGHT_{name}.jsonl");
+            match std::fs::write(&path, &out.flight) {
+                Ok(()) => eprintln!("wrote {path} (flight-recorder ring, oldest first)"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+            ok = false;
         }
     }
     ok
@@ -293,12 +487,15 @@ fn main() -> ExitCode {
         };
         return replay_trace(path);
     }
+    if args.first().map(String::as_str) == Some("trace-query") {
+        return trace_query(&args[1..]);
+    }
     let mut names: Vec<String> = Vec::new();
     let mut config = ExpConfig::default();
     let mut json = false;
     let mut bench = false;
     let mut trace = false;
-    let mut detail = false;
+    let mut opts = experiments::trace_run::TraceOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -308,7 +505,24 @@ fn main() -> ExitCode {
             "--trace" => trace = true,
             "--trace-detail" => {
                 trace = true;
-                detail = true;
+                opts.detail = true;
+            }
+            "--sample" => {
+                trace = true;
+                match it.next().and_then(|v| cellfi_obs::SampleSpec::parse(v)) {
+                    Some(spec) => opts.sample = spec,
+                    None => {
+                        eprintln!("--sample needs a K/N spec with 0 < K <= N (e.g. 1/8)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--monitors" => {
+                trace = true;
+                opts.monitors = true;
+                // The flight recorder rides along so a violation has a
+                // ring to dump.
+                opts.flight_cap = 256;
             }
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => config.seed = s,
@@ -329,8 +543,9 @@ fn main() -> ExitCode {
     }
     if names.is_empty() {
         eprintln!(
-            "usage: exp <name>...|all|list|trace-diff <a> <b>|replay <trace> \
-             [--quick] [--seed N] [--json] [--bench] [--trace] [--trace-detail]"
+            "usage: exp <name>...|all|list|trace-diff <a> <b>|trace-query <trace>|replay <trace> \
+             [--quick] [--seed N] [--json] [--bench] [--trace] [--trace-detail] \
+             [--sample K/N] [--monitors]"
         );
         eprintln!("experiments: {}", experiments::ALL.join(" "));
         return ExitCode::FAILURE;
@@ -359,7 +574,7 @@ fn main() -> ExitCode {
         write_bench(&timed, config);
         write_obs_bench(config);
     }
-    if trace && !write_traces(&runnable, config, detail) {
+    if trace && !write_traces(&runnable, config, &opts) {
         return ExitCode::FAILURE;
     }
     if let Some(name) = names.get(known) {

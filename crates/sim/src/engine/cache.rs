@@ -134,6 +134,8 @@ pub(crate) struct CqiScanEntry {
 pub(crate) struct CqiMemo {
     slots: [CqiScanEntry; 2],
     clock: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl CqiMemo {
@@ -141,6 +143,8 @@ impl CqiMemo {
         CqiMemo {
             slots: [CqiScanEntry::default(), CqiScanEntry::default()],
             clock: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -149,7 +153,8 @@ impl CqiMemo {
     pub fn lookup(&mut self, gain_gen: u64, assoc_gen: u64, ids: &[u64]) -> Option<&CqiScanEntry> {
         self.clock += 1;
         let clock = self.clock;
-        self.slots
+        let entry = self
+            .slots
             .iter_mut()
             .find(|e| {
                 e.stamp != 0 && e.gain_gen == gain_gen && e.assoc_gen == assoc_gen && e.ids == ids
@@ -157,7 +162,20 @@ impl CqiMemo {
             .map(|e| {
                 e.stamp = clock;
                 &*e
-            })
+            });
+        if entry.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        entry
+    }
+
+    /// Lifetime `(hits, misses)` of [`Self::lookup`] — the replay rate
+    /// observability surfaces next to the interference cache's probe
+    /// stats.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Remember a freshly computed scan, evicting the least recently

@@ -71,6 +71,7 @@ impl LteEngine {
 
     /// Run one subframe. Returns `(ue, bits)` deliveries.
     pub fn step_subframe(&mut self) -> Vec<(usize, u64)> {
+        self.obs.profiler.begin(cellfi_obs::SpanId::Subframe);
         self.refresh_fading();
         let n_sub = self.grid.num_subchannels() as usize;
         let mut deliveries = Vec::new();
@@ -84,6 +85,7 @@ impl LteEngine {
             // 1. Schedule every cell. UE lists and rate rows live in
             // engine-owned scratch buffers, so the steady-state subframe
             // loop allocates nothing here.
+            self.obs.profiler.begin(cellfi_obs::SpanId::MacSchedule);
             let mut allocations: Vec<Option<cellfi_lte::scheduler::Allocation>> =
                 vec![None; self.cells.len()];
             let mut ues = std::mem::take(&mut self.ue_scratch);
@@ -108,6 +110,7 @@ impl LteEngine {
             }
             self.ue_scratch = ues;
             self.rates_scratch = rates;
+            self.obs.profiler.end(cellfi_obs::SpanId::MacSchedule);
             // 2. Per-subchannel transmitter sets (scratch-backed rows).
             let mut tx = std::mem::take(&mut self.tx_scratch);
             if tx.len() != n_sub {
@@ -118,10 +121,15 @@ impl LteEngine {
             }
             for (c, alloc) in allocations.iter().enumerate() {
                 if let Some(a) = alloc {
+                    let mut scheduled_any = false;
                     for (s, assigned) in a.assignment.iter().enumerate() {
                         if assigned.is_some() {
                             tx[s].push(c);
+                            scheduled_any = true;
                         }
+                    }
+                    if scheduled_any {
+                        self.epoch_cell_sched[c] += 1;
                     }
                 }
             }
@@ -130,12 +138,10 @@ impl LteEngine {
             // `tx_last`, so warming the interference cache here makes the
             // upcoming CQI scan a cache hit as well.
             self.tracker.observe(&tx);
-            let span = self.obs.profiler.begin();
+            self.obs.profiler.begin(cellfi_obs::SpanId::SinrCache);
             self.interf
                 .refresh(self.gain_gen, self.tracker.ids(), &tx, &self.lin_mw);
-            self.obs
-                .profiler
-                .end(cellfi_obs::profile::SpanId::SinrCache, span);
+            self.obs.profiler.end(cellfi_obs::SpanId::SinrCache);
             let mut pairs = std::mem::take(&mut self.pairs_scratch);
             for (c, alloc) in allocations.iter().enumerate() {
                 let Some(a) = alloc else { continue };
@@ -244,11 +250,18 @@ impl LteEngine {
             self.measure_cqi();
         }
         if self.now.is_multiple_of(Duration::IM_EPOCH) {
+            self.obs.profiler.begin(cellfi_obs::SpanId::ImEpoch);
             self.run_epoch();
+            self.obs.profiler.end(cellfi_obs::SpanId::ImEpoch);
             if self.obs.detail {
                 self.emit_epoch_detail();
             }
         }
+        if self.obs.monitors.is_armed() {
+            let facts = self.tick_facts();
+            self.obs.monitors.check_tick(&facts);
+        }
+        self.obs.profiler.end(cellfi_obs::SpanId::Subframe);
         deliveries
     }
 

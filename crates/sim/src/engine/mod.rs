@@ -264,6 +264,17 @@ pub struct LteEngine {
     /// grant's cap" rung. Zero for every cell unless a fault harness
     /// says otherwise, which keeps default gains byte-identical.
     power_offset_db: Vec<f64>,
+    /// Subframes this epoch in which each cell scheduled at least one
+    /// UE (feeds the scheduler-starvation monitor; reset per epoch).
+    epoch_cell_sched: Vec<u32>,
+    /// Consecutive whole epochs each cell spent starved: active,
+    /// backlogged, mask non-empty, yet scheduled nothing.
+    starved_epochs: Vec<u32>,
+    /// Running maximum of `starved_epochs` across cells and time.
+    max_starved_epochs: u32,
+    /// Worst PAWS vacate margin a fault harness reported, microseconds
+    /// (negative = missed deadline); `i64::MAX` until the first vacate.
+    vacate_margin_min_us: i64,
     /// Observability bundle: tick-keyed event tracer, metrics registry,
     /// and injected-clock profiler. Disabled by default (near-zero cost);
     /// enable via [`LteEngine::obs_mut`].
@@ -402,6 +413,10 @@ impl LteEngine {
             lbt: vec![LbtState::default(); n_ap],
             lease_ok: vec![true; n_ap],
             power_offset_db: vec![0.0; n_ap],
+            epoch_cell_sched: vec![0; n_ap],
+            starved_epochs: vec![0; n_ap],
+            max_starved_epochs: 0,
+            vacate_margin_min_us: i64::MAX,
             x2_messages: 0,
             handovers: 0,
             bad_streak_ms: vec![0; n_ue],
@@ -575,6 +590,32 @@ impl LteEngine {
         }
     }
 
+    /// Report a completed PAWS vacate's deadline margin (µs; negative =
+    /// deadline missed). Fault harnesses feed this so the
+    /// `etsi_margin_us` monitor sees lease-lifecycle outcomes.
+    pub fn observe_vacate_margin_us(&mut self, margin_us: i64) {
+        self.vacate_margin_min_us = self.vacate_margin_min_us.min(margin_us);
+    }
+
+    /// Assemble the per-tick fact sheet the invariant monitors read.
+    /// Called only when monitors are armed ([`cellfi_obs::MonitorRegistry`]).
+    /// Cache probes pool the interference cache and the CQI memo — both
+    /// must replay in steady state for the subframe loop to stay cheap.
+    pub fn tick_facts(&self) -> cellfi_obs::TickFacts {
+        let (interf_hits, interf_misses) = self.interf.probe_stats();
+        let (memo_hits, memo_misses) = self.memo.probe_stats();
+        let (cache_hits, cache_misses) = (interf_hits + memo_hits, interf_misses + memo_misses);
+        cellfi_obs::TickFacts {
+            tick_us: self.now.as_micros(),
+            n_ues: self.scenario.n_ues() as u32,
+            rlf_drops: self.rrc_drops.iter().sum(),
+            max_starved_epochs: self.max_starved_epochs,
+            cache_hits,
+            cache_misses,
+            min_margin_us: self.vacate_margin_min_us,
+        }
+    }
+
     /// Epoch boundary: roll the per-(UE, subchannel) free streaks, run
     /// the configured interference-management strategy (one [`im`]
     /// module per system), then reset epoch accounting.
@@ -590,6 +631,24 @@ impl LteEngine {
             }
         }
         im::strategy_for(self.config.mode).run_epoch(self);
+        // Scheduler-starvation accounting: a cell that was active and
+        // backlogged with a non-empty mask, over an epoch that ran
+        // downlink subframes, yet scheduled nothing, starved this epoch.
+        // Consecutive starved epochs feed the `sched_starvation` monitor.
+        if self.dl_subframes_this_epoch > 0 {
+            for c in 0..self.cells.len() {
+                let eligible = self.cell_active(c)
+                    && self.cells[c].total_queued_bits() > 0
+                    && self.cells[c].allowed_mask().iter().any(|&a| a);
+                if eligible && self.epoch_cell_sched[c] == 0 {
+                    self.starved_epochs[c] += 1;
+                    self.max_starved_epochs = self.max_starved_epochs.max(self.starved_epochs[c]);
+                } else {
+                    self.starved_epochs[c] = 0;
+                }
+            }
+        }
+        self.epoch_cell_sched.fill(0);
         for e in self.epoch.iter_mut() {
             e.sched_subframes.fill(0);
             e.interfered.fill(false);

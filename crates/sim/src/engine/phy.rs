@@ -182,6 +182,10 @@ pub(crate) struct InterferenceCache {
     current: Vec<u64>,
     /// Per-refresh staleness scratch (kept to avoid reallocating).
     stale: Vec<bool>,
+    /// Non-empty subchannel probes served from a valid column.
+    hits: u64,
+    /// Non-empty subchannel probes that had to recompute their column.
+    misses: u64,
 }
 
 impl InterferenceCache {
@@ -191,7 +195,15 @@ impl InterferenceCache {
             key: vec![(0, 0); n_sub],
             current: vec![0; n_sub],
             stale: vec![false; n_sub],
+            hits: 0,
+            misses: 0,
         }
+    }
+
+    /// Cumulative `(hits, misses)` over non-empty subchannel probes —
+    /// the `cache_hit_floor` monitor's input.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Ensure every non-empty subchannel column matches
@@ -205,6 +217,13 @@ impl InterferenceCache {
             let stale = id != 0 && self.key[s] != (gain_gen, id);
             self.stale[s] = stale;
             any_stale |= stale;
+            if id != 0 {
+                if stale {
+                    self.misses += 1;
+                } else {
+                    self.hits += 1;
+                }
+            }
         }
         if !any_stale || self.total_mw.cols() == 0 {
             return;
@@ -311,7 +330,7 @@ impl LteEngine {
         }
         self.fading_block = block;
         self.gain_gen += 1;
-        let span = self.obs.profiler.begin();
+        self.obs.profiler.begin(SpanId::FadingScan);
         let n_sub = self.grid.num_subchannels() as usize;
         let block_len = self.lin_mw.block_len();
         // Per-UE blocks of the tensor are disjoint and the fading
@@ -333,7 +352,7 @@ impl LteEngine {
                 }
             }
         });
-        self.obs.profiler.end(SpanId::FadingScan, span);
+        self.obs.profiler.end(SpanId::FadingScan);
     }
 
     /// Instantaneous SINR for (ue, subchannel) given the transmitting
@@ -370,15 +389,15 @@ impl LteEngine {
         // Bring the per-subchannel interference columns up to date (a
         // no-op when neither the fading block nor any transmitter set
         // changed since the last accumulation).
-        let span = self.obs.profiler.begin();
+        self.obs.profiler.begin(SpanId::SinrCache);
         self.interf.refresh(
             self.gain_gen,
             self.tracker.ids(),
             &self.tx_last,
             &self.lin_mw,
         );
-        self.obs.profiler.end(SpanId::SinrCache, span);
-        let span = self.obs.profiler.begin();
+        self.obs.profiler.end(SpanId::SinrCache);
+        self.obs.profiler.begin(SpanId::CqiScan);
 
         if self.fast_path {
             if let Some(entry) = self
@@ -423,7 +442,7 @@ impl LteEngine {
                         &mut self.rrc_drops[ue],
                     );
                 }
-                self.obs.profiler.end(SpanId::CqiScan, span);
+                self.obs.profiler.end(SpanId::CqiScan);
                 return;
             }
         }
@@ -553,7 +572,7 @@ impl LteEngine {
                 &self.scan_hits_scratch,
             );
         }
-        self.obs.profiler.end(SpanId::CqiScan, span);
+        self.obs.profiler.end(SpanId::CqiScan);
     }
 
     /// Move a client to a new position, refreshing its link matrices.

@@ -45,6 +45,14 @@ pub trait SystemEngine {
     fn quiescent_epochs(&self) -> u64 {
         0
     }
+
+    /// The engine's span profiler, if it carries one. [`SimHarness`]
+    /// uses this to wrap each tick in a `harness_tick` span; engines
+    /// without observability return `None` (the default) and the
+    /// harness skips the bracketing entirely.
+    fn profiler_mut(&mut self) -> Option<&mut cellfi_obs::Profiler> {
+        None
+    }
 }
 
 impl SystemEngine for LteEngine {
@@ -70,6 +78,10 @@ impl SystemEngine for LteEngine {
 
     fn quiescent_epochs(&self) -> u64 {
         LteEngine::quiescent_epochs(self)
+    }
+
+    fn profiler_mut(&mut self) -> Option<&mut cellfi_obs::Profiler> {
+        Some(&mut self.obs_mut().profiler)
     }
 }
 
@@ -179,9 +191,15 @@ impl SimHarness {
         // boundaries must not drift with that rounding.
         let mut now = e.now();
         while now < self.horizon {
+            if let Some(p) = e.profiler_mut() {
+                p.begin(cellfi_obs::SpanId::HarnessTick);
+            }
             offer(e, workload, now);
             let after = now + self.tick;
             e.run_until(after);
+            if let Some(p) = e.profiler_mut() {
+                p.end(cellfi_obs::SpanId::HarnessTick);
+            }
             let current = e.delivered_bits_per_ue();
             for (u, (&cur, &prev)) in current.iter().zip(&last).enumerate() {
                 if cur > prev {

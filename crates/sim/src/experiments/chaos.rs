@@ -78,7 +78,9 @@ pub(crate) struct ChaosOutcome {
 }
 
 /// Run one system under one fault intensity. All randomness descends
-/// from `seeds`; `traced` switches the engine event stream on.
+/// from `seeds`; `trace` switches the engine event stream on and
+/// carries the sampling/monitor/flight knobs of a traced run (`None`
+/// for untraced sweep legs).
 pub(crate) fn chaos_run(
     mode: ImMode,
     intensity: f64,
@@ -86,7 +88,7 @@ pub(crate) fn chaos_run(
     clients_per_ap: usize,
     horizon: Instant,
     seeds: SeedSeq,
-    traced: bool,
+    trace: Option<&super::trace_run::TraceOptions>,
 ) -> ChaosOutcome {
     let scenario = Scenario::generate(
         ScenarioConfig::paper_default(n_aps, clients_per_ap),
@@ -102,8 +104,17 @@ pub(crate) fn chaos_run(
         LteEngineConfig::paper_default(mode),
         seeds.child("engine"),
     );
-    if traced {
-        engine.obs_mut().tracer = cellfi_obs::Tracer::new(true);
+    if let Some(opts) = trace {
+        let mut tracer = cellfi_obs::Tracer::new(true);
+        tracer.set_sample(opts.sample);
+        if opts.flight_cap > 0 {
+            tracer.enable_flight(opts.flight_cap);
+        }
+        engine.obs_mut().tracer = tracer;
+        engine.obs_mut().detail = opts.detail;
+        if opts.monitors {
+            engine.obs_mut().monitors = cellfi_obs::MonitorRegistry::standard();
+        }
     }
     engine.backlog_all(super::harness::LTE_BACKLOG);
 
@@ -128,6 +139,7 @@ pub(crate) fn chaos_run(
     let mut downtime_ticks = 0u64;
     let mut total_ticks = 0u64;
     let mut faults = 0u64;
+    let mut missed_seen: Vec<u64> = vec![0; lifecycles.len()];
     let harness = SimHarness::new(LIFECYCLE_TICK, horizon);
     harness.run(
         &mut engine,
@@ -138,7 +150,16 @@ pub(crate) fn chaos_run(
             // the seed, independent of worker threads.
             for (c, lc) in lifecycles.iter_mut().enumerate() {
                 injector.advance_to(now);
-                lc.step(&mut injector, &[], now);
+                lc.step_profiled(&mut injector, &[], now, &mut e.obs_mut().profiler);
+                // A missed ETSI deadline surfaces to the monitors as a
+                // negative margin (vacate margins saturate at zero in
+                // the lifecycle stats, so the miss counter is the only
+                // signal left).
+                let missed = lc.stats().missed_deadlines;
+                if missed > missed_seen[c] {
+                    missed_seen[c] = missed;
+                    e.observe_vacate_margin_us(-1);
+                }
                 let cell = c as u32;
                 for (at, kind) in injector.drain_faults() {
                     faults += 1;
@@ -248,6 +269,7 @@ fn emit_lifecycle_event(e: &mut LteEngine, cell: u32, at: Instant, ev: Lifecycle
             e.obs_mut()
                 .metrics
                 .observe("vacate_margin_s", cell, margin.as_micros() as f64 / 1e6);
+            e.observe_vacate_margin_us(margin.as_micros() as i64);
         }
         LifecycleEvent::BackedOff { .. } => {
             e.obs_mut().metrics.inc("lease_backoffs", cell, 1);
@@ -276,7 +298,7 @@ pub fn run(config: ExpConfig) -> ExpReport {
         let seeds = SeedSeq::new(config.seed)
             .child("chaos")
             .child(&format!("{label}-i{:02}", (intensity * 10.0) as u32));
-        chaos_run(mode, intensity, n_aps, clients, horizon, seeds, false)
+        chaos_run(mode, intensity, n_aps, clients, horizon, seeds, None)
     });
 
     let mut rows = Vec::new();
@@ -388,7 +410,7 @@ mod tests {
                 2,
                 Instant::from_secs(10),
                 seeds,
-                true,
+                Some(&Default::default()),
             );
             (
                 out.engine.obs().tracer.to_jsonl(),
@@ -410,7 +432,7 @@ mod tests {
             2,
             Instant::from_secs(15),
             seeds,
-            true,
+            Some(&Default::default()),
         );
         let events = out.engine.obs().tracer.to_jsonl();
         assert!(events.contains("\"ev\":\"lease_renew\""), "renewals traced");

@@ -139,8 +139,15 @@ mod tests {
 
     #[test]
     fn detail_trace_round_trips_fig7b_occupancy() {
-        let e = trace_run::traced_engine("fig7b", quick(), true)
-            .expect("fig7b has a traced engine run");
+        let e = trace_run::traced_engine(
+            "fig7b",
+            quick(),
+            &trace_run::TraceOptions {
+                detail: true,
+                ..Default::default()
+            },
+        )
+        .expect("fig7b has a traced engine run");
         let r = replay_jsonl(&e.obs().tracer.to_jsonl()).expect("trace replays");
         assert!(r.from_sched, "detail trace must carry sched events");
         for cell in 0..e.scenario().aps.len() {

@@ -19,13 +19,44 @@ use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::Instant;
 
 /// A traced run's exports: the event stream plus a metrics snapshot
-/// taken at the final tick.
+/// taken at the final tick, and — when the corresponding layers are
+/// switched on — histogram sketches of the unsampled remainder, the
+/// monitor verdict, and a flight-recorder dump.
 #[derive(Debug, Clone)]
 pub struct TraceOutput {
     /// JSONL event stream, one record per line, in tick order.
     pub events: String,
     /// JSONL metrics snapshot (counters, gauges, histograms).
     pub metrics: String,
+    /// JSONL per-kind histogram sketches of the events the sampler
+    /// dropped. Empty under [`cellfi_obs::SampleSpec::FULL`].
+    pub sketches: String,
+    /// Monitor verdict line ([`cellfi_obs::MonitorRegistry::verdict_line`]).
+    /// Empty when monitors were not armed.
+    pub verdict: String,
+    /// The first invariant violation, when monitors were armed and one
+    /// fired.
+    pub violation: Option<cellfi_obs::monitor::Violation>,
+    /// Flight-recorder ring dump (JSONL, oldest first). Empty unless
+    /// flight recording was enabled.
+    pub flight: String,
+}
+
+/// Knobs for a traced run: the detail stream, the deterministic
+/// sampling spec, the invariant monitors, and the flight-recorder
+/// capacity. `Default` reproduces the classic full-fidelity trace
+/// byte for byte.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOptions {
+    /// Emit the high-rate detail stream (`sched`/`harq_retx`, per-epoch
+    /// histogram windows).
+    pub detail: bool,
+    /// Stratified sampling spec; `SampleSpec::FULL` keeps everything.
+    pub sample: cellfi_obs::SampleSpec,
+    /// Arm the standard invariant-monitor catalogue.
+    pub monitors: bool,
+    /// Flight-recorder ring capacity in events; 0 disables it.
+    pub flight_cap: usize,
 }
 
 /// Run experiment `name`'s topology with tracing enabled; `None` for
@@ -37,6 +68,19 @@ pub fn traced(name: &str, config: ExpConfig) -> Option<TraceOutput> {
 /// As [`traced`], with the detail stream (`sched`/`harq_retx` events
 /// and per-epoch histogram window snapshots) switched on or off.
 pub fn traced_with(name: &str, config: ExpConfig, detail: bool) -> Option<TraceOutput> {
+    traced_opts(
+        name,
+        config,
+        &TraceOptions {
+            detail,
+            ..TraceOptions::default()
+        },
+    )
+}
+
+/// As [`traced`], with the full option set: sampling, monitors, and the
+/// flight recorder, on top of the detail switch.
+pub fn traced_opts(name: &str, config: ExpConfig, opts: &TraceOptions) -> Option<TraceOutput> {
     if !super::ALL.contains(&name) {
         return None;
     }
@@ -44,27 +88,60 @@ pub fn traced_with(name: &str, config: ExpConfig, detail: bool) -> Option<TraceO
         return Some(paws_trace());
     }
     if name == "chaos" {
-        return Some(chaos_trace(config));
+        return Some(chaos_trace(config, opts));
     }
-    let e = traced_engine(name, config, detail).expect("known non-fig6 names have an engine run");
-    Some(TraceOutput {
-        events: e.obs().tracer.to_jsonl(),
-        // Per-epoch window snapshots (chronological) precede the final
-        // cumulative snapshot; without detail the window log is empty
-        // and the export is byte-identical to the classic stream.
-        metrics: format!(
-            "{}{}",
-            e.obs().metrics.window_log(),
-            e.obs().metrics.snapshot_jsonl(e.now())
-        ),
-    })
+    let e = traced_engine(name, config, opts).expect("known non-fig6 names have an engine run");
+    // Per-epoch window snapshots (chronological) precede the final
+    // cumulative snapshot; without detail the window log is empty
+    // and the export is byte-identical to the classic stream.
+    let metrics = format!(
+        "{}{}",
+        e.obs().metrics.window_log(),
+        e.obs().metrics.snapshot_jsonl(e.now())
+    );
+    Some(output_from_engine(&e, metrics))
+}
+
+/// Assemble a [`TraceOutput`] from a finished engine's obs bundle.
+fn output_from_engine(e: &LteEngine, metrics: String) -> TraceOutput {
+    let obs = e.obs();
+    TraceOutput {
+        events: obs.tracer.to_jsonl(),
+        metrics,
+        sketches: obs.tracer.sketches().to_jsonl(),
+        verdict: if obs.monitors.is_armed() {
+            obs.monitors.verdict_line()
+        } else {
+            String::new()
+        },
+        violation: obs.monitors.first_violation().copied(),
+        flight: obs.tracer.flight().to_jsonl(),
+    }
+}
+
+/// Configure an engine's obs bundle from `opts` (tracer always on).
+fn apply_opts(e: &mut LteEngine, opts: &TraceOptions) {
+    let mut tracer = Tracer::new(true);
+    tracer.set_sample(opts.sample);
+    if opts.flight_cap > 0 {
+        tracer.enable_flight(opts.flight_cap);
+    }
+    e.obs_mut().tracer = tracer;
+    e.obs_mut().detail = opts.detail;
+    if opts.monitors {
+        e.obs_mut().monitors = cellfi_obs::MonitorRegistry::standard();
+    }
 }
 
 /// The finished engine behind a traced run of `name` — exposed so the
 /// replay round-trip test can compare reconstructed occupancy with the
 /// engine's actual final masks. `None` for unknown names and for
 /// `fig6`, whose trace has no engine.
-pub(crate) fn traced_engine(name: &str, config: ExpConfig, detail: bool) -> Option<LteEngine> {
+pub(crate) fn traced_engine(
+    name: &str,
+    config: ExpConfig,
+    opts: &TraceOptions,
+) -> Option<LteEngine> {
     if !super::ALL.contains(&name) || name == "fig6" || name == "chaos" {
         return None;
     }
@@ -72,7 +149,7 @@ pub(crate) fn traced_engine(name: &str, config: ExpConfig, detail: bool) -> Opti
         "fig7b" | "fig7c" => two_cell_with_clients(config, name),
         _ => large_scale(config, name),
     };
-    Some(engine_trace(scenario, name, config, detail))
+    Some(engine_trace(scenario, name, config, opts))
 }
 
 /// The Fig 6 PAWS script with the lease lifecycle traced. Metrics
@@ -97,6 +174,10 @@ fn paws_trace() -> TraceOutput {
     TraceOutput {
         events: tracer.to_jsonl(),
         metrics: metrics.snapshot_jsonl(end),
+        sketches: String::new(),
+        verdict: String::new(),
+        violation: None,
+        flight: String::new(),
     }
 }
 
@@ -107,14 +188,12 @@ fn paws_trace() -> TraceOutput {
 /// the engine's obs bundle. Byte-identical at any `CELLFI_THREADS`: the
 /// lifecycles step serially in cell index order, and the engine's own
 /// events merge through the fork/absorb sinks.
-fn chaos_trace(config: ExpConfig) -> TraceOutput {
+fn chaos_trace(config: ExpConfig, opts: &TraceOptions) -> TraceOutput {
     let seeds = SeedSeq::new(config.seed).child("trace").child("chaos");
     let horizon = Instant::from_secs(if config.quick { 10 } else { 20 });
-    let out = super::chaos::chaos_run(ImMode::CellFi, 0.6, 3, 2, horizon, seeds, true);
-    TraceOutput {
-        events: out.engine.obs().tracer.to_jsonl(),
-        metrics: out.engine.obs().metrics.snapshot_jsonl(out.engine.now()),
-    }
+    let out = super::chaos::chaos_run(ImMode::CellFi, 0.6, 3, 2, horizon, seeds, Some(opts));
+    let metrics = out.engine.obs().metrics.snapshot_jsonl(out.engine.now());
+    output_from_engine(&out.engine, metrics)
 }
 
 /// The paper's large-scale drop, sized for a short traced run.
@@ -152,15 +231,19 @@ fn two_cell_with_clients(config: ExpConfig, name: &str) -> Scenario {
 
 /// Run the CellFi engine over `scenario` with the tracer on, fully
 /// backlogged, for a couple of simulated seconds (one in `--quick`).
-fn engine_trace(scenario: Scenario, name: &str, config: ExpConfig, detail: bool) -> LteEngine {
+fn engine_trace(
+    scenario: Scenario,
+    name: &str,
+    config: ExpConfig,
+    opts: &TraceOptions,
+) -> LteEngine {
     let seeds = SeedSeq::new(config.seed).child("trace").child(name);
     let mut e = LteEngine::new(
         scenario,
         LteEngineConfig::paper_default(ImMode::CellFi),
         seeds.child("engine"),
     );
-    e.obs_mut().tracer = Tracer::new(true);
-    e.obs_mut().detail = detail;
+    apply_opts(&mut e, opts);
     e.backlog_all(u64::MAX / 4);
     let horizon = if config.quick { 1 } else { 2 };
     e.run_until(Instant::from_secs(horizon));

@@ -347,6 +347,20 @@ impl LeaseLifecycle {
         }
     }
 
+    /// [`Self::step`] bracketed by the `lease_step` profiler span, for
+    /// harnesses that carry an observability bundle.
+    pub fn step_profiled<T: PawsTransport>(
+        &mut self,
+        transport: &mut T,
+        listen: &[ListenObservation],
+        now: Instant,
+        profiler: &mut cellfi_obs::Profiler,
+    ) {
+        profiler.begin(cellfi_obs::SpanId::LeaseStep);
+        self.step(transport, listen, now);
+        profiler.end(cellfi_obs::SpanId::LeaseStep);
+    }
+
     /// Stop transmitting on `channel`, recording the margin against
     /// `deadline` (saturated at zero; misses are counted).
     fn record_vacate(&mut self, channel: ChannelId, deadline: Instant, now: Instant) {

@@ -3,21 +3,31 @@
 # if the candidate's steady-state engine rate has regressed by more than
 # an allowed percentage.
 #
-#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [MAX_DROP_PCT]
+#   scripts/bench_compare.sh BASELINE.json CANDIDATE.json [MAX_DROP_PCT] \
+#                            [OBS_BASELINE.json OBS_CANDIDATE.json]
 #
 # The headline gate is `engine_subframes_per_sec` — the one number the
 # performance work is pinned on. The PRACH line-rate factor is printed
 # for context but never gates: it benches a single-core DSP kernel whose
 # wall clock is too noisy on shared CI hardware to fail a build over.
+#
+# When the optional BENCH_obs.json pair is given, each profiler span's
+# mean_ns is diffed as well; spans that moved more than MAX_DROP_PCT in
+# either direction print a WARN line. Per-span timings are warn-only —
+# they are far noisier than the aggregate rate, but a WARN in CI output
+# is the early signal that one layer of the hierarchy absorbed a
+# regression the headline number averaged away.
 set -eu
 
 if [ "$#" -lt 2 ]; then
-    echo "usage: $0 BASELINE.json CANDIDATE.json [MAX_DROP_PCT]" >&2
+    echo "usage: $0 BASELINE.json CANDIDATE.json [MAX_DROP_PCT] [OBS_BASE OBS_CAND]" >&2
     exit 2
 fi
 BASE=$1
 CAND=$2
 MAX_DROP=${3:-20}
+OBS_BASE=${4:-}
+OBS_CAND=${5:-}
 
 # Pull one numeric field out of a flat pretty-printed JSON report. The
 # bench reports are machine-written by serde_json with one key per line,
@@ -51,3 +61,55 @@ BEGIN {
     }
     printf "bench-compare: OK (allowed drop %.0f%%)\n", drop
 }'
+
+# Per-span mean_ns comparison (warn-only) over the flat "spans" section
+# of a BENCH_obs.json pair. Span objects are machine-written one key per
+# line, so the name on the `"<span>": {` line and the following
+# `"mean_ns": <v>` line pair up exactly.
+if [ -n "$OBS_BASE" ] && [ -n "$OBS_CAND" ]; then
+    for f in "$OBS_BASE" "$OBS_CAND"; do
+        if [ ! -f "$f" ]; then
+            echo "bench-compare: missing obs report $f" >&2
+            exit 2
+        fi
+    done
+    awk -v warn="$MAX_DROP" '
+    /": \{/ {
+        line = $0
+        sub(/^[^"]*"/, "", line)
+        sub(/".*/, "", line)
+        span = line
+    }
+    /"mean_ns"/ {
+        v = $0
+        sub(/^[^:]*: */, "", v)
+        sub(/,.*/, "", v)
+        if (NR == FNR) {
+            base[span] = v
+        } else if (!(span in cand)) {
+            cand[span] = v
+            order[n++] = span
+        }
+    }
+    END {
+        warned = 0
+        for (i = 0; i < n; i++) {
+            s = order[i]
+            if (!(s in base) || base[s] == 0) {
+                printf "span %-16s mean_ns candidate %.0f (no baseline)\n", s, cand[s]
+                continue
+            }
+            pct = (cand[s] / base[s] - 1) * 100
+            printf "span %-16s mean_ns baseline %.0f candidate %.0f (%+.1f%%)\n",
+                s, base[s], cand[s], pct
+            if (pct > warn || pct < -warn) {
+                printf "bench-compare: WARN — span %s mean_ns moved more than %.0f%% (warn-only)\n",
+                    s, warn
+                warned++
+            }
+        }
+        if (warned == 0) {
+            printf "bench-compare: per-span means within %.0f%%\n", warn
+        }
+    }' "$OBS_BASE" "$OBS_CAND"
+fi

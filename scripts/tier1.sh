@@ -68,12 +68,25 @@ mv "$TRACE_TMP/METRICS_chaos.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_chaos.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_chaos.jsonl"
 
+echo "== tier1: invariant monitors + trace-query smoke (fig9a) =="
+# fig9a runs with the full monitor catalogue armed: the gate is zero
+# violations on the healthy paper topology (a violation writes
+# FLIGHT_fig9a.jsonl and exits non-zero, failing the pipe under set -e).
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" fig9a --trace --monitors --quick > "$TRACE_TMP/monitors_out.txt")
+grep "monitors: armed=4" "$TRACE_TMP/monitors_out.txt" | grep " violations=0"
+# The written trace must round-trip through the query engine: a per-kind
+# count table with a non-empty total row.
+"$EXP" trace-query "$TRACE_TMP/TRACE_fig9a.jsonl" --group-by ev --agg count \
+    | grep -q "^total"
+
 echo "== tier1: bench regression smoke (engine rate vs committed baseline) =="
 # A cheap single-threaded rerun of the engine bench, gated loosely
 # (20% drop) so hot-path regressions fail fast while CI wall-clock
 # noise does not. Re-pin BENCH_engine.json deliberately after intended
-# performance changes.
+# performance changes. Per-span profiler means from BENCH_obs.json are
+# compared warn-only.
 (cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" overhead --bench --quick > /dev/null)
-sh scripts/bench_compare.sh BENCH_engine.json "$TRACE_TMP/BENCH_engine.json" 20
+sh scripts/bench_compare.sh BENCH_engine.json "$TRACE_TMP/BENCH_engine.json" 20 \
+    BENCH_obs.json "$TRACE_TMP/BENCH_obs.json"
 
 echo "== tier1: OK =="

@@ -1,0 +1,8 @@
+// The neighbor-indirection layer is still slab stride math: resolving
+// a (ue, neighbor-slot) pair against the flat candidate table by hand
+// re-derives IndexSlab's layout. Outside crates/sim/src/slab.rs the
+// lookup must go through IndexSlab::at / row / position.
+
+fn candidate(nbr: &[u32], max_neighbors: usize, ue: usize, slot: usize) -> u32 {
+    nbr[ue * max_neighbors + slot]
+}

@@ -14,3 +14,11 @@ fn doubled(data: &[f64], i: usize) -> f64 {
     // Multiplication *outside* the index is ordinary arithmetic.
     data[i] * 2.0
 }
+
+fn neighbor(nbr: &IndexSlab, counts: &[u32], ue: usize, ap: u32) -> Option<usize> {
+    // Neighbor-slot lookups go through the IndexSlab accessors; no
+    // stride arithmetic leaks out of the slab module.
+    let count = counts[ue] as usize;
+    let _ = nbr.at(ue, 0);
+    nbr.position(ue, count, ap)
+}

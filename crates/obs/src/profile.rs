@@ -39,11 +39,14 @@ pub enum SpanId {
     LeaseStep,
     /// PRACH preamble correlation (frequency-domain detector).
     PrachCorrelator,
+    /// Spatial-index and neighbor-table construction (grid bucketing,
+    /// ring queries, CSR assembly) at scenario/engine build time.
+    SpatialBuild,
 }
 
 impl SpanId {
     /// Every span, in export order (outermost first).
-    pub const ALL: [SpanId; 9] = [
+    pub const ALL: [SpanId; 10] = [
         SpanId::HarnessTick,
         SpanId::Subframe,
         SpanId::MacSchedule,
@@ -53,6 +56,7 @@ impl SpanId {
         SpanId::ImEpoch,
         SpanId::LeaseStep,
         SpanId::PrachCorrelator,
+        SpanId::SpatialBuild,
     ];
 
     /// Stable snake_case name used in `BENCH_obs.json` / `BENCH_flame.txt`.
@@ -67,6 +71,7 @@ impl SpanId {
             SpanId::ImEpoch => "im_epoch",
             SpanId::LeaseStep => "lease_step",
             SpanId::PrachCorrelator => "prach_correlator",
+            SpanId::SpatialBuild => "spatial_build",
         }
     }
 }
@@ -410,7 +415,8 @@ mod tests {
                 "cqi_scan",
                 "im_epoch",
                 "lease_step",
-                "prach_correlator"
+                "prach_correlator",
+                "spatial_build"
             ]
         );
     }

@@ -164,10 +164,22 @@ pub enum Event {
         /// HARQ process holding the block.
         process: u32,
     },
+    /// Spatial-index cull summary for one client: how many candidate
+    /// APs survived the received-power floor and how many the index
+    /// culled. Emitted once per UE when a `cull_floor_dbm` is set; a
+    /// dense (floor off) run emits none.
+    Cull {
+        /// Reporting client.
+        ue: u32,
+        /// Candidate APs kept in the neighbor list (incl. serving).
+        kept: u32,
+        /// APs culled below the received-power floor.
+        culled: u32,
+    },
 }
 
 /// Number of distinct event kinds (one per [`Event`] variant).
-pub const N_KINDS: usize = 15;
+pub const N_KINDS: usize = 16;
 
 impl Event {
     /// Stable kind name — the `"ev"` field value in the JSONL stream.
@@ -194,6 +206,7 @@ impl Event {
             Event::Recover { .. } => 12,
             Event::Sched { .. } => 13,
             Event::HarqRetx { .. } => 14,
+            Event::Cull { .. } => 15,
         }
     }
 
@@ -211,7 +224,9 @@ impl Event {
             | Event::Degrade { cell, .. }
             | Event::Recover { cell, .. }
             | Event::Sched { cell, .. } => cell,
-            Event::CqiInterference { ue, .. } | Event::HarqRetx { ue, .. } => ue,
+            Event::CqiInterference { ue, .. }
+            | Event::HarqRetx { ue, .. }
+            | Event::Cull { ue, .. } => ue,
             Event::PawsGrant { channel, .. }
             | Event::PawsRenew { channel, .. }
             | Event::PawsVacate { channel, .. }
@@ -239,6 +254,7 @@ impl Event {
             Event::Degrade { step, .. } => Some(step as f64),
             Event::Sched { owned, .. } => Some(owned as f64),
             Event::HarqRetx { process, .. } => Some(process as f64),
+            Event::Cull { culled, .. } => Some(culled as f64),
         }
     }
 }
@@ -260,6 +276,7 @@ pub const KIND_NAMES: [&str; N_KINDS] = [
     "recover",
     "sched",
     "harq_retx",
+    "cull",
 ];
 
 /// Per-kind sketch value range `(lo, hi)` — fixed at compile time so two
@@ -277,6 +294,7 @@ pub fn sketch_range(kind_code: u32) -> (f64, f64) {
         11 => (0.0, 4.0),   // degrade: ladder rung code
         13 => (0.0, 32.0),  // sched: owned subchannel count
         14 => (0.0, 16.0),  // harq_retx: HARQ process index
+        15 => (0.0, 64.0),  // cull: culled candidate-AP count
         _ => (0.0, 1.0),    // count-only kinds never bucket a value
     }
 }
@@ -935,6 +953,12 @@ fn write_record(out: &mut String, r: &Record) {
                 ",\"ev\":\"harq_retx\",\"ue\":{ue},\"cell\":{cell},\"process\":{process}"
             );
         }
+        Event::Cull { ue, kept, culled } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cull\",\"ue\":{ue},\"kept\":{kept},\"culled\":{culled}"
+            );
+        }
     }
     out.push('}');
 }
@@ -1309,6 +1333,11 @@ mod tests {
                 ue: 0,
                 cell: 0,
                 process: 0,
+            },
+            Event::Cull {
+                ue: 0,
+                kept: 4,
+                culled: 2,
             },
         ];
         assert_eq!(samples.len(), N_KINDS);

@@ -118,6 +118,9 @@ fn write_obs_bench(config: ExpConfig) {
     e.backlog_all(u64::MAX / 4);
     e.run_until(Instant::from_secs(1)); // warmup: caches filled, unprofiled
     e.obs_mut().profiler = Profiler::with_clock(clock_ns);
+    // Cost the spatial layer explicitly: one index + neighbor-table
+    // rebuild under the `spatial_build` span.
+    e.rebuild_spatial();
     // Drive the profiled second through the harness so every subframe
     // nests under a `harness_tick` root span.
     let harness = SimHarness::new(Duration::from_millis(1), e.now() + Duration::from_secs(1));

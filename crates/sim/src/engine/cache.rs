@@ -14,6 +14,8 @@
 //! interference events re-applied in the same order the parallel scan
 //! would have emitted them.
 
+use crate::slab::{IndexSlab, Slab2, Slab3};
+
 /// Interns per-subchannel transmitter sets into `u64` ids and maintains
 /// a per-subchannel cell-membership bitmask.
 ///
@@ -210,6 +212,147 @@ impl CqiMemo {
         slot.hits.clear();
         slot.hits.extend_from_slice(hits);
         slot.stamp = self.clock;
+    }
+}
+
+/// Memoized per-subchannel interference accumulation.
+///
+/// The engine's hottest loop sums, for every (UE, subchannel) pair, the
+/// received power from every concurrently transmitting cell. With a
+/// saturated PF scheduler the transmitter set of a subchannel is stable
+/// for long stretches, and the gains only change when the fading block
+/// rolls — so each subchannel's column of per-UE totals is keyed by
+/// `(gain generation, interned transmitter-set id)` and recomputed only
+/// when that key changes. Set ids come from [`TxSetTracker`], so a
+/// no-change refresh is a handful of integer compares: zero allocation,
+/// zero set cloning. The empty set (id 0) short-circuits in the reader,
+/// which keeps a subchannel's cached downlink column valid across the
+/// uplink subframes of the TDD cycle.
+///
+/// Totals include *every* transmitting cell — the serving cell too — so
+/// the cache stays valid across handovers; callers subtract the serving
+/// cell's own contribution when it is in the set.
+#[derive(Debug)]
+pub(crate) struct InterferenceCache {
+    /// Total received power (mW) per `[subchannel][ue]` summed over the
+    /// keyed transmitter set.
+    total_mw: Slab2,
+    /// Cache key per subchannel: `(gain generation, set id)` the column
+    /// was accumulated for. Gain generations start at 1, so `(0, 0)`
+    /// means "never filled".
+    key: Vec<(u64, u64)>,
+    /// Set id per subchannel as of the latest refresh (0 = empty set).
+    current: Vec<u64>,
+    /// Per-refresh staleness scratch (kept to avoid reallocating).
+    stale: Vec<bool>,
+    /// Non-empty subchannel probes served from a valid column.
+    hits: u64,
+    /// Non-empty subchannel probes that had to recompute their column.
+    misses: u64,
+}
+
+impl InterferenceCache {
+    pub fn new(n_sub: usize, n_ue: usize) -> InterferenceCache {
+        InterferenceCache {
+            total_mw: Slab2::new(n_sub, n_ue, 0.0),
+            key: vec![(0, 0); n_sub],
+            current: vec![0; n_sub],
+            stale: vec![false; n_sub],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cumulative `(hits, misses)` over non-empty subchannel probes —
+    /// the `cache_hit_floor` monitor's input.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Ensure every non-empty subchannel column matches
+    /// `(gain_gen, tracker id)`, recomputing stale columns in parallel
+    /// (columns are disjoint rows of the slab). After this, `total(s, ue)`
+    /// is exactly `Self::direct_total(tracker, nbr, nbr_count[ue], lin_mw, ue, s)`.
+    ///
+    /// The accumulation walks each UE's neighbor slots (ascending AP
+    /// order) and adds the lanes whose AP is in the subchannel's
+    /// transmitter mask — with dense tables that is the old ascending
+    /// `tx[s]` sum term for term; under a cull floor, transmitters
+    /// outside the UE's candidate row contribute nothing (their received
+    /// power is below the floor by construction).
+    pub fn refresh(
+        &mut self,
+        gain_gen: u64,
+        tracker: &TxSetTracker,
+        nbr: &IndexSlab,
+        nbr_count: &[u32],
+        lin_mw: &Slab3,
+    ) {
+        let ids = tracker.ids();
+        self.current.copy_from_slice(ids);
+        let mut any_stale = false;
+        for (s, &id) in ids.iter().enumerate() {
+            let stale = id != 0 && self.key[s] != (gain_gen, id);
+            self.stale[s] = stale;
+            any_stale |= stale;
+            if id != 0 {
+                if stale {
+                    self.misses += 1;
+                } else {
+                    self.hits += 1;
+                }
+            }
+        }
+        if !any_stale || self.total_mw.cols() == 0 {
+            return;
+        }
+        let n_ue = self.total_mw.cols();
+        let stale = &self.stale;
+        crate::parallel::for_each_chunk(self.total_mw.as_mut_slice(), n_ue, 16, |s, col| {
+            if !stale[s] {
+                return;
+            }
+            for (ue, slot) in col.iter_mut().enumerate() {
+                *slot = Self::direct_total(tracker, nbr, nbr_count[ue], lin_mw, ue, s);
+            }
+        });
+        for (s, &id) in ids.iter().enumerate() {
+            if self.stale[s] {
+                self.key[s] = (gain_gen, id);
+            }
+        }
+    }
+
+    /// Total received power (mW) at `ue` on subchannel `s` over the
+    /// transmitter set of the latest refresh; 0 when that set is empty.
+    #[inline]
+    pub fn total(&self, s: usize, ue: usize) -> f64 {
+        if self.current[s] == 0 {
+            0.0
+        } else {
+            self.total_mw.at(s, ue)
+        }
+    }
+
+    /// The unmemoized accumulation the cache must always agree with:
+    /// total power at `ue` on subchannel `s` over the transmitters in
+    /// `tracker`'s mask, read through the UE's neighbor slots in
+    /// ascending-AP order.
+    pub fn direct_total(
+        tracker: &TxSetTracker,
+        nbr: &IndexSlab,
+        count: u32,
+        lin_mw: &Slab3,
+        ue: usize,
+        s: usize,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (sl, &ap) in nbr.row(ue, count as usize).iter().enumerate() {
+            if tracker.is_member(s, ap as usize) {
+                total += lin_mw.at(ue, sl, s);
+            }
+        }
+        total
     }
 }
 

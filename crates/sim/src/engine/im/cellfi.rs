@@ -28,12 +28,19 @@ impl ImStrategy for CellFi {
                 // Re-walk the sensing rule to attribute each
                 // foreign detection (the counting pass above
                 // stays allocation- and branch-lean for
-                // untraced runs).
-                for ue in 0..e.scenario.n_ues() {
+                // untraced runs). Collected up front: emitting
+                // needs the tracer mutably while the listener
+                // rows borrow the scenario.
+                let pairs: Vec<(u32, u32)> = {
+                    let (ues, slots) = e.scenario.nbr.listeners(c);
+                    ues.iter().copied().zip(slots.iter().copied()).collect()
+                };
+                for (ue, sl) in pairs {
+                    let ue = ue as usize;
                     if e.queued_bits(ue) == 0 || e.scenario.assoc[ue] == c {
                         continue;
                     }
-                    let snr_db = e.ul_snr_db.at(ue, c);
+                    let snr_db = e.ul_snr_db.at(ue, sl as usize);
                     if prach::heard(Db(snr_db)) {
                         e.obs.tracer.emit(
                             now,
@@ -151,17 +158,24 @@ impl LteEngine {
     /// an AP then over-claims spectrum against victims it cannot hear,
     /// and sparse chains stop converging (see the coexistence
     /// integration tests, which caught exactly that during development).
+    ///
+    /// Only the cell's *listeners* — UEs whose candidate set retained it —
+    /// are walked: a culled uplink is below the floor and can never clear
+    /// the −10 dB PRACH threshold, and a cell's own clients are always
+    /// candidates.
     fn heard_active(&self, cell: usize) -> (u32, u32) {
         let mut own = 0u32;
         let mut heard = 0u32;
-        for ue in 0..self.scenario.n_ues() {
+        let (ues, slots) = self.scenario.nbr.listeners(cell);
+        for (&ue, &sl) in ues.iter().zip(slots) {
+            let ue = ue as usize;
             if self.queued_bits(ue) == 0 {
                 continue;
             }
             if self.scenario.assoc[ue] == cell {
                 own += 1;
                 heard += 1;
-            } else if prach::heard(Db(self.ul_snr_db.at(ue, cell))) {
+            } else if prach::heard(Db(self.ul_snr_db.at(ue, sl as usize))) {
                 heard += 1;
             }
         }

@@ -64,10 +64,15 @@ impl LteEngine {
                 continue;
             }
             // Energy detect against everyone who radiated last subframe.
-            let busy_mw: f64 = (0..n)
-                .filter(|&o| o != c && active_last[o])
-                .map(|o| Dbm(self.ap_mean_dbm.at(c, o)).to_milliwatts().value())
-                .sum();
+            // Only sensed interferers contribute: a culled AP-to-AP path
+            // is below the energy-detect floor by construction.
+            let count = self.ap_nbr_count[c] as usize;
+            let mut busy_mw = 0.0f64;
+            for (sl, &o) in self.ap_nbr.row(c, count).iter().enumerate() {
+                if active_last[o as usize] {
+                    busy_mw += Dbm(self.ap_mean_dbm.at(c, sl)).to_milliwatts().value();
+                }
+            }
             let busy = 10.0 * busy_mw.max(1e-30).log10() >= LBT_THRESHOLD_DBM;
             if busy {
                 continue; // freeze backoff while the medium is busy

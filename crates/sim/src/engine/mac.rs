@@ -32,15 +32,25 @@ impl LteEngine {
     pub const RECONNECT: Duration = Duration::from_secs(3);
 
     /// Control-plane SINR towards the strongest *other* radiating cell
-    /// (drives the Fig 7 signalling-interference retention).
+    /// (drives the Fig 7 signalling-interference retention). Only
+    /// candidate neighbors compete — a culled cell's control presence is
+    /// below the floor by construction.
     fn control_sinr(&self, ue: usize) -> Db {
         let ap = self.scenario.assoc[ue];
-        let strongest_other = (0..self.cells.len())
-            .filter(|&c| c != ap && self.cell_active(c))
-            .map(|c| self.dl_mean_dbm.at(ue, c) + self.power_offset_db[c])
-            .fold(f64::NEG_INFINITY, f64::max);
+        let count = self.nbr_count[ue] as usize;
+        let mut strongest_other = f64::NEG_INFINITY;
+        for (sl, &c) in self.nbr.row(ue, count).iter().enumerate() {
+            let c = c as usize;
+            if c != ap && self.cell_active(c) {
+                strongest_other =
+                    strongest_other.max(self.dl_mean_dbm.at(ue, sl) + self.power_offset_db[c]);
+            }
+        }
         if strongest_other.is_finite() {
-            Db(self.dl_mean_dbm.at(ue, ap) + self.power_offset_db[ap] - strongest_other)
+            Db(
+                self.dl_mean_dbm.at(ue, self.serving_slot[ue] as usize) + self.power_offset_db[ap]
+                    - strongest_other,
+            )
         } else {
             Db(100.0) // no other radio: effectively clean
         }
@@ -139,8 +149,13 @@ impl LteEngine {
             // upcoming CQI scan a cache hit as well.
             self.tracker.observe(&tx);
             self.obs.profiler.begin(cellfi_obs::SpanId::SinrCache);
-            self.interf
-                .refresh(self.gain_gen, self.tracker.ids(), &tx, &self.lin_mw);
+            self.interf.refresh(
+                self.gain_gen,
+                &self.tracker,
+                &self.nbr,
+                &self.nbr_count,
+                &self.lin_mw,
+            );
             self.obs.profiler.end(cellfi_obs::SpanId::SinrCache);
             let mut pairs = std::mem::take(&mut self.pairs_scratch);
             for (c, alloc) in allocations.iter().enumerate() {
@@ -174,7 +189,7 @@ impl LteEngine {
                             // The serving cell `c` transmits on `s` by
                             // construction; its share of the cached total
                             // is the signal itself.
-                            let signal = self.lin_mw.at(ue, c, s);
+                            let signal = self.lin_mw.at(ue, self.serving_slot[ue] as usize, s);
                             let interference = (self.interf.total(s, ue) - signal).max(0.0);
                             signal / (interference + self.noise_mw[s])
                         })
@@ -323,7 +338,16 @@ impl LteEngine {
         let mut signal = 0.0f64;
         let mut interference = 0.0f64;
         for &(u, offset) in &tx[s] {
-            let p = Dbm(self.ul_mean_dbm.at(u, cell) + offset + fade(u))
+            // An interfering UE whose path to `cell` was culled is below
+            // the floor by construction; the served UE's own cell is
+            // always a candidate.
+            let Some(sl) = self
+                .nbr
+                .position(u, self.nbr_count[u] as usize, cell as u32)
+            else {
+                continue;
+            };
+            let p = Dbm(self.ul_mean_dbm.at(u, sl) + offset + fade(u))
                 .to_milliwatts()
                 .value();
             if u == ue {
@@ -377,7 +401,12 @@ impl LteEngine {
                                     self.now,
                                 )
                                 .value();
-                            let snr = self.ul_mean_dbm.at(u.index(), c) + fade
+                            // `c` is this UE's serving cell (it is
+                            // attached), so the slot is the serving slot.
+                            let snr = self
+                                .ul_mean_dbm
+                                .at(u.index(), self.serving_slot[u.index()] as usize)
+                                + fade
                                 - 10.0 * self.noise_mw[s].log10();
                             let cqi = self.table.cqi_for_sinr(Db(snr));
                             if cqi.usable() {
@@ -457,11 +486,25 @@ impl LteEngine {
     /// Returns the new serving cell if a handover happened.
     pub fn check_handover(&mut self, ue: usize, hysteresis_db: f64) -> Option<usize> {
         let serving = self.scenario.assoc[ue];
-        let (best, best_dbm) = (0..self.cells.len())
-            .filter(|&c| self.cell_active(c))
-            .map(|c| (c, self.dl_mean_dbm.at(ue, c)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))?;
-        if best == serving || best_dbm < self.dl_mean_dbm.at(ue, serving) + hysteresis_db {
+        // Only candidate neighbors are handover targets: anything culled
+        // is below the floor and cannot beat the serving cell by the
+        // hysteresis. Update on ties (`!is_lt`) to keep `max_by`'s
+        // last-maximal-element choice.
+        let count = self.nbr_count[ue] as usize;
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (sl, &c) in self.nbr.row(ue, count).iter().enumerate() {
+            let c = c as usize;
+            if !self.cell_active(c) {
+                continue;
+            }
+            let dbm = self.dl_mean_dbm.at(ue, sl);
+            if best.is_none_or(|(_, _, b)| !dbm.total_cmp(&b).is_lt()) {
+                best = Some((c, sl, dbm));
+            }
+        }
+        let (best, best_slot, best_dbm) = best?;
+        let serving_dbm = self.dl_mean_dbm.at(ue, self.serving_slot[ue] as usize);
+        if best == serving || best_dbm < serving_dbm + hysteresis_db {
             return None;
         }
         let ueid = UeId::new(ue as u32);
@@ -472,6 +515,7 @@ impl LteEngine {
             self.cells[best].enqueue(ueid, pending); // X2 data forwarding
         }
         self.scenario.assoc[ue] = best;
+        self.serving_slot[ue] = best_slot as u32;
         // Fresh HARQ state towards the new cell, and a new association
         // generation: memoized CQI scans keyed on the old serving cells
         // must miss from here on.

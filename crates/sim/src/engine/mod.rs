@@ -36,6 +36,7 @@
 mod cache;
 pub mod im;
 mod mac;
+mod neighbors;
 mod phy;
 pub mod system;
 mod tests;
@@ -43,8 +44,9 @@ mod tests;
 pub use im::laa::{LBT_CW, LBT_MCOT_SUBFRAMES, LBT_THRESHOLD_DBM};
 pub use system::{steady_state_bps, SimHarness, SystemEngine};
 
-use crate::slab::{Slab2, Slab3};
+use crate::slab::{IndexSlab, Slab2, Slab3};
 use crate::topology::Scenario;
+use cache::InterferenceCache;
 use cache::{CqiMemo, TxSetTracker};
 use cellfi_core::manager::InterferenceManager;
 use cellfi_core::sensing::ImperfectSensing;
@@ -61,7 +63,7 @@ use cellfi_types::rng::SeedSeq;
 use cellfi_types::time::Instant;
 use cellfi_types::units::Db;
 use cellfi_types::{ApId, SubchannelId, UeId};
-use phy::InterferenceCache;
+use neighbors::neighbor_slabs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -162,10 +164,25 @@ pub struct LteEngine {
     epoch_retx: Vec<u64>,
 
     // ---- static link caches (positions never move within a run) ----
-    /// Mean downlink rx power (dBm) per `[ue][ap]` at AP power.
+    /// Neighbor-indirection table: row `ue` holds its candidate AP ids
+    /// ascending (the serving AP always present), padded to the uniform
+    /// `max_neighbors` stride shared with the `[ue][slot][s]` gain
+    /// slabs. Dense scenarios (no cull floor) make slot ≡ AP id.
+    nbr: IndexSlab,
+    /// Valid slot count per row of `nbr`.
+    nbr_count: Vec<u32>,
+    /// The neighbor slot each UE's serving AP occupies (kept in lock
+    /// step with `scenario.assoc` across handovers).
+    serving_slot: Vec<u32>,
+    /// Per-AP interferer AP ids, slot-indexed like `nbr` — the LBT
+    /// sensing neighborhood.
+    ap_nbr: IndexSlab,
+    /// Valid slot count per row of `ap_nbr`.
+    ap_nbr_count: Vec<u32>,
+    /// Mean downlink rx power (dBm) per `[ue][neighbor_slot]` at AP power.
     dl_mean_dbm: Slab2,
-    /// Mean uplink SNR (dB) per `[ue][ap]` at UE power over the channel
-    /// (drives PRACH hearing).
+    /// Mean uplink SNR (dB) per `[ue][neighbor_slot]` at UE power over
+    /// the channel (drives PRACH hearing).
     ul_snr_db: Slab2,
     /// Per-subchannel noise floor, mW.
     noise_mw: Vec<f64>,
@@ -179,11 +196,12 @@ pub struct LteEngine {
     /// power. A function of the resource grid alone, hoisted out of
     /// every gain rebuild.
     split_db: Vec<f64>,
-    /// Static linear rx power (mW) per `[ue][ap][sc]`: mean gain + EIRP
-    /// offset + power split, precombined through one batched dB→linear
-    /// pass. Rebuilt only when a UE moves or an EIRP offset changes.
+    /// Static linear rx power (mW) per `[ue][neighbor_slot][sc]`: mean
+    /// gain + EIRP offset + power split, precombined through one batched
+    /// dB→linear pass. Rebuilt only when a UE moves or an EIRP offset
+    /// changes.
     static_mw: Slab3,
-    /// Instantaneous linear rx power (mW) per `[ue][ap][sc]`:
+    /// Instantaneous linear rx power (mW) per `[ue][neighbor_slot][sc]`:
     /// `static_mw × fading power`, refreshed per fading coherence block.
     lin_mw: Slab3,
     fading_block: u64,
@@ -225,9 +243,10 @@ pub struct LteEngine {
     last_epoch_sig: Option<(u64, u64, u64)>,
     /// True conflict graph (static; used by the oracle).
     conflict: ConflictGraph,
-    /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
+    /// Mean AP→AP rx power (dBm) per `[ap][interferer_slot]` at AP
+    /// power — the LBT sensing input.
     ap_mean_dbm: Slab2,
-    /// Mean uplink rx power (dBm) per `[ue][ap]` at *full* UE power; a UE
+    /// Mean uplink rx power (dBm) per `[ue][neighbor_slot]` at *full* UE power; a UE
     /// concentrating into fewer subchannels splits this across only its
     /// granted ones (§3.1's single-carrier uplink advantage).
     ul_mean_dbm: Slab2,
@@ -294,7 +313,11 @@ impl LteEngine {
     /// Build the engine over a scenario; every client attaches to its
     /// drop AP immediately (association transients are not the object of
     /// the large-scale experiments).
-    pub fn new(scenario: Scenario, config: LteEngineConfig, seeds: SeedSeq) -> LteEngine {
+    pub fn new(mut scenario: Scenario, config: LteEngineConfig, seeds: SeedSeq) -> LteEngine {
+        // Defensive re-index: tests and layout helpers hand-edit
+        // `aps`/`ues`/`assoc` after generation, so the engine never
+        // trusts a possibly stale neighbor table.
+        scenario.rebuild_index();
         let grid = ResourceGrid::new(config.bandwidth);
         let n_sub = grid.num_subchannels() as usize;
         let tdd = TddConfig::paper_default();
@@ -325,8 +348,11 @@ impl LteEngine {
         let n_ue = scenario.n_ues();
         let n_ap = scenario.aps.len();
 
-        // Static mean-gain matrices and the true conflict graph.
+        // Static mean-gain matrices and the true conflict graph, all
+        // slot-indexed through the neighbor tables.
         let links = phy::LinkMatrices::build(&scenario, &config, &grid);
+        let (nbr, nbr_count, serving_slot, ap_nbr, ap_nbr_count) = neighbor_slabs(&scenario);
+        let max_nbr = scenario.nbr.max_neighbors;
         // Downlink power is split across the carrier's RBs: a subchannel
         // receives only its share of the cell's total power.
         let split_db: Vec<f64> = (0..n_sub)
@@ -373,13 +399,18 @@ impl LteEngine {
             tx_last: vec![Vec::new(); n_sub],
             harq_drops: vec![0; n_ue],
             epoch_retx: vec![0; n_ap],
+            nbr,
+            nbr_count,
+            serving_slot,
+            ap_nbr,
+            ap_nbr_count,
             dl_mean_dbm: links.dl_mean_dbm,
             ul_snr_db: links.ul_snr_db,
             noise_mw: links.noise_mw,
             interf_thresh_mw,
             split_db,
-            static_mw: Slab3::new(n_ue, n_ap, n_sub, 0.0),
-            lin_mw: Slab3::new(n_ue, n_ap, n_sub, 0.0),
+            static_mw: Slab3::new(n_ue, max_nbr, n_sub, 0.0),
+            lin_mw: Slab3::new(n_ue, max_nbr, n_sub, 0.0),
             fading_block: u64::MAX,
             gain_gen: 0,
             assoc_gen: 0,
@@ -563,9 +594,8 @@ impl LteEngine {
     /// Mean SNR (no interference) of a client's downlink over the full
     /// channel — used by experiments for binning by link quality.
     pub fn ue_snr(&self, ue: usize) -> Db {
-        let ap = self.scenario.assoc[ue];
         let noise_total: f64 = self.noise_mw.iter().sum();
-        Db(self.dl_mean_dbm.at(ue, ap) - 10.0 * noise_total.log10())
+        Db(self.dl_mean_dbm.at(ue, self.serving_slot[ue] as usize) - 10.0 * noise_total.log10())
     }
 
     /// Enable or disable the steady-state CQI fast path (on by default).

@@ -9,8 +9,13 @@
 //! the same per-subchannel decodability the CQI reports measure).
 //!
 //! Data layout: the hot tensors are flat strided slabs
-//! ([`crate::slab`]). The gain pipeline is linear-domain end to end —
-//! `static_mw[ue][ap][s]` precombines mean gain, EIRP offset and the
+//! ([`crate::slab`]) indexed `[ue][neighbor_slot][s]` behind the
+//! engine's neighbor-indirection table ([`crate::slab::IndexSlab`]):
+//! slot `sl` of UE `u` is its `sl`-th candidate AP in ascending id
+//! order, so dense (uncapped) tables reproduce the old `[ue][ap][s]`
+//! layout exactly while a cull floor shrinks the middle axis to the
+//! near field. The gain pipeline is linear-domain end to end —
+//! `static_mw[ue][slot][s]` precombines mean gain, EIRP offset and the
 //! per-subchannel power split through one batched `10^(x/10)` pass
 //! (rebuilt only when those inputs change), and a fading refresh is just
 //! `static_mw × fading_power` over contiguous lanes. The CQI scan never
@@ -20,7 +25,7 @@
 //! values are computed only for the rare interference-event trace.
 
 use super::{LteEngine, LteEngineConfig};
-use crate::slab::{Slab2, Slab3};
+use crate::slab::Slab2;
 use crate::topology::Scenario;
 use cellfi_core::ConflictGraph;
 use cellfi_lte::grid::ResourceGrid;
@@ -35,13 +40,16 @@ use cellfi_types::{ApId, SubchannelId, UeId};
 /// through [`LteEngine::move_ue`], which patches the affected row), so
 /// the per-link means and the true conflict graph are computed once.
 pub(crate) struct LinkMatrices {
-    /// Mean downlink rx power (dBm) per `[ue][ap]` at AP power.
+    /// Mean downlink rx power (dBm) per `[ue][neighbor_slot]` at AP power.
     pub dl_mean_dbm: Slab2,
-    /// Mean uplink SNR (dB) per `[ue][ap]` at UE power over the channel.
+    /// Mean uplink SNR (dB) per `[ue][neighbor_slot]` at UE power over
+    /// the channel.
     pub ul_snr_db: Slab2,
-    /// Mean uplink rx power (dBm) per `[ue][ap]` at full UE power.
+    /// Mean uplink rx power (dBm) per `[ue][neighbor_slot]` at full UE
+    /// power.
     pub ul_mean_dbm: Slab2,
-    /// Mean AP→AP rx power (dBm) at AP power — the LBT sensing input.
+    /// Mean AP→AP rx power (dBm) per `[ap][interferer_slot]` at AP
+    /// power — the LBT sensing input.
     pub ap_mean_dbm: Slab2,
     /// Per-subchannel noise floor, mW.
     pub noise_mw: Vec<f64>,
@@ -56,20 +64,26 @@ impl LinkMatrices {
         let n_ue = scenario.n_ues();
         let n_ap = scenario.aps.len();
         let env = &scenario.env;
-        let mut dl_mean_dbm = Slab2::new(n_ue, n_ap, 0.0);
-        let mut ul_snr_db = Slab2::new(n_ue, n_ap, 0.0);
-        let mut ul_mean_dbm = Slab2::new(n_ue, n_ap, 0.0);
+        let nbr = &scenario.nbr;
+        // Slot-indexed link matrices: column `sl` of row `u` is the UE's
+        // `sl`-th candidate AP (ascending). With dense neighbor tables
+        // the slots are exactly the global AP indices, so values and
+        // layout match the old `[ue][ap]` matrices byte for byte.
+        let mut dl_mean_dbm = Slab2::new(n_ue, nbr.max_neighbors, f64::NEG_INFINITY);
+        let mut ul_snr_db = Slab2::new(n_ue, nbr.max_neighbors, f64::NEG_INFINITY);
+        let mut ul_mean_dbm = Slab2::new(n_ue, nbr.max_neighbors, f64::NEG_INFINITY);
         for u in 0..n_ue {
-            for a in 0..n_ap {
+            for (sl, &a) in nbr.candidates(u).iter().enumerate() {
+                let a = a as usize;
                 dl_mean_dbm.set(
                     u,
-                    a,
+                    sl,
                     env.mean_rx_power(&scenario.aps[a], scenario.config.ap_power, &scenario.ues[u])
                         .value(),
                 );
                 ul_snr_db.set(
                     u,
-                    a,
+                    sl,
                     env.mean_snr(
                         &scenario.ues[u],
                         scenario.config.ue_power,
@@ -80,27 +94,25 @@ impl LinkMatrices {
                 );
                 ul_mean_dbm.set(
                     u,
-                    a,
+                    sl,
                     env.mean_rx_power(&scenario.ues[u], scenario.config.ue_power, &scenario.aps[a])
                         .value(),
                 );
             }
         }
-        let mut ap_mean_dbm = Slab2::new(n_ap, n_ap, f64::NEG_INFINITY);
+        let mut ap_mean_dbm = Slab2::new(n_ap, nbr.max_ap_neighbors, f64::NEG_INFINITY);
         for a in 0..n_ap {
-            for b in 0..n_ap {
-                if a != b {
-                    ap_mean_dbm.set(
-                        a,
-                        b,
-                        env.mean_rx_power(
-                            &scenario.aps[b],
-                            scenario.config.ap_power,
-                            &scenario.aps[a],
-                        )
-                        .value(),
-                    );
-                }
+            for (sl, &b) in nbr.interferers(a).iter().enumerate() {
+                ap_mean_dbm.set(
+                    a,
+                    sl,
+                    env.mean_rx_power(
+                        &scenario.aps[b as usize],
+                        scenario.config.ap_power,
+                        &scenario.aps[a],
+                    )
+                    .value(),
+                );
             }
         }
         let noise_mw: Vec<f64> = (0..n_sub)
@@ -111,22 +123,30 @@ impl LinkMatrices {
             })
             .collect();
 
-        // True conflict graph from mean gains (static).
+        // True conflict graph from mean gains (static). Candidate pairs
+        // come from the interferer tables, and only clients of the two
+        // endpoints can witness a conflict (the old all-UE scan returned
+        // false for everyone else) — so the edge set is unchanged in
+        // dense mode and near-field-restricted under a cull floor.
         let mut conflict = ConflictGraph::new(n_ap);
         let margin = config.interference_margin.value();
+        let slot_of = |u: usize, a: usize| nbr.candidates(u).binary_search(&(a as u32)).ok();
         for i in 0..n_ap {
-            for j in (i + 1)..n_ap {
-                let conflicts = (0..n_ue).any(|u| {
+            for &j in nbr.interferers(i) {
+                let j = j as usize;
+                if j <= i {
+                    continue;
+                }
+                let conflicts = nbr.clients(i).iter().chain(nbr.clients(j)).any(|&u| {
+                    let u = u as usize;
                     let ap = scenario.assoc[u];
-                    let other = if ap == i {
-                        j
-                    } else if ap == j {
-                        i
-                    } else {
+                    let other = if ap == i { j } else { i };
+                    // A culled victim link cannot witness a conflict.
+                    let (Some(ap_sl), Some(other_sl)) = (slot_of(u, ap), slot_of(u, other)) else {
                         return false;
                     };
-                    let s_mw = Dbm(dl_mean_dbm.at(u, ap)).to_milliwatts().value();
-                    let i_mw = Dbm(dl_mean_dbm.at(u, other)).to_milliwatts().value();
+                    let s_mw = Dbm(dl_mean_dbm.at(u, ap_sl)).to_milliwatts().value();
+                    let i_mw = Dbm(dl_mean_dbm.at(u, other_sl)).to_milliwatts().value();
                     // Full-channel signal/interference powers against the
                     // full-channel noise floor (the per-subchannel power
                     // split cancels out of the ratio).
@@ -149,117 +169,6 @@ impl LinkMatrices {
             noise_mw,
             conflict,
         }
-    }
-}
-
-/// Memoized per-subchannel interference accumulation.
-///
-/// The engine's hottest loop sums, for every (UE, subchannel) pair, the
-/// received power from every concurrently transmitting cell. With a
-/// saturated PF scheduler the transmitter set of a subchannel is stable
-/// for long stretches, and the gains only change when the fading block
-/// rolls — so each subchannel's column of per-UE totals is keyed by
-/// `(gain generation, interned transmitter-set id)` and recomputed only
-/// when that key changes. Set ids come from [`super::cache::TxSetTracker`], so a
-/// no-change refresh is a handful of integer compares: zero allocation,
-/// zero set cloning. The empty set (id 0) short-circuits in the reader,
-/// which keeps a subchannel's cached downlink column valid across the
-/// uplink subframes of the TDD cycle.
-///
-/// Totals include *every* transmitting cell — the serving cell too — so
-/// the cache stays valid across handovers; callers subtract the serving
-/// cell's own contribution when it is in the set.
-#[derive(Debug)]
-pub(crate) struct InterferenceCache {
-    /// Total received power (mW) per `[subchannel][ue]` summed over the
-    /// keyed transmitter set.
-    total_mw: Slab2,
-    /// Cache key per subchannel: `(gain generation, set id)` the column
-    /// was accumulated for. Gain generations start at 1, so `(0, 0)`
-    /// means "never filled".
-    key: Vec<(u64, u64)>,
-    /// Set id per subchannel as of the latest refresh (0 = empty set).
-    current: Vec<u64>,
-    /// Per-refresh staleness scratch (kept to avoid reallocating).
-    stale: Vec<bool>,
-    /// Non-empty subchannel probes served from a valid column.
-    hits: u64,
-    /// Non-empty subchannel probes that had to recompute their column.
-    misses: u64,
-}
-
-impl InterferenceCache {
-    pub fn new(n_sub: usize, n_ue: usize) -> InterferenceCache {
-        InterferenceCache {
-            total_mw: Slab2::new(n_sub, n_ue, 0.0),
-            key: vec![(0, 0); n_sub],
-            current: vec![0; n_sub],
-            stale: vec![false; n_sub],
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    /// Cumulative `(hits, misses)` over non-empty subchannel probes —
-    /// the `cache_hit_floor` monitor's input.
-    pub fn probe_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Ensure every non-empty subchannel column matches
-    /// `(gain_gen, ids[s])`, recomputing stale columns in parallel
-    /// (columns are disjoint rows of the slab). After this, `total(s, ue)`
-    /// is exactly `Self::direct_total(&tx[s], lin_mw, ue, s)`.
-    pub fn refresh(&mut self, gain_gen: u64, ids: &[u64], tx: &[Vec<usize>], lin_mw: &Slab3) {
-        self.current.copy_from_slice(ids);
-        let mut any_stale = false;
-        for (s, &id) in ids.iter().enumerate() {
-            let stale = id != 0 && self.key[s] != (gain_gen, id);
-            self.stale[s] = stale;
-            any_stale |= stale;
-            if id != 0 {
-                if stale {
-                    self.misses += 1;
-                } else {
-                    self.hits += 1;
-                }
-            }
-        }
-        if !any_stale || self.total_mw.cols() == 0 {
-            return;
-        }
-        let n_ue = self.total_mw.cols();
-        let stale = &self.stale;
-        crate::parallel::for_each_chunk(self.total_mw.as_mut_slice(), n_ue, 16, |s, col| {
-            if !stale[s] {
-                return;
-            }
-            for (ue, slot) in col.iter_mut().enumerate() {
-                *slot = Self::direct_total(&tx[s], lin_mw, ue, s);
-            }
-        });
-        for (s, &id) in ids.iter().enumerate() {
-            if self.stale[s] {
-                self.key[s] = (gain_gen, id);
-            }
-        }
-    }
-
-    /// Total received power (mW) at `ue` on subchannel `s` over the
-    /// transmitter set of the latest refresh; 0 when that set is empty.
-    #[inline]
-    pub fn total(&self, s: usize, ue: usize) -> f64 {
-        if self.current[s] == 0 {
-            0.0
-        } else {
-            self.total_mw.at(s, ue)
-        }
-    }
-
-    /// The unmemoized accumulation the cache must always agree with:
-    /// total power at `ue` on subchannel `s` over transmitters `tx`.
-    pub fn direct_total(tx: &[usize], lin_mw: &Slab3, ue: usize, s: usize) -> f64 {
-        tx.iter().map(|&c| lin_mw.at(ue, c, s)).sum()
     }
 }
 
@@ -292,19 +201,21 @@ fn rlf_tick(
 
 impl LteEngine {
     /// Rebuild the static linear-gain slab for one UE row:
-    /// `static_mw[ue][ap][s] = 10^((mean + offset + split)/10)` through
-    /// the batched conversion kernel. `lane_db` is an `n_sub` scratch.
+    /// `static_mw[ue][slot][s] = 10^((mean + offset + split)/10)` through
+    /// the batched conversion kernel, over the UE's candidate neighbor
+    /// slots. `lane_db` is an `n_sub` scratch.
     pub(super) fn rebuild_static_row(&mut self, u: usize, lane_db: &mut [f64]) {
         // The static slab feeds every downstream gain cache; bump the
         // generation here so a rewritten row can never be replayed
         // through a stale interference column or memoized scan.
         self.gain_gen += 1;
-        for a in 0..self.scenario.aps.len() {
-            let base = self.dl_mean_dbm.at(u, a) + self.power_offset_db[a];
+        for sl in 0..self.nbr_count[u] as usize {
+            let a = self.nbr.at(u, sl) as usize;
+            let base = self.dl_mean_dbm.at(u, sl) + self.power_offset_db[a];
             for (slot, &split) in lane_db.iter_mut().zip(&self.split_db) {
                 *slot = base + split;
             }
-            db_slab_to_mw(lane_db, self.static_mw.lane_mut(u, a));
+            db_slab_to_mw(lane_db, self.static_mw.lane_mut(u, sl));
         }
     }
 
@@ -330,24 +241,32 @@ impl LteEngine {
         }
         self.fading_block = block;
         self.gain_gen += 1;
-        self.obs.profiler.begin(SpanId::FadingScan);
         let n_sub = self.grid.num_subchannels() as usize;
         let block_len = self.lin_mw.block_len();
+        if block_len == 0 {
+            return; // no UEs or no candidates: nothing to refresh
+        }
+        self.obs.profiler.begin(SpanId::FadingScan);
         // Per-UE blocks of the tensor are disjoint and the fading
         // process is a pure function of (nodes, subchannel, time), so
-        // the refresh fans out across UE blocks.
+        // the refresh fans out across UE blocks. Only the valid neighbor
+        // slots are refreshed; padding lanes stay zero and are never
+        // read.
         let scenario = &self.scenario;
         let static_mw = &self.static_mw;
+        let nbr = &self.nbr;
+        let nbr_count = &self.nbr_count;
         let now = self.now;
         crate::parallel::for_each_chunk(self.lin_mw.as_mut_slice(), block_len, 8, |u, ue_block| {
             let ue_node = scenario.ues[u].node;
-            for (a, lane) in ue_block.chunks_exact_mut(n_sub).enumerate() {
-                let ap_node = scenario.aps[a].node;
+            let count = nbr_count[u] as usize;
+            for (sl, lane) in ue_block.chunks_exact_mut(n_sub).enumerate().take(count) {
+                let ap_node = scenario.aps[nbr.at(u, sl) as usize].node;
                 scenario
                     .env
                     .fading
                     .fill_power_lane(ap_node, ue_node, now, lane);
-                for (v, &st) in lane.iter_mut().zip(static_mw.lane(u, a)) {
+                for (v, &st) in lane.iter_mut().zip(static_mw.lane(u, sl)) {
                     *v = st * (*v).max(1e-12);
                 }
             }
@@ -362,11 +281,13 @@ impl LteEngine {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(super) fn sinr_db(&self, ue: usize, s: usize, tx_cells: &[usize]) -> f64 {
         let ap = self.scenario.assoc[ue];
-        let signal = self.lin_mw.at(ue, ap, s);
+        let count = self.nbr_count[ue] as usize;
+        let signal = self.lin_mw.at(ue, self.serving_slot[ue] as usize, s);
         let interference: f64 = tx_cells
             .iter()
             .filter(|&&c| c != ap)
-            .map(|&c| self.lin_mw.at(ue, c, s))
+            .filter_map(|&c| self.nbr.position(ue, count, c as u32))
+            .map(|sl| self.lin_mw.at(ue, sl, s))
             .sum();
         10.0 * (signal / (interference + self.noise_mw[s])).log10()
     }
@@ -392,8 +313,9 @@ impl LteEngine {
         self.obs.profiler.begin(SpanId::SinrCache);
         self.interf.refresh(
             self.gain_gen,
-            self.tracker.ids(),
-            &self.tx_last,
+            &self.tracker,
+            &self.nbr,
+            &self.nbr_count,
             &self.lin_mw,
         );
         self.obs.profiler.end(SpanId::SinrCache);
@@ -454,6 +376,7 @@ impl LteEngine {
         let interf_thresh_mw = &self.interf_thresh_mw;
         let linmap = &self.linmap;
         let assoc = &self.scenario.assoc;
+        let serving_slot = &self.serving_slot;
         let cells = &self.cells;
         let now = self.now;
 
@@ -512,7 +435,13 @@ impl LteEngine {
             let ap = assoc[ue];
             let mut any_usable = false;
             let ids = tracker.ids();
-            for (s, &signal) in lin_mw.lane(ue, ap).iter().enumerate() {
+            // The serving lane lives at the UE's serving neighbor slot;
+            // transmitter membership stays keyed by global AP id.
+            for (s, &signal) in lin_mw
+                .lane(ue, serving_slot[ue] as usize)
+                .iter()
+                .enumerate()
+            {
                 // The cached column totals every transmitter including
                 // the serving cell; remove its share to get interference.
                 let own = if tracker.is_member(s, ap) {
@@ -578,12 +507,18 @@ impl LteEngine {
     /// Move a client to a new position, refreshing its link matrices.
     /// Fading realizations are keyed by node ids and time, so they evolve
     /// naturally; only the large-scale gains need recomputation.
+    ///
+    /// The candidate neighbor set is *not* rebuilt: mobility experiments
+    /// run dense (no cull floor), where every AP is already a candidate.
+    /// A culled scenario keeps the candidate set of the drop position.
     pub fn move_ue(&mut self, ue: usize, position: cellfi_types::geo::Point) {
         self.scenario.ues[ue].position = position;
-        for a in 0..self.scenario.aps.len() {
+        let count = self.nbr_count[ue] as usize;
+        for sl in 0..count {
+            let a = self.nbr.at(ue, sl) as usize;
             self.dl_mean_dbm.set(
                 ue,
-                a,
+                sl,
                 self.scenario
                     .env
                     .mean_rx_power(
@@ -595,7 +530,7 @@ impl LteEngine {
             );
             self.ul_mean_dbm.set(
                 ue,
-                a,
+                sl,
                 self.scenario
                     .env
                     .mean_rx_power(
@@ -607,7 +542,7 @@ impl LteEngine {
             );
             self.ul_snr_db.set(
                 ue,
-                a,
+                sl,
                 self.scenario
                     .env
                     .mean_snr(
@@ -629,16 +564,16 @@ impl LteEngine {
         let mut lane = vec![0.0; n_sub];
         self.rebuild_static_row(ue, &mut lane);
         let ue_node = self.scenario.ues[ue].node;
-        for a in 0..self.scenario.aps.len() {
-            let ap_node = self.scenario.aps[a].node;
+        for sl in 0..count {
+            let ap_node = self.scenario.aps[self.nbr.at(ue, sl) as usize].node;
             self.scenario
                 .env
                 .fading
                 .fill_power_lane(ap_node, ue_node, self.now, &mut lane);
-            let static_lane = self.static_mw.lane(ue, a);
+            let static_lane = self.static_mw.lane(ue, sl);
             for ((v, &p), &st) in self
                 .lin_mw
-                .lane_mut(ue, a)
+                .lane_mut(ue, sl)
                 .iter_mut()
                 .zip(&lane)
                 .zip(static_lane)

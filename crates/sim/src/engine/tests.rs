@@ -7,7 +7,7 @@
 
 #[cfg(test)]
 mod all {
-    use crate::engine::phy::InterferenceCache;
+    use crate::engine::cache::InterferenceCache;
     use crate::engine::{ImMode, LteEngine, LteEngineConfig};
     use crate::topology::{Scenario, ScenarioConfig};
     use cellfi_types::rng::SeedSeq;
@@ -221,7 +221,11 @@ mod all {
                     )
                     .to_milliwatts()
                     .value();
-                let cached = e.lin_mw.at(u, a, sc.index());
+                let sl = e
+                    .nbr
+                    .position(u, e.nbr_count[u] as usize, a as u32)
+                    .expect("dense candidate set");
+                let cached = e.lin_mw.at(u, sl, sc.index());
                 assert!(
                     (direct - cached).abs() / direct < 1e-9,
                     "cache mismatch ue {u} ap {a}"
@@ -270,17 +274,24 @@ mod all {
                 // cache keys on its id namespace, and ids from a foreign
                 // tracker could collide with already-cached columns.
                 e.tracker.observe(&tx);
-                e.interf.refresh(e.gain_gen, e.tracker.ids(), &tx, &e.lin_mw);
+                e.interf.refresh(e.gain_gen, &e.tracker, &e.nbr, &e.nbr_count, &e.lin_mw);
                 for (s, tx_s) in tx.iter().enumerate() {
                     for ue in 0..e.scenario.n_ues() {
-                        let direct = InterferenceCache::direct_total(tx_s, &e.lin_mw, ue, s);
+                        let direct = InterferenceCache::direct_total(
+                            &e.tracker,
+                            &e.nbr,
+                            e.nbr_count[ue],
+                            &e.lin_mw,
+                            ue,
+                            s,
+                        );
                         let cached = e.interf.total(s, ue);
                         prop_assert!(
                             (direct - cached).abs() <= direct.abs() * 1e-12,
                             "total mismatch s={s} ue={ue}: cached {cached} direct {direct}"
                         );
                         let ap = e.scenario.assoc[ue];
-                        let signal = e.lin_mw.at(ue, ap, s);
+                        let signal = e.lin_mw.at(ue, e.serving_slot[ue] as usize, s);
                         let own = if tx_s.contains(&ap) { signal } else { 0.0 };
                         let from_cache = 10.0
                             * (signal / ((cached - own).max(0.0) + e.noise_mw[s])).log10();
@@ -301,7 +312,7 @@ mod all {
                         .collect::<Vec<f64>>()
                 };
                 let before = snapshot(&e.interf);
-                e.interf.refresh(e.gain_gen, e.tracker.ids(), &tx, &e.lin_mw);
+                e.interf.refresh(e.gain_gen, &e.tracker, &e.nbr, &e.nbr_count, &e.lin_mw);
                 prop_assert_eq!(before, snapshot(&e.interf));
             }
         }
@@ -495,12 +506,16 @@ mod all {
                 let ue_node = e.scenario.ues[u].node;
                 for a in 0..e.scenario.aps.len() {
                     let ap_node = e.scenario.aps[a].node;
+                    let sl = e
+                        .nbr
+                        .position(u, e.nbr_count[u] as usize, a as u32)
+                        .expect("dense candidate set");
                     for sc in 0..n_sub {
-                        let db = e.dl_mean_dbm.at(u, a) + e.power_offset_db[a] + e.split_db[sc];
+                        let db = e.dl_mean_dbm.at(u, sl) + e.power_offset_db[a] + e.split_db[sc];
                         let static_ref = Dbm(db).to_milliwatts().value();
                         assert_eq!(
                             static_ref.to_bits(),
-                            e.static_mw.at(u, a, sc).to_bits(),
+                            e.static_mw.at(u, sl, sc).to_bits(),
                             "static slab diverges at ue {u} ap {a} sc {sc} (seed {seed})"
                         );
                         let p = e.scenario.env.fading.power(
@@ -512,7 +527,7 @@ mod all {
                         let lin_ref = static_ref * p.max(1e-12);
                         assert_eq!(
                             lin_ref.to_bits(),
-                            e.lin_mw.at(u, a, sc).to_bits(),
+                            e.lin_mw.at(u, sl, sc).to_bits(),
                             "instantaneous slab diverges at ue {u} ap {a} sc {sc} (seed {seed})"
                         );
                     }

@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig9metro;
 pub mod harness;
 pub mod laa;
 pub mod overhead;
@@ -89,6 +90,7 @@ pub const ALL: &[&str] = &[
     "fig9b",
     "fig9c",
     "fig9dense",
+    "fig9metro",
     "convergence",
     "overhead",
     "theorem1",
@@ -147,6 +149,7 @@ pub fn run(name: &str, config: ExpConfig) -> Option<ExpReport> {
         "fig9b" => fig9::run_b(config),
         "fig9c" => fig9::run_c(config),
         "fig9dense" => fig9::run_dense(config),
+        "fig9metro" => fig9metro::run(config),
         "convergence" => convergence::run(config),
         "overhead" => overhead::run(config),
         "theorem1" => theorem1::run(config),

@@ -147,6 +147,7 @@ pub(crate) fn traced_engine(
     }
     let scenario = match name {
         "fig7b" | "fig7c" => two_cell_with_clients(config, name),
+        "fig9metro" => metro_culled(config, name),
         _ => large_scale(config, name),
     };
     Some(engine_trace(scenario, name, config, opts))
@@ -202,6 +203,20 @@ fn large_scale(config: ExpConfig, name: &str) -> Scenario {
     Scenario::generate(ScenarioConfig::paper_default(4, 3), seeds.child("topo"))
 }
 
+/// A pocket edition of the fig9metro drop: same AP density, flat
+/// channel and received-power cull floor as
+/// [`super::fig9metro::metro_config`], shrunk to a map a traced run can
+/// afford. The floor is active, so the spatial index genuinely culls
+/// far links and the trace carries one `cull` event per client.
+fn metro_culled(config: ExpConfig, name: &str) -> Scenario {
+    let seeds = SeedSeq::new(config.seed).child("trace").child(name);
+    let mut cfg = super::fig9metro::metro_config(super::fig9metro::QUICK[0]);
+    cfg.n_aps = 36;
+    cfg.clients_per_ap = 2;
+    cfg.area = 2_400.0;
+    Scenario::generate(cfg, seeds.child("topo"))
+}
+
 /// The Fig 7 two-cell rooftop layout. The walk experiment itself has no
 /// resident clients (the probe is moved by hand), so the traced engine
 /// run gives each cell two so there is traffic to schedule, PRACH to
@@ -244,6 +259,9 @@ fn engine_trace(
         seeds.child("engine"),
     );
     apply_opts(&mut e, opts);
+    // One cull record per client, before traffic: a no-op on dense
+    // scenarios, so every pre-culling trace stays byte-identical.
+    e.emit_cull_events();
     e.backlog_all(u64::MAX / 4);
     let horizon = if config.quick { 1 } else { 2 };
     e.run_until(Instant::from_secs(horizon));

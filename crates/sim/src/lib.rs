@@ -26,6 +26,10 @@
 //! * [`slab`] — flat strided 2-D/3-D `f64` slabs backing the PHY gain
 //!   tensors (contiguous lanes for vectorization and stride-aligned
 //!   parallel splitting).
+//! * [`spatial`] — deterministic uniform-grid spatial index: radius
+//!   queries over node positions, exact-equal to brute-force distance
+//!   filtering, backing the neighbor tables that cull far-field
+//!   interference at metro scale.
 //! * [`report`] — plain-text rendering of tables and CDF series.
 //! * [`experiments`] — one driver per paper table/figure.
 //!
@@ -41,6 +45,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod report;
 pub mod slab;
+pub mod spatial;
 pub mod topology;
 pub mod wifi_engine;
 pub mod workload;

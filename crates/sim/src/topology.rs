@@ -9,6 +9,7 @@
 //! same scenario drives the CellFi, plain-LTE, Wi-Fi and oracle runs so
 //! comparisons are paired.
 
+use crate::spatial::UniformGrid;
 use cellfi_propagation::antenna::Antenna;
 use cellfi_propagation::fading::BlockFading;
 use cellfi_propagation::link::LinkEnd;
@@ -43,6 +44,14 @@ pub struct ScenarioConfig {
     pub shadowing_sigma: f64,
     /// Enable per-subchannel Rayleigh block fading.
     pub fading: bool,
+    /// Received-power culling floor (dBm). `None` — the default — keeps
+    /// the interference model dense: every AP is a candidate for every
+    /// UE and existing results stay byte-identical. `Some(floor)` culls
+    /// links whose best-case mean received power (TX power + antenna
+    /// gains + shadowing/fading headroom) cannot reach `floor`; the
+    /// neighbor tables then carry only near-field candidates, which is
+    /// what makes metro-scale (10k cells / 1M UEs) tractable.
+    pub cull_floor_dbm: Option<f64>,
 }
 
 impl ScenarioConfig {
@@ -57,7 +66,234 @@ impl ScenarioConfig {
             ue_power: Dbm(20.0),
             shadowing_sigma: 4.0,
             fading: true,
+            cull_floor_dbm: None,
         }
+    }
+}
+
+/// Compact neighbor tables built from the spatial index: per-UE
+/// candidate-AP lists, per-AP interferer sets, the transpose listener
+/// lists, and the per-AP client partition — everything the engine needs
+/// to replace all-pairs loops with near-field iteration.
+///
+/// All four tables are CSR-packed (`offsets` + flat payload) and every
+/// row ascends, so iteration order — and therefore every float
+/// accumulation order downstream — matches the dense engine's ascending
+/// AP/UE loops exactly. With no cull radius the tables are the dense
+/// sets and the engine's arithmetic is byte-identical to the
+/// pre-spatial-index code.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    /// The cull radius (m) the tables were built with; `None` = dense.
+    pub cull_radius_m: Option<f64>,
+    /// Maximum candidate-AP row length over all UEs: the uniform
+    /// neighbor-slot stride of the engine's `[ue][slot][s]` slabs.
+    pub max_neighbors: usize,
+    /// Maximum interferer row length over all APs: the uniform slot
+    /// stride of the engine's AP-to-AP sensing table.
+    pub max_ap_neighbors: usize,
+    /// CSR boundaries for `ue_aps`, `n_ues + 1` entries.
+    ue_offsets: Vec<u32>,
+    /// Per-UE candidate AP ids, ascending; always includes the serving
+    /// AP.
+    ue_aps: Vec<u32>,
+    /// CSR boundaries for `ap_aps`, `n_aps + 1` entries.
+    ap_offsets: Vec<u32>,
+    /// Per-AP interferer AP ids, ascending, self excluded.
+    ap_aps: Vec<u32>,
+    /// CSR boundaries for the listener arrays, `n_aps + 1` entries.
+    listener_offsets: Vec<u32>,
+    /// Transpose of `ue_aps`: for AP `a`, the UEs that carry `a` in
+    /// their candidate row, ascending by UE.
+    listener_ues: Vec<u32>,
+    /// Parallel to `listener_ues`: the neighbor slot `a` occupies in
+    /// that UE's candidate row.
+    listener_slots: Vec<u32>,
+    /// CSR boundaries for `clients`, `n_aps + 1` entries.
+    clients_offsets: Vec<u32>,
+    /// Per-AP attached clients (ascending UE index).
+    clients: Vec<u32>,
+}
+
+/// Best-case link-budget headroom (dB) above the mean path-loss curve:
+/// peak antenna gains at both ends plus shadowing (3σ) and, when block
+/// fading is on, a fading allowance. The cull radius derived from it is
+/// deliberately a *superset* bound — a culled link could not have
+/// reached the floor even with every favourable term stacked.
+fn cull_headroom_db(config: &ScenarioConfig) -> f64 {
+    let antenna = 14.0;
+    let shadow = 3.0 * config.shadowing_sigma.max(0.0);
+    let fade = if config.fading { 12.0 } else { 0.0 };
+    antenna + shadow + fade
+}
+
+/// The culling radius (m) for `config`, or `None` when the floor is off.
+/// A floor so high that even the reference distance cannot reach it
+/// degenerates to radius 0 (only the serving AP survives the cull).
+fn cull_radius(config: &ScenarioConfig, env: &RadioEnvironment) -> Option<f64> {
+    let floor = config.cull_floor_dbm?;
+    let target = config.ap_power.value() + cull_headroom_db(config) - floor;
+    Some(
+        env.pathloss
+            .range_for_loss(env.frequency, Db(target))
+            .map(|m| m.value())
+            .unwrap_or(0.0),
+    )
+}
+
+impl NeighborTable {
+    /// Build the tables for one scenario. Deterministic: the spatial
+    /// index answers radius queries exactly equal to brute-force
+    /// distance filtering, sorted ascending.
+    pub fn build(
+        config: &ScenarioConfig,
+        aps: &[LinkEnd],
+        ues: &[LinkEnd],
+        assoc: &[usize],
+        env: &RadioEnvironment,
+    ) -> NeighborTable {
+        let n_ap = aps.len();
+        let n_ue = ues.len();
+        let radius = cull_radius(config, env);
+        let mut ue_offsets = Vec::with_capacity(n_ue + 1);
+        let mut ue_aps: Vec<u32>;
+        let mut ap_offsets = Vec::with_capacity(n_ap + 1);
+        let mut ap_aps: Vec<u32>;
+        ue_offsets.push(0);
+        ap_offsets.push(0);
+        match radius {
+            None => {
+                // Dense: every AP is a candidate of every UE and an
+                // interferer of every other AP, ascending.
+                ue_aps = Vec::with_capacity(n_ue * n_ap);
+                for _ in 0..n_ue {
+                    ue_aps.extend(0..n_ap as u32);
+                    ue_offsets.push(ue_aps.len() as u32);
+                }
+                ap_aps = Vec::with_capacity(n_ap.saturating_sub(1) * n_ap);
+                for a in 0..n_ap as u32 {
+                    ap_aps.extend((0..n_ap as u32).filter(|&b| b != a));
+                    ap_offsets.push(ap_aps.len() as u32);
+                }
+            }
+            Some(r) => {
+                let positions: Vec<Point> = aps.iter().map(|a| a.position).collect();
+                let grid = UniformGrid::build(&positions, r.max(1.0));
+                let mut buf = Vec::new();
+                ue_aps = Vec::new();
+                for (u, ue) in ues.iter().enumerate() {
+                    grid.within_into(ue.position, r, &mut buf);
+                    // The serving AP is never culled, wherever it is.
+                    let serving = assoc[u] as u32;
+                    if let Err(pos) = buf.binary_search(&serving) {
+                        buf.insert(pos, serving);
+                    }
+                    ue_aps.extend_from_slice(&buf);
+                    ue_offsets.push(ue_aps.len() as u32);
+                }
+                ap_aps = Vec::new();
+                for (a, ap) in aps.iter().enumerate() {
+                    grid.within_into(ap.position, r, &mut buf);
+                    buf.retain(|&b| b != a as u32);
+                    ap_aps.extend_from_slice(&buf);
+                    ap_offsets.push(ap_aps.len() as u32);
+                }
+            }
+        }
+        let max_neighbors = (0..n_ue)
+            .map(|u| (ue_offsets[u + 1] - ue_offsets[u]) as usize)
+            .max()
+            .unwrap_or(0);
+        let max_ap_neighbors = (0..n_ap)
+            .map(|a| (ap_offsets[a + 1] - ap_offsets[a]) as usize)
+            .max()
+            .unwrap_or(0);
+        // Transpose candidates into per-AP (ue, slot) listener lists via
+        // a stable counting sort — ascending UE within each AP.
+        let mut counts = vec![0u32; n_ap + 1];
+        for &a in &ue_aps {
+            counts[a as usize + 1] += 1;
+        }
+        for a in 1..counts.len() {
+            counts[a] += counts[a - 1];
+        }
+        let listener_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut listener_ues = vec![0u32; ue_aps.len()];
+        let mut listener_slots = vec![0u32; ue_aps.len()];
+        for u in 0..n_ue {
+            let lo = ue_offsets[u] as usize;
+            let hi = ue_offsets[u + 1] as usize;
+            for (slot, &a) in ue_aps[lo..hi].iter().enumerate() {
+                let at = cursor[a as usize] as usize;
+                listener_ues[at] = u as u32;
+                listener_slots[at] = slot as u32;
+                cursor[a as usize] += 1;
+            }
+        }
+        // Per-AP client partition (the `clients_of` CSR), same sort.
+        let mut counts = vec![0u32; n_ap + 1];
+        for &a in assoc {
+            counts[a + 1] += 1;
+        }
+        for a in 1..counts.len() {
+            counts[a] += counts[a - 1];
+        }
+        let clients_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut clients = vec![0u32; assoc.len()];
+        for (u, &a) in assoc.iter().enumerate() {
+            clients[cursor[a] as usize] = u as u32;
+            cursor[a] += 1;
+        }
+        NeighborTable {
+            cull_radius_m: radius,
+            max_neighbors,
+            max_ap_neighbors,
+            ue_offsets,
+            ue_aps,
+            ap_offsets,
+            ap_aps,
+            listener_offsets,
+            listener_ues,
+            listener_slots,
+            clients_offsets,
+            clients,
+        }
+    }
+
+    /// UE `u`'s candidate AP ids, ascending (serving always present).
+    #[inline]
+    pub fn candidates(&self, u: usize) -> &[u32] {
+        let lo = self.ue_offsets[u] as usize;
+        let hi = self.ue_offsets[u + 1] as usize;
+        &self.ue_aps[lo..hi]
+    }
+
+    /// AP `a`'s interferer AP ids, ascending, self excluded.
+    #[inline]
+    pub fn interferers(&self, a: usize) -> &[u32] {
+        let lo = self.ap_offsets[a] as usize;
+        let hi = self.ap_offsets[a + 1] as usize;
+        &self.ap_aps[lo..hi]
+    }
+
+    /// The UEs that can hear AP `a` (i.e. carry it as a candidate),
+    /// ascending, paired with the neighbor slot `a` occupies in each
+    /// UE's row.
+    #[inline]
+    pub fn listeners(&self, a: usize) -> (&[u32], &[u32]) {
+        let lo = self.listener_offsets[a] as usize;
+        let hi = self.listener_offsets[a + 1] as usize;
+        (&self.listener_ues[lo..hi], &self.listener_slots[lo..hi])
+    }
+
+    /// AP `a`'s attached clients, ascending.
+    #[inline]
+    pub fn clients(&self, a: usize) -> &[u32] {
+        let lo = self.clients_offsets[a] as usize;
+        let hi = self.clients_offsets[a + 1] as usize;
+        &self.clients[lo..hi]
     }
 }
 
@@ -74,6 +310,11 @@ pub struct Scenario {
     pub assoc: Vec<usize>,
     /// The shared propagation environment.
     pub env: RadioEnvironment,
+    /// Spatial-index neighbor tables, built at generation time. Tests
+    /// that hand-edit `aps`/`ues`/`assoc` must call
+    /// [`Scenario::rebuild_index`] (the engine does so defensively at
+    /// construction).
+    pub nbr: NeighborTable,
 }
 
 /// Node-key offset for clients (AP keys start at 0).
@@ -95,8 +336,12 @@ impl Scenario {
                 Antenna::Isotropic { gain: Db(6.0) },
             ));
         }
-        let mut ues = Vec::new();
-        let mut assoc = Vec::new();
+        // Stream client drops straight into flat preallocated arrays —
+        // no intermediate per-node collections, so peak memory at 1M
+        // UEs is the final arrays themselves.
+        let n_clients = config.n_aps * config.clients_per_ap;
+        let mut ues = Vec::with_capacity(n_clients);
+        let mut assoc = Vec::with_capacity(n_clients);
         for (ap_idx, ap) in aps.iter().enumerate() {
             for _ in 0..config.clients_per_ap {
                 // Uniform over the disc (sqrt radius), clipped to the area.
@@ -131,12 +376,14 @@ impl Scenario {
             noise: NoiseModel::typical(),
             frequency: Hertz(700e6),
         };
+        let nbr = NeighborTable::build(&config, &aps, &ues, &assoc, &env);
         Scenario {
             config,
             aps,
             ues,
             assoc,
             env,
+            nbr,
         }
     }
 
@@ -153,6 +400,7 @@ impl Scenario {
             ue_power: Dbm(20.0),
             shadowing_sigma: 0.0,
             fading: false,
+            cull_floor_dbm: None,
         };
         let aps = vec![
             LinkEnd::new(0, Point::new(0.0, 0.0), Antenna::paper_sector(0.0)),
@@ -169,13 +417,22 @@ impl Scenario {
             noise: NoiseModel::typical(),
             frequency: Hertz(700e6),
         };
+        let nbr = NeighborTable::build(&config, &aps, &[], &[], &env);
         Scenario {
             config,
             aps,
             ues: Vec::new(),
             assoc: Vec::new(),
             env,
+            nbr,
         }
+    }
+
+    /// Rebuild the neighbor tables from the current placement. Call
+    /// after hand-editing `aps`/`ues`/`assoc` (the engine calls this at
+    /// construction, so a stale index can never reach the hot path).
+    pub fn rebuild_index(&mut self) {
+        self.nbr = NeighborTable::build(&self.config, &self.aps, &self.ues, &self.assoc, &self.env);
     }
 
     /// Total number of clients.
@@ -183,11 +440,11 @@ impl Scenario {
         self.ues.len()
     }
 
-    /// Clients of one AP.
-    pub fn clients_of(&self, ap: usize) -> Vec<usize> {
-        (0..self.ues.len())
-            .filter(|&u| self.assoc[u] == ap)
-            .collect()
+    /// Clients of one AP: a slice into the CSR partition built at
+    /// generation time (ascending UE index), replacing the old
+    /// O(n_ues)-scan-per-call.
+    pub fn clients_of(&self, ap: usize) -> &[u32] {
+        self.nbr.clients(ap)
     }
 }
 
@@ -255,6 +512,117 @@ mod tests {
         let total: usize = (0..s.aps.len()).map(|a| s.clients_of(a).len()).sum();
         assert_eq!(total, s.n_ues());
         assert_eq!(s.clients_of(0).len(), 4);
+    }
+
+    #[test]
+    fn dense_tables_cover_all_pairs() {
+        let s = scenario(8);
+        assert!(s.nbr.cull_radius_m.is_none());
+        assert_eq!(s.nbr.max_neighbors, s.aps.len());
+        let all: Vec<u32> = (0..s.aps.len() as u32).collect();
+        for u in 0..s.n_ues() {
+            assert_eq!(s.nbr.candidates(u), &all[..]);
+        }
+        for a in 0..s.aps.len() {
+            let others: Vec<u32> = all.iter().copied().filter(|&b| b != a as u32).collect();
+            assert_eq!(s.nbr.interferers(a), &others[..]);
+            let (ues, slots) = s.nbr.listeners(a);
+            assert_eq!(ues.len(), s.n_ues(), "dense: every UE hears every AP");
+            // Dense rows are 0..n_ap, so AP a sits at slot a everywhere.
+            assert!(slots.iter().all(|&sl| sl == a as u32));
+        }
+    }
+
+    #[test]
+    fn culled_tables_match_brute_force_and_keep_serving() {
+        let mut config = ScenarioConfig::paper_default(12, 3);
+        config.cull_floor_dbm = Some(-70.0);
+        let s = Scenario::generate(config, SeedSeq::new(21));
+        let r = s.nbr.cull_radius_m.expect("floor set implies a radius");
+        for u in 0..s.n_ues() {
+            let want: Vec<u32> = (0..s.aps.len() as u32)
+                .filter(|&a| {
+                    a == s.assoc[u] as u32
+                        || s.aps[a as usize]
+                            .position
+                            .distance(s.ues[u].position)
+                            .value()
+                            <= r
+                })
+                .collect();
+            assert_eq!(s.nbr.candidates(u), &want[..], "ue {u}");
+            assert!(s.nbr.candidates(u).contains(&(s.assoc[u] as u32)));
+        }
+        for a in 0..s.aps.len() {
+            let want: Vec<u32> = (0..s.aps.len() as u32)
+                .filter(|&b| {
+                    b != a as u32
+                        && s.aps[a]
+                            .position
+                            .distance(s.aps[b as usize].position)
+                            .value()
+                            <= r
+                })
+                .collect();
+            assert_eq!(s.nbr.interferers(a), &want[..], "ap {a}");
+        }
+    }
+
+    #[test]
+    fn listener_lists_are_the_candidate_transpose() {
+        let mut config = ScenarioConfig::paper_default(10, 4);
+        config.cull_floor_dbm = Some(-75.0);
+        let s = Scenario::generate(config, SeedSeq::new(33));
+        for a in 0..s.aps.len() {
+            let (ues, slots) = s.nbr.listeners(a);
+            assert!(ues.windows(2).all(|w| w[0] < w[1]), "ascending UEs");
+            for (&u, &slot) in ues.iter().zip(slots) {
+                assert_eq!(s.nbr.candidates(u as usize)[slot as usize], a as u32);
+            }
+        }
+        // Every (ue, candidate) pair appears in exactly one listener row.
+        let total: usize = (0..s.aps.len()).map(|a| s.nbr.listeners(a).0.len()).sum();
+        let expect: usize = (0..s.n_ues()).map(|u| s.nbr.candidates(u).len()).sum();
+        assert_eq!(total, expect);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// Random topologies and floors: the spatial-index candidate
+        /// lists equal brute-force distance filtering (plus the serving
+        /// union), and the interferer sets equal the AP-to-AP filter.
+        #[test]
+        fn neighbor_tables_equal_brute_force(
+            seed in 0u64..1_000,
+            n_aps in 1usize..14,
+            clients in 0usize..5,
+            floor in -110.0f64..-40.0,
+        ) {
+            let mut config = ScenarioConfig::paper_default(n_aps, clients);
+            config.cull_floor_dbm = Some(floor);
+            let s = Scenario::generate(config, SeedSeq::new(seed));
+            let r = s.nbr.cull_radius_m.unwrap();
+            for u in 0..s.n_ues() {
+                let want: Vec<u32> = (0..n_aps as u32)
+                    .filter(|&a| {
+                        a == s.assoc[u] as u32
+                            || s.aps[a as usize].position.distance(s.ues[u].position).value()
+                                <= r
+                    })
+                    .collect();
+                proptest::prop_assert_eq!(s.nbr.candidates(u), &want[..]);
+            }
+            for a in 0..n_aps {
+                let want: Vec<u32> = (0..n_aps as u32)
+                    .filter(|&b| {
+                        b != a as u32
+                            && s.aps[a].position.distance(s.aps[b as usize].position).value()
+                                <= r
+                    })
+                    .collect();
+                proptest::prop_assert_eq!(s.nbr.interferers(a), &want[..]);
+            }
+        }
     }
 
     #[test]

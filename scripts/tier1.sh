@@ -79,6 +79,30 @@ grep "monitors: armed=4" "$TRACE_TMP/monitors_out.txt" | grep " violations=0"
 "$EXP" trace-query "$TRACE_TMP/TRACE_fig9a.jsonl" --group-by ev --agg count \
     | grep -q "^total"
 
+echo "== tier1: fig9metro smoke (metro-scale culled run: golden, monitors, RSS ceiling) =="
+# 2,500 cells / 100,000 clients fit in memory only because the spatial
+# index culls the interference model to the near field — the dense
+# [ue][ap][subchannel] slabs alone would need terabytes. The RSS
+# ceiling turns that into a gate: a regression back to dense layouts
+# cannot pass. getrusage(RUSAGE_CHILDREN) stands in for /usr/bin/time
+# -v, which the CI image does not ship.
+METRO_RSS_CEILING_KB=2000000
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 python3 -c '
+import resource, subprocess, sys
+rc = subprocess.call(sys.argv[1:])
+kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+open("metro_rss_kb", "w").write(str(kb))
+sys.exit(rc)
+' "$OLDPWD/$EXP" fig9metro --quick --trace --monitors --json > "$TRACE_TMP/metro_out.txt")
+grep "^fig9metro: monitors: armed=4" "$TRACE_TMP/metro_out.txt" | grep " violations=0"
+# Quick-mode values must match the committed golden byte for byte.
+sed -n "/^{/,/^}/p" "$TRACE_TMP/metro_out.txt" | diff tests/goldens/values_fig9metro.json -
+# The traced pocket run must carry the cull audit trail.
+grep -q "\"ev\":\"cull\"" "$TRACE_TMP/TRACE_fig9metro.jsonl"
+METRO_RSS_KB=$(cat "$TRACE_TMP/metro_rss_kb")
+echo "fig9metro max RSS: ${METRO_RSS_KB} KB (ceiling ${METRO_RSS_CEILING_KB} KB)"
+[ "$METRO_RSS_KB" -le "$METRO_RSS_CEILING_KB" ]
+
 echo "== tier1: bench regression smoke (engine rate vs committed baseline) =="
 # A cheap single-threaded rerun of the engine bench, gated loosely
 # (20% drop) so hot-path regressions fail fast while CI wall-clock

@@ -129,6 +129,47 @@ fn trace_bytes_are_identical_for_any_thread_count() {
     }
 }
 
+/// The spatial-index contract: culling is an *optimisation*, never a
+/// semantic change. A floor set so low that no link can fall below it
+/// keeps every candidate, and the grid-built neighbor tables must then
+/// drive the engine to the same serialized trace and metrics bytes as
+/// the dense (floor off) run — at 1 worker and at 8.
+#[test]
+fn no_op_cull_floor_reproduces_dense_trace_bytes() {
+    use cellfi::obs::Tracer;
+    use cellfi::sim::{parallel, ImMode, LteEngine, LteEngineConfig, Scenario, ScenarioConfig};
+    use cellfi::types::rng::SeedSeq;
+    use cellfi::types::time::Instant;
+
+    let run = |floor: Option<f64>, threads: usize| {
+        parallel::with_threads(threads, || {
+            let seeds = SeedSeq::new(4242).child("cull-determinism");
+            let mut cfg = ScenarioConfig::paper_default(4, 3);
+            cfg.cull_floor_dbm = floor;
+            let scenario = Scenario::generate(cfg, seeds);
+            let mut e = LteEngine::new(
+                scenario,
+                LteEngineConfig::paper_default(ImMode::CellFi),
+                seeds.child("engine"),
+            );
+            e.obs_mut().tracer = Tracer::new(true);
+            e.backlog_all(u64::MAX / 4);
+            e.run_until(Instant::from_secs(1));
+            (
+                e.obs().tracer.to_jsonl(),
+                e.obs().metrics.snapshot_jsonl(e.now()),
+            )
+        })
+    };
+    let dense = run(None, 1);
+    assert!(!dense.0.is_empty(), "dense run emitted no events");
+    for threads in [1usize, 8] {
+        let culled = run(Some(-1_000.0), threads);
+        assert_eq!(culled.0, dense.0, "trace bytes, threads={threads}");
+        assert_eq!(culled.1, dense.1, "metrics bytes, threads={threads}");
+    }
+}
+
 /// The chaos experiment extends the tracing contract to the fault
 /// injector and lease lifecycles: the resilience event stream
 /// (`fault_inject`, `lease_renew`, `degrade`, `recover`) and metrics

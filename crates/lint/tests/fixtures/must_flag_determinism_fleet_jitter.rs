@@ -1,0 +1,7 @@
+//! Fixture: fleet renewal desynchronization drawing per-AP jitter from
+//! ambient entropy instead of the run seed — replay would diverge.
+
+pub fn renewal_jitter_us(spread_us: u64) -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..spread_us)
+}

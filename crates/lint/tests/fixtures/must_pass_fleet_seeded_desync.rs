@@ -1,0 +1,16 @@
+//! Clean fleet idiom: shard assignment and renewal desynchronization
+//! are pure functions of the run seed — a SplitMix64 finalizer for the
+//! AP→shard hash and per-AP jitter drawn from an indexed seed stream,
+//! all on the simulation clock.
+
+pub fn shard_of(ap: u64, assign_seed: u64, n_shards: u64) -> u64 {
+    let mut x = ap ^ assign_seed;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) % n_shards
+}
+
+pub fn activation(start: Instant, seeds: &SeedSeq, ap: u64, spread: Duration) -> Instant {
+    let jitter = seeds.seed_indexed("renew-jitter", ap) % spread.as_micros().max(1);
+    start + Duration::from_micros(jitter)
+}

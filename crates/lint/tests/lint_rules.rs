@@ -103,6 +103,34 @@ fn spectrum_sim_clock_rule_is_scoped_and_accepts_sim_time() {
     assert!(f.is_empty(), "{f:?}");
 }
 
+#[test]
+fn spectrum_sim_clock_rule_covers_the_fleet_module() {
+    // fleet.rs multiplexes every lifecycle's retry/backoff machinery
+    // over the sharded backends, so the spectrum-wide sim-clock-only
+    // rule must bind it exactly as it binds lifecycle.rs.
+    for src in [
+        "use std::time::Duration;\n",
+        "fn pace(d: std::time::Duration) { std::thread::sleep(d); }\n",
+        "fn jitter() -> f64 { rand::random() }\n",
+    ] {
+        let f = lint_source("crates/spectrum/src/fleet.rs", src);
+        assert!(
+            rules(&f).contains(&"determinism"),
+            "{src}: expected a determinism finding, got {f:?}"
+        );
+    }
+    // The fleet's real idiom — sim instants, seed-derived jitter — is
+    // clean under the same rule.
+    let f = lint_source(
+        "crates/spectrum/src/fleet.rs",
+        "use cellfi_types::time::{Duration, Instant};\n\
+         fn activate(start: Instant, jitter_us: u64) -> Instant {\n\
+             start + Duration::from_micros(jitter_us)\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
 // ---------------------------------------------------------------- rule P
 
 #[test]

@@ -18,6 +18,14 @@
 //! | `rlf_rate`         | RRC drops per UE-minute under a ceiling       |
 //! | `sched_starvation` | no backlogged cell starved ≥ N whole epochs   |
 //! | `cache_hit_floor`  | interference-cache hit rate above a floor     |
+//!
+//! Fleet runs (`exp spectrum_scale --monitors`) arm the fleet catalogue
+//! ([`MonitorRegistry::fleet`]) instead:
+//!
+//! | monitor            | invariant                                     |
+//! |--------------------|-----------------------------------------------|
+//! | `etsi_margin_us`   | every vacate beat its deadline (≥ 0 µs)       |
+//! | `fleet_lease_gate` | no AP transmits without a valid lease         |
 
 /// A per-tick snapshot of the engine counters the monitors read.
 ///
@@ -43,6 +51,11 @@ pub struct TickFacts {
     /// the ETSI deadline (negative = deadline missed). `i64::MAX` until
     /// the first vacate completes.
     pub min_margin_us: i64,
+    /// Cumulative fleet lease-gate breaches: ticks where an AP
+    /// transmitted on a channel that had been ground-truth-unavailable
+    /// longer than its profile's vacate deadline. Always 0 outside
+    /// fleet runs.
+    pub lease_gate_breaches: u64,
 }
 
 impl Default for TickFacts {
@@ -55,6 +68,7 @@ impl Default for TickFacts {
             cache_hits: 0,
             cache_misses: 0,
             min_margin_us: i64::MAX,
+            lease_gate_breaches: 0,
         }
     }
 }
@@ -148,6 +162,35 @@ impl MonitorRegistry {
             let rate = f.cache_hits as f64 / probes as f64;
             if rate < thr {
                 Some(rate)
+            } else {
+                None
+            }
+        });
+        reg
+    }
+
+    /// The fleet catalogue for multi-tenant spectrum-manager runs
+    /// (`exp spectrum_scale --monitors`): the regulatory pair that must
+    /// hold fleet-wide under arbitrary per-shard fault schedules —
+    /// worst vacate margin ≥ 0 µs, and zero lease-gate breaches (no AP
+    /// transmits on a channel unavailable past its vacate deadline).
+    pub fn fleet() -> MonitorRegistry {
+        let mut reg = MonitorRegistry::default();
+        reg.register("etsi_margin_us", 0.0, |f, thr| {
+            if f.min_margin_us == i64::MAX {
+                return None;
+            }
+            let margin = f.min_margin_us as f64;
+            if margin < thr {
+                Some(margin)
+            } else {
+                None
+            }
+        });
+        reg.register("fleet_lease_gate", 0.0, |f, thr| {
+            let breaches = f.lease_gate_breaches as f64;
+            if breaches > thr {
+                Some(breaches)
             } else {
                 None
             }
@@ -250,10 +293,38 @@ mod tests {
             cache_hits: 5000,
             cache_misses: 100,
             min_margin_us: 55_000_000,
+            lease_gate_breaches: 0,
         };
         reg.check_tick(&facts);
         assert!(reg.violations().is_empty(), "{:?}", reg.violations());
         assert_eq!(reg.checks_run(), 4);
+    }
+
+    #[test]
+    fn fleet_catalogue_arms_two_and_gates_on_breaches() {
+        let mut reg = MonitorRegistry::fleet();
+        assert!(reg.is_armed());
+        reg.check_tick(&TickFacts {
+            tick_us: 1_000_000,
+            n_ues: 64,
+            min_margin_us: 12_000_000,
+            ..TickFacts::default()
+        });
+        assert!(reg.violations().is_empty());
+        assert_eq!(reg.checks_run(), 2);
+        reg.check_tick(&TickFacts {
+            tick_us: 2_000_000,
+            n_ues: 64,
+            min_margin_us: 12_000_000,
+            lease_gate_breaches: 3,
+            ..TickFacts::default()
+        });
+        let v = reg.first_violation().expect("breach always trips the gate");
+        assert_eq!(v.monitor, "fleet_lease_gate");
+        assert_eq!(v.value, 3.0);
+        assert!(reg
+            .verdict_line()
+            .starts_with("monitors: armed=2 checks=4 violations=1"));
     }
 
     #[test]

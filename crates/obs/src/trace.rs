@@ -176,10 +176,35 @@ pub enum Event {
         /// APs culled below the received-power floor.
         culled: u32,
     },
+    /// A spectrum-database shard entered a scheduled outage window
+    /// (fleet runs: every lifecycle on the shard rides it out alone).
+    ShardOutage {
+        /// Affected database shard.
+        shard: u32,
+        /// Outage window end, microseconds of simulation time.
+        until_us: u64,
+    },
+    /// An availability query was served from a shard's response cache
+    /// instead of reaching the database.
+    CacheHit {
+        /// Serving database shard.
+        shard: u32,
+        /// Age of the replayed response, microseconds — the regulatory
+        /// confidence window ages by exactly this much.
+        age_us: u64,
+    },
+    /// A per-shard request-rate window closed with traffic: the batch
+    /// of renewals/queries the shard absorbed in one accounting window.
+    RenewBatch {
+        /// Reporting database shard.
+        shard: u32,
+        /// Requests served in the window.
+        size: u32,
+    },
 }
 
 /// Number of distinct event kinds (one per [`Event`] variant).
-pub const N_KINDS: usize = 16;
+pub const N_KINDS: usize = 19;
 
 impl Event {
     /// Stable kind name — the `"ev"` field value in the JSONL stream.
@@ -207,6 +232,9 @@ impl Event {
             Event::Sched { .. } => 13,
             Event::HarqRetx { .. } => 14,
             Event::Cull { .. } => 15,
+            Event::ShardOutage { .. } => 16,
+            Event::CacheHit { .. } => 17,
+            Event::RenewBatch { .. } => 18,
         }
     }
 
@@ -231,6 +259,9 @@ impl Event {
             | Event::PawsRenew { channel, .. }
             | Event::PawsVacate { channel, .. }
             | Event::PawsVacated { channel, .. } => channel,
+            Event::ShardOutage { shard, .. }
+            | Event::CacheHit { shard, .. }
+            | Event::RenewBatch { shard, .. } => shard,
         }
     }
 
@@ -255,6 +286,9 @@ impl Event {
             Event::Sched { owned, .. } => Some(owned as f64),
             Event::HarqRetx { process, .. } => Some(process as f64),
             Event::Cull { culled, .. } => Some(culled as f64),
+            Event::ShardOutage { .. } => None,
+            Event::CacheHit { age_us, .. } => Some(age_us as f64 / 1e6),
+            Event::RenewBatch { size, .. } => Some(size as f64),
         }
     }
 }
@@ -277,6 +311,9 @@ pub const KIND_NAMES: [&str; N_KINDS] = [
     "sched",
     "harq_retx",
     "cull",
+    "shard_outage",
+    "cache_hit",
+    "renew_batch",
 ];
 
 /// Per-kind sketch value range `(lo, hi)` — fixed at compile time so two
@@ -295,6 +332,8 @@ pub fn sketch_range(kind_code: u32) -> (f64, f64) {
         13 => (0.0, 32.0),  // sched: owned subchannel count
         14 => (0.0, 16.0),  // harq_retx: HARQ process index
         15 => (0.0, 64.0),  // cull: culled candidate-AP count
+        17 => (0.0, 16.0),  // cache_hit: replayed-response age seconds
+        18 => (0.0, 256.0), // renew_batch: requests per rate window
         _ => (0.0, 1.0),    // count-only kinds never bucket a value
     }
 }
@@ -959,6 +998,24 @@ fn write_record(out: &mut String, r: &Record) {
                 ",\"ev\":\"cull\",\"ue\":{ue},\"kept\":{kept},\"culled\":{culled}"
             );
         }
+        Event::ShardOutage { shard, until_us } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"shard_outage\",\"shard\":{shard},\"until_us\":{until_us}"
+            );
+        }
+        Event::CacheHit { shard, age_us } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"cache_hit\",\"shard\":{shard},\"age_us\":{age_us}"
+            );
+        }
+        Event::RenewBatch { shard, size } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"renew_batch\",\"shard\":{shard},\"size\":{size}"
+            );
+        }
     }
     out.push('}');
 }
@@ -1339,6 +1396,15 @@ mod tests {
                 kept: 4,
                 culled: 2,
             },
+            Event::ShardOutage {
+                shard: 0,
+                until_us: 1,
+            },
+            Event::CacheHit {
+                shard: 0,
+                age_us: 1,
+            },
+            Event::RenewBatch { shard: 0, size: 1 },
         ];
         assert_eq!(samples.len(), N_KINDS);
         for (i, e) in samples.iter().enumerate() {

@@ -632,17 +632,17 @@ impl LteEngine {
     /// Cache probes pool the interference cache and the CQI memo — both
     /// must replay in steady state for the subframe loop to stay cheap.
     pub fn tick_facts(&self) -> cellfi_obs::TickFacts {
-        let (interf_hits, interf_misses) = self.interf.probe_stats();
-        let (memo_hits, memo_misses) = self.memo.probe_stats();
-        let (cache_hits, cache_misses) = (interf_hits + memo_hits, interf_misses + memo_misses);
+        let interf = self.interf.probe_stats();
+        let memo = self.memo.probe_stats();
         cellfi_obs::TickFacts {
             tick_us: self.now.as_micros(),
             n_ues: self.scenario.n_ues() as u32,
             rlf_drops: self.rrc_drops.iter().sum(),
             max_starved_epochs: self.max_starved_epochs,
-            cache_hits,
-            cache_misses,
+            cache_hits: interf.0 + memo.0,
+            cache_misses: interf.1 + memo.1,
             min_margin_us: self.vacate_margin_min_us,
+            lease_gate_breaches: 0,
         }
     }
 

@@ -22,6 +22,7 @@ pub mod overhead;
 pub mod prach;
 pub mod replay;
 pub mod roaming;
+pub mod spectrum_scale;
 pub mod table1;
 pub mod theorem1;
 pub mod trace_run;
@@ -99,6 +100,7 @@ pub const ALL: &[&str] = &[
     "coordination",
     "roaming",
     "chaos",
+    "spectrum_scale",
 ];
 
 /// Run several experiments concurrently on the scoped thread pool
@@ -158,6 +160,7 @@ pub fn run(name: &str, config: ExpConfig) -> Option<ExpReport> {
         "coordination" => coordination::run(config),
         "roaming" => roaming::run(config),
         "chaos" => chaos::run(config),
+        "spectrum_scale" => spectrum_scale::run(config),
         _ => return None,
     })
 }

@@ -90,6 +90,9 @@ pub fn traced_opts(name: &str, config: ExpConfig, opts: &TraceOptions) -> Option
     if name == "chaos" {
         return Some(chaos_trace(config, opts));
     }
+    if name == "spectrum_scale" {
+        return Some(super::spectrum_scale::trace(config, opts));
+    }
     let e = traced_engine(name, config, opts).expect("known non-fig6 names have an engine run");
     // Per-epoch window snapshots (chronological) precede the final
     // cumulative snapshot; without detail the window log is empty
@@ -142,7 +145,8 @@ pub(crate) fn traced_engine(
     config: ExpConfig,
     opts: &TraceOptions,
 ) -> Option<LteEngine> {
-    if !super::ALL.contains(&name) || name == "fig6" || name == "chaos" {
+    if !super::ALL.contains(&name) || name == "fig6" || name == "chaos" || name == "spectrum_scale"
+    {
         return None;
     }
     let scenario = match name {

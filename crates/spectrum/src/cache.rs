@@ -1,0 +1,239 @@
+//! Availability-response cache keyed on quantized location.
+//!
+//! A metro fleet has many APs per database shard, and neighbours a few
+//! hundred metres apart get identical availability answers — the
+//! database's protected contours are much coarser than AP spacing. The
+//! cache quantizes the query location onto a grid and replays a stored
+//! `AVAIL_SPECTRUM_RESP` for every AP in the same cell, shedding
+//! redundant load from the shard.
+//!
+//! **Staleness contract:** a cached response is never served at or past
+//! `min(inserted + TTL, earliest grant expiry)` — the expiry boundary is
+//! *exclusive*, matching the `SpectrumGrant::valid_at` convention
+//! everywhere else in this crate. Responses keep their original
+//! `response_time_us`, so a consumer that anchors its regulatory
+//! confidence window to the response timestamp (as
+//! [`crate::lifecycle::LeaseLifecycle`] does) stays exactly as
+//! compliant as it would be polling the database directly: the cache
+//! can shed load, never stretch a vacate deadline.
+
+use std::collections::BTreeMap;
+
+use cellfi_types::time::{Duration, Instant};
+
+use crate::paws::{AvailSpectrumResp, GeoLocation};
+
+/// One stored response plus the tick at which it stops being servable.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    resp: AvailSpectrumResp,
+    /// Exclusive: the entry is served only while `now < valid_until`.
+    valid_until: Instant,
+}
+
+/// Per-shard availability-response cache. Locations are quantized onto
+/// a `quantum`-metre grid; each cell holds at most one response.
+#[derive(Debug, Clone)]
+pub struct AvailabilityCache {
+    quantum: f64,
+    ttl: Duration,
+    entries: BTreeMap<(i64, i64), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AvailabilityCache {
+    /// A cache quantizing locations onto a `quantum`-metre grid, with
+    /// entries living at most `ttl` past insertion (less if a grant in
+    /// the response expires sooner).
+    pub fn new(quantum: f64, ttl: Duration) -> AvailabilityCache {
+        AvailabilityCache {
+            quantum: quantum.max(1.0),
+            ttl,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Grid cell for a query location (the uncertainty disc's centre).
+    fn key(&self, loc: &GeoLocation) -> (i64, i64) {
+        let p = loc.point();
+        (
+            (p.x / self.quantum).floor() as i64,
+            (p.y / self.quantum).floor() as i64,
+        )
+    }
+
+    /// Look up a servable response for `loc` at `now`, counting the
+    /// probe as a hit or miss. Entries found expired are evicted.
+    pub fn get(&mut self, loc: &GeoLocation, now: Instant) -> Option<AvailSpectrumResp> {
+        let key = self.key(loc);
+        match self.entries.get(&key) {
+            Some(entry) if now < entry.valid_until => {
+                self.hits += 1;
+                Some(entry.resp.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a fresh response for `loc`. The entry's lifetime is
+    /// `min(now + ttl, earliest grant expiry)`, exclusive; a response
+    /// with no grants (nothing available here) lives the full TTL.
+    pub fn insert(&mut self, loc: &GeoLocation, resp: AvailSpectrumResp, now: Instant) {
+        let mut valid_until = now + self.ttl;
+        for grant in &resp.grants {
+            let expiry = Instant::from_micros(grant.expires_us);
+            if expiry < valid_until {
+                valid_until = expiry;
+            }
+        }
+        let key = self.key(loc);
+        self.entries.insert(key, CacheEntry { resp, valid_until });
+    }
+
+    /// Probes answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that had to go to the database.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of probes served from the cache (0 when unprobed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Live entries (expired ones are evicted lazily on probe).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paws::SpectrumGrant;
+    use cellfi_types::geo::Point;
+    use cellfi_types::ChannelId;
+
+    fn loc(x: f64, y: f64) -> GeoLocation {
+        GeoLocation::gps(Point::new(x, y))
+    }
+
+    fn resp_with_expiry(expires_us: u64, response_time_us: u64) -> AvailSpectrumResp {
+        AvailSpectrumResp {
+            grants: vec![SpectrumGrant {
+                channel: ChannelId::new(21),
+                max_eirp_dbm: 36.0,
+                expires_us,
+            }],
+            response_time_us,
+        }
+    }
+
+    #[test]
+    fn nearby_locations_share_one_entry() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(10));
+        let now = Instant::from_micros(0);
+        cache.insert(&loc(10.0, 10.0), resp_with_expiry(100_000_000, 0), now);
+        assert!(cache.get(&loc(490.0, 480.0), now).is_some());
+        assert!(cache.get(&loc(510.0, 10.0), now).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn ttl_boundary_is_exclusive() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(10));
+        let t0 = Instant::from_micros(0);
+        // Grant expires far beyond the TTL, so the TTL binds.
+        cache.insert(&loc(0.0, 0.0), resp_with_expiry(3_600_000_000, 0), t0);
+        let just_before = Instant::from_micros(9_999_999);
+        assert!(cache.get(&loc(0.0, 0.0), just_before).is_some());
+        let at_ttl = Instant::from_micros(10_000_000);
+        assert!(cache.get(&loc(0.0, 0.0), at_ttl).is_none());
+    }
+
+    #[test]
+    fn grant_expiry_binds_when_sooner_than_ttl() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(60));
+        let t0 = Instant::from_micros(0);
+        // Lease expires at t=8 s, well inside the 60 s TTL.
+        cache.insert(&loc(0.0, 0.0), resp_with_expiry(8_000_000, 0), t0);
+        assert!(cache
+            .get(&loc(0.0, 0.0), Instant::from_micros(7_999_999))
+            .is_some());
+        // At the lease-expiry tick the entry must already be gone:
+        // exclusive end, matching SpectrumGrant::valid_at.
+        assert!(cache
+            .get(&loc(0.0, 0.0), Instant::from_micros(8_000_000))
+            .is_none());
+        assert!(cache
+            .get(&loc(0.0, 0.0), Instant::from_micros(8_000_001))
+            .is_none());
+    }
+
+    #[test]
+    fn served_response_keeps_original_timestamp() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(10));
+        let t0 = Instant::from_micros(1_000_000);
+        cache.insert(&loc(0.0, 0.0), resp_with_expiry(100_000_000, 1_000_000), t0);
+        let later = Instant::from_micros(5_000_000);
+        let served = cache
+            .get(&loc(0.0, 0.0), later)
+            .expect("entry is always live inside its TTL");
+        assert_eq!(served.response_time_us, 1_000_000);
+    }
+
+    #[test]
+    fn grantless_response_lives_the_full_ttl() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(10));
+        let t0 = Instant::from_micros(0);
+        let empty = AvailSpectrumResp {
+            grants: vec![],
+            response_time_us: 0,
+        };
+        cache.insert(&loc(0.0, 0.0), empty, t0);
+        assert!(cache
+            .get(&loc(0.0, 0.0), Instant::from_micros(9_999_999))
+            .is_some());
+        assert!(cache
+            .get(&loc(0.0, 0.0), Instant::from_micros(10_000_000))
+            .is_none());
+    }
+
+    #[test]
+    fn hit_rate_counts_probes() {
+        let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(10));
+        let now = Instant::from_micros(0);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.insert(&loc(0.0, 0.0), resp_with_expiry(100_000_000, 0), now);
+        assert!(cache.get(&loc(0.0, 0.0), now).is_some());
+        assert!(cache.get(&loc(900.0, 0.0), now).is_none());
+        assert!(cache.get(&loc(0.0, 0.0), now).is_some());
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -102,6 +102,14 @@ pub struct DatabaseClient {
     /// Grants from the last query.
     grants: Vec<SpectrumGrant>,
     state: ClientState,
+    /// Regulatory vacate deadline (ETSI: 60 s; FCC-style profiles may
+    /// differ). Defaults to [`ETSI_VACATE_DEADLINE`].
+    vacate_deadline: Duration,
+    /// `response_time_us` of the last successful availability answer —
+    /// when a cache replays an old response this is *older* than the
+    /// query time, and the regulatory confidence window must anchor
+    /// here, not at the query.
+    last_response: Option<Instant>,
 }
 
 impl DatabaseClient {
@@ -114,7 +122,16 @@ impl DatabaseClient {
             last_query: None,
             grants: Vec::new(),
             state: ClientState::Idle,
+            vacate_deadline: ETSI_VACATE_DEADLINE,
+            last_response: None,
         }
+    }
+
+    /// Override the regulatory vacate deadline (regulatory profiles;
+    /// see [`crate::profile::RuleProfile`]).
+    pub fn with_vacate_deadline(mut self, deadline: Duration) -> DatabaseClient {
+        self.vacate_deadline = deadline;
+        self
     }
 
     /// Current lease state.
@@ -125,6 +142,13 @@ impl DatabaseClient {
     /// Grants from the most recent query.
     pub fn grants(&self) -> &[SpectrumGrant] {
         &self.grants
+    }
+
+    /// When the database computed the most recent availability answer.
+    /// Equal to the query time when talking to a live database; older
+    /// when an availability cache replayed a stored response.
+    pub fn last_response_time(&self) -> Option<Instant> {
+        self.last_response
     }
 
     /// Perform the PAWS `INIT` handshake: the database's capabilities
@@ -176,8 +200,14 @@ impl DatabaseClient {
             location: self.location,
             request_time_us: now.as_micros(),
         };
-        self.grants = transport.avail_spectrum(&req, now)?.grants;
+        let resp = transport.avail_spectrum(&req, now)?;
+        self.grants = resp.grants;
         self.last_query = Some(now);
+        // A replayed (cached) response carries its original computation
+        // time; clamp to `now` so a clock oddity can't date it forward.
+        self.last_response = Some(Instant::from_micros(
+            resp.response_time_us.min(now.as_micros()),
+        ));
         self.state = match self.state {
             ClientState::Operating { channel, .. } => {
                 match self.grants.iter().find(|g| g.channel == channel) {
@@ -187,7 +217,7 @@ impl DatabaseClient {
                     },
                     None => ClientState::Vacating {
                         channel,
-                        deadline: now + ETSI_VACATE_DEADLINE,
+                        deadline: now + self.vacate_deadline,
                     },
                 }
             }
@@ -362,7 +392,7 @@ impl DatabaseClient {
             if now >= expires {
                 self.state = ClientState::Vacating {
                     channel,
-                    deadline: expires + ETSI_VACATE_DEADLINE,
+                    deadline: expires + self.vacate_deadline,
                 };
             }
         }
@@ -600,6 +630,33 @@ mod tests {
         assert_eq!(c.grants(), &grants_before[..]);
         assert_eq!(c.state(), state_before);
         assert!(c.query_due(t), "failed refresh must not reset the clock");
+    }
+
+    #[test]
+    fn profile_vacate_deadline_overrides_the_etsi_minute() {
+        let (mut db, c) = setup();
+        let mut c = c.with_vacate_deadline(Duration::from_secs(120));
+        db = db.with_lease_validity(Duration::from_secs(30));
+        c.refresh(&mut db, Instant::ZERO).unwrap();
+        let ch = c.grants()[0].channel;
+        c.start_operation(&mut db, ch, 36.0, Instant::ZERO)
+            .expect("granted channel accepts operation");
+        let state = c.tick(Instant::from_secs(30));
+        match state {
+            ClientState::Vacating { deadline, .. } => {
+                assert_eq!(deadline, Instant::from_secs(150));
+            }
+            other => panic!("expected Vacating, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_records_the_response_timestamp() {
+        let (mut db, mut c) = setup();
+        assert_eq!(c.last_response_time(), None);
+        let t = Instant::from_secs(7);
+        c.refresh(&mut db, t).unwrap();
+        assert_eq!(c.last_response_time(), Some(t));
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub struct SpectrumDatabase {
     max_eirp_dbm: f64,
     /// Longest time a client may cache an availability answer.
     max_polling_secs: u64,
+    /// Ruleset identifier advertised in `INIT_RESP`.
+    ruleset_id: &'static str,
     /// Log of use notifications received (audit trail).
     notifications: Vec<SpectrumUseNotify>,
 }
@@ -64,6 +66,7 @@ impl SpectrumDatabase {
             lease_validity: Duration::from_secs(2 * 3600),
             max_eirp_dbm: 36.0,
             max_polling_secs: 900,
+            ruleset_id: "ETSI-EN-301-598-1.1.1",
             notifications: Vec::new(),
         }
     }
@@ -74,11 +77,24 @@ impl SpectrumDatabase {
         self
     }
 
+    /// Adopt a regulatory rule profile wholesale: lease validity, EIRP
+    /// cap, polling cadence and the advertised ruleset identifier all
+    /// come from `profile`. The historical defaults equal
+    /// [`RuleProfile::etsi`], so `with_profile(&RuleProfile::etsi())`
+    /// is a no-op.
+    pub fn with_profile(mut self, profile: &crate::profile::RuleProfile) -> SpectrumDatabase {
+        self.lease_validity = profile.lease_validity;
+        self.max_eirp_dbm = profile.max_eirp_dbm;
+        self.max_polling_secs = profile.max_polling_secs;
+        self.ruleset_id = profile.ruleset_id;
+        self
+    }
+
     /// Serve a PAWS `INIT_REQ`.
     pub fn init(&self, _req: &InitReq) -> InitResp {
         InitResp {
             max_polling_secs: self.max_polling_secs,
-            ruleset: "ETSI-EN-301-598-1.1.1".to_owned(),
+            ruleset: self.ruleset_id.to_owned(),
         }
     }
 
@@ -311,6 +327,30 @@ mod tests {
         });
         assert_eq!(d.notifications().len(), 1);
         assert_eq!(d.notifications()[0].channel, ChannelId::new(38));
+    }
+
+    #[test]
+    fn profile_swaps_ruleset_timing_and_eirp() {
+        use crate::profile::RuleProfile;
+        let d = db().with_profile(&RuleProfile::fcc());
+        let req = InitReq {
+            device: DeviceDescriptor::master_with_clients("ap", 1),
+            location: GeoLocation::gps(Point::ORIGIN),
+        };
+        let init = d.init(&req);
+        assert_eq!(init.ruleset, "FCC-Part15-SubpartH-2019");
+        assert_eq!(init.max_polling_secs, 86_400);
+        let p = Point::new(100_000.0, 0.0);
+        let avail = d.available_channels(p, Instant::from_secs(0));
+        assert!(avail.iter().all(|a| (a.max_eirp_dbm - 30.0).abs() < 1e-9));
+        assert!(avail
+            .iter()
+            .all(|a| a.expires == Instant::from_secs(24 * 3600)));
+        // The ETSI profile reproduces the historical defaults exactly.
+        let etsi = db().with_profile(&RuleProfile::etsi());
+        let init = etsi.init(&req);
+        assert_eq!(init.ruleset, "ETSI-EN-301-598-1.1.1");
+        assert_eq!(init.max_polling_secs, 900);
     }
 
     #[test]

@@ -33,24 +33,39 @@
 //!   channel using network-listen (prefer idle; else CellFi-occupied;
 //!   never non-CellFi-occupied if avoidable, §4.2) and maps it to an
 //!   EARFCN for the LTE stack.
+//! * [`profile`] — regulatory rule profiles (ETSI-style vs FCC-style
+//!   timing and EIRP envelopes) consumed by the database and lifecycle,
+//!   so a regulatory domain is configuration instead of a code fork.
+//! * [`cache`] — an availability-response cache keyed on quantized
+//!   location whose entries never outlive `min(TTL, lease expiry)`.
+//! * [`fleet`] — the multi-tenant spectrum manager: thousands of lease
+//!   lifecycles multiplexed over sharded database backends with
+//!   per-shard fault plans, desynchronized renewals, response caching
+//!   and cross-channel assignment by network-listen occupancy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod database;
 pub mod faults;
+pub mod fleet;
 pub mod incumbent;
 pub mod lifecycle;
 pub mod paws;
 pub mod plan;
+pub mod profile;
 pub mod selection;
 
+pub use cache::AvailabilityCache;
 pub use client::{ClientState, DatabaseClient, OperationError};
 pub use database::{ChannelAvailability, SpectrumDatabase};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, PawsFailure, PawsTransport};
+pub use fleet::{FleetConfig, FleetEvent, FleetStats, SpectrumFleet};
 pub use incumbent::Incumbent;
 pub use lifecycle::{DegradeStep, LeaseLifecycle, LeasePhase, LifecycleConfig, LifecycleEvent};
 pub use paws::{AvailSpectrumReq, AvailSpectrumResp, DeviceDescriptor, GeoLocation};
 pub use plan::{ChannelPlan, TvChannel};
+pub use profile::RuleProfile;
 pub use selection::{ChannelChoice, ChannelSelector, ListenObservation, OccupantKind};

@@ -215,8 +215,12 @@ pub struct LeaseLifecycle {
     /// Next instant the lifecycle will touch the transport.
     next_action: Instant,
     /// Last time the operating channel was confirmed available by a
-    /// successful exchange.
+    /// successful exchange — anchored at the *response computation*
+    /// time, so a cached (replayed) answer ages the window correctly.
     last_confirmed: Instant,
+    /// Regulatory vacate deadline the confidence window is built from
+    /// (ETSI minute by default; profiles may differ).
+    vacate_deadline: Duration,
     /// EIRP currently notified/authorized, dBm.
     eirp_dbm: f64,
     /// Pending observable transitions, drained by the harness.
@@ -246,10 +250,22 @@ impl LeaseLifecycle {
             attempt: 0,
             next_action: Instant::ZERO,
             last_confirmed: Instant::ZERO,
+            vacate_deadline: ETSI_VACATE_DEADLINE,
             eirp_dbm: config.eirp_dbm,
             events: Vec::new(),
             stats: LifecycleStats::new(),
         }
+    }
+
+    /// Adopt a regulatory rule profile: the vacate deadline the safety
+    /// rule and the underlying client enforce comes from `profile`
+    /// instead of the ETSI default. EIRP and cadence stay with
+    /// [`LifecycleConfig`]; the profile governs only regulatory timing
+    /// here.
+    pub fn with_profile(mut self, profile: &crate::profile::RuleProfile) -> LeaseLifecycle {
+        self.vacate_deadline = profile.vacate_deadline;
+        self.client = self.client.with_vacate_deadline(profile.vacate_deadline);
+        self
     }
 
     /// Current policy phase.
@@ -291,11 +307,22 @@ impl LeaseLifecycle {
     }
 
     /// The conservative stop deadline: the last availability
-    /// confirmation plus the ETSI minute. Transmitting past this point
-    /// would risk radiating more than a minute after an unobserved
-    /// withdrawal, so the ladder vacates before it.
+    /// confirmation plus the profile's vacate window (the ETSI minute
+    /// by default). Transmitting past this point would risk radiating
+    /// longer than the window after an unobserved withdrawal, so the
+    /// ladder vacates before it. The anchor is the response's
+    /// *computation* time ([`DatabaseClient::last_response_time`]), so
+    /// an availability cache replaying an old answer cannot stretch
+    /// the window.
     fn confidence_deadline(&self) -> Instant {
-        self.last_confirmed + ETSI_VACATE_DEADLINE
+        self.last_confirmed + self.vacate_deadline
+    }
+
+    /// The anchor for the confidence window after a successful
+    /// exchange: when the database computed the answer (equals `now`
+    /// against a live database, older through a cache).
+    fn confirmation_anchor(&self, now: Instant) -> Instant {
+        self.client.last_response_time().unwrap_or(now)
     }
 
     /// Advance the lifecycle at `now`: expiry checks every tick, and
@@ -460,7 +487,7 @@ impl LeaseLifecycle {
         {
             Ok(()) => {
                 self.eirp_dbm = eirp;
-                self.last_confirmed = now;
+                self.last_confirmed = self.confirmation_anchor(now);
                 self.events.push((
                     now,
                     LifecycleEvent::Acquired {
@@ -513,7 +540,7 @@ impl LeaseLifecycle {
                 self.back_off(now);
             }
             Ok(ClientState::Operating { channel, expires }) => {
-                self.last_confirmed = now;
+                self.last_confirmed = self.confirmation_anchor(now);
                 self.attempt = 0;
                 self.stats.renewals += 1;
                 self.events
@@ -634,7 +661,7 @@ impl LeaseLifecycle {
         {
             Ok(()) => {
                 self.eirp_dbm = eirp;
-                self.last_confirmed = now;
+                self.last_confirmed = self.confirmation_anchor(now);
                 self.attempt = 0;
                 self.stats.degrades += 1;
                 self.phase = LeasePhase::Degraded;

@@ -1,0 +1,106 @@
+//! Regulatory rule profiles: the timing and EIRP envelope a geolocation
+//! database enforces, as configuration instead of code forks.
+//!
+//! The paper's prototype runs under the ETSI EN 301 598 harmonized
+//! standard (60 s vacate deadline, 15 min availability re-check), but
+//! the same CellFi stack must deploy under FCC Part 15 Subpart H rules
+//! where the timing envelope is much looser (daily re-check) and the
+//! portable-device EIRP cap is lower. A [`RuleProfile`] captures the
+//! parameters that differ; [`crate::database::SpectrumDatabase`] and
+//! [`crate::lifecycle::LeaseLifecycle`] both consume one, so switching
+//! regulatory domains is a config swap, not a fork of the lease
+//! machinery.
+
+use cellfi_types::time::Duration;
+
+/// The regulatory parameters a spectrum database advertises and a lease
+/// lifecycle must honor. Constructors are the two domains the paper's
+/// deployment story spans; all fields are public so experiments can
+/// derive compressed variants for short-horizon sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleProfile {
+    /// Short profile name used in experiment labels (`"etsi"`, `"fcc"`).
+    pub name: &'static str,
+    /// Ruleset identifier returned in the PAWS `INIT_RESP`.
+    pub ruleset_id: &'static str,
+    /// How long a device may keep transmitting after its last confirmed
+    /// availability response once the channel becomes unavailable.
+    pub vacate_deadline: Duration,
+    /// Maximum EIRP the database will grant, in dBm.
+    pub max_eirp_dbm: f64,
+    /// Maximum polling interval the database advertises, in seconds.
+    pub max_polling_secs: u64,
+    /// Validity window of a granted lease.
+    pub lease_validity: Duration,
+}
+
+impl RuleProfile {
+    /// ETSI EN 301 598 style parameters — byte-identical to the
+    /// defaults the single-AP client has always used: 60 s vacate
+    /// deadline, 36 dBm EIRP cap, 15 min max polling, 2 h leases.
+    pub fn etsi() -> RuleProfile {
+        RuleProfile {
+            name: "etsi",
+            ruleset_id: "ETSI-EN-301-598-1.1.1",
+            vacate_deadline: Duration::from_secs(60),
+            max_eirp_dbm: 36.0,
+            max_polling_secs: 900,
+            lease_validity: Duration::from_secs(2 * 3600),
+        }
+    }
+
+    /// FCC Part 15 Subpart H style parameters: fixed devices re-check
+    /// daily and hold 24 h leases, but the portable-class EIRP cap is
+    /// 30 dBm and the vacate envelope is a looser 2 min.
+    pub fn fcc() -> RuleProfile {
+        RuleProfile {
+            name: "fcc",
+            ruleset_id: "FCC-Part15-SubpartH-2019",
+            vacate_deadline: Duration::from_secs(120),
+            max_eirp_dbm: 30.0,
+            max_polling_secs: 86_400,
+            lease_validity: Duration::from_secs(24 * 3600),
+        }
+    }
+
+    /// The same profile with its lease validity compressed to `validity`
+    /// — experiment sweeps shorten leases so renewals happen inside a
+    /// seconds-long horizon while the regulatory timing stays intact.
+    pub fn with_lease_validity(mut self, validity: Duration) -> RuleProfile {
+        self.lease_validity = validity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etsi_profile_matches_historical_defaults() {
+        let p = RuleProfile::etsi();
+        assert_eq!(p.ruleset_id, "ETSI-EN-301-598-1.1.1");
+        assert_eq!(p.vacate_deadline, crate::client::ETSI_VACATE_DEADLINE);
+        assert_eq!(p.max_eirp_dbm, 36.0);
+        assert_eq!(p.max_polling_secs, 900);
+        assert_eq!(p.lease_validity, Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn fcc_profile_differs_in_timing_and_eirp() {
+        let etsi = RuleProfile::etsi();
+        let fcc = RuleProfile::fcc();
+        assert_ne!(etsi.ruleset_id, fcc.ruleset_id);
+        assert!(fcc.vacate_deadline > etsi.vacate_deadline);
+        assert!(fcc.max_eirp_dbm < etsi.max_eirp_dbm);
+        assert!(fcc.max_polling_secs > etsi.max_polling_secs);
+        assert!(fcc.lease_validity > etsi.lease_validity);
+    }
+
+    #[test]
+    fn lease_validity_compression_keeps_regulatory_timing() {
+        let p = RuleProfile::fcc().with_lease_validity(Duration::from_secs(15));
+        assert_eq!(p.lease_validity, Duration::from_secs(15));
+        assert_eq!(p.vacate_deadline, Duration::from_secs(120));
+    }
+}

@@ -68,6 +68,25 @@ mv "$TRACE_TMP/METRICS_chaos.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_chaos.jsonl"
 "$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_chaos.jsonl"
 
+echo "== tier1: spectrum_scale smoke (fleet golden, fleet monitors, desync trace across thread counts) =="
+# The fleet experiment multiplexes 2,048 lease lifecycles over 8
+# sharded PAWS backends with desynchronized renewals and a grant
+# cache. Gates: quick-mode values byte-identical to the committed
+# golden, the two-monitor fleet catalogue green (lease gate + vacate
+# margin), the new fleet event kinds present in the trace, and the
+# trace byte-identical between serial and parallel runs.
+(cd "$TRACE_TMP" && CELLFI_THREADS=1 "$OLDPWD/$EXP" spectrum_scale --trace --monitors --quick --json > "$TRACE_TMP/fleet_out.txt")
+grep "^spectrum_scale: monitors: armed=2" "$TRACE_TMP/fleet_out.txt" | grep " violations=0"
+sed -n "/^{/,/^}/p" "$TRACE_TMP/fleet_out.txt" | diff tests/goldens/values_spectrum_scale.json -
+grep -q "\"ev\":\"renew_batch\"" "$TRACE_TMP/TRACE_spectrum_scale.jsonl"
+grep -q "\"ev\":\"cache_hit\"" "$TRACE_TMP/TRACE_spectrum_scale.jsonl"
+grep -q "\"ev\":\"shard_outage\"" "$TRACE_TMP/TRACE_spectrum_scale.jsonl"
+mv "$TRACE_TMP/TRACE_spectrum_scale.jsonl" "$TRACE_TMP/trace_t1.jsonl"
+mv "$TRACE_TMP/METRICS_spectrum_scale.jsonl" "$TRACE_TMP/metrics_t1.jsonl"
+(cd "$TRACE_TMP" && CELLFI_THREADS=8 "$OLDPWD/$EXP" spectrum_scale --trace --monitors --quick > /dev/null)
+"$EXP" trace-diff "$TRACE_TMP/trace_t1.jsonl" "$TRACE_TMP/TRACE_spectrum_scale.jsonl"
+"$EXP" trace-diff "$TRACE_TMP/metrics_t1.jsonl" "$TRACE_TMP/METRICS_spectrum_scale.jsonl"
+
 echo "== tier1: invariant monitors + trace-query smoke (fig9a) =="
 # fig9a runs with the full monitor catalogue armed: the gate is zero
 # violations on the healthy paper topology (a violation writes

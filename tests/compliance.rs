@@ -16,10 +16,12 @@ use cellfi::lte::ue::{RrcState, Ue, UeTimings};
 use cellfi::spectrum::client::{ClientState, DatabaseClient, OperationError, ETSI_VACATE_DEADLINE};
 use cellfi::spectrum::database::SpectrumDatabase;
 use cellfi::spectrum::faults::{FaultInjector, FaultPlan};
+use cellfi::spectrum::fleet::{FleetConfig, SpectrumFleet};
 use cellfi::spectrum::incumbent::Incumbent;
 use cellfi::spectrum::lifecycle::{LeaseLifecycle, LifecycleConfig};
 use cellfi::spectrum::paws::GeoLocation;
 use cellfi::spectrum::plan::ChannelPlan;
+use cellfi::spectrum::profile::RuleProfile;
 use cellfi::types::geo::Point;
 use cellfi::types::time::{Duration, Instant};
 use cellfi::types::units::Dbm;
@@ -186,6 +188,109 @@ fn zero_duration_grants_refused_without_margin_underflow() {
         t += Duration::from_secs(1);
     }
     assert_eq!(lc.stats().missed_deadlines, 0);
+}
+
+/// Grant-cache staleness, end to end: a cached availability response is
+/// never served at or past `min(cache TTL, lease expiry)` — both
+/// boundaries exclusive — and a client operating off a replayed
+/// response anchors its regulatory clock at the response's original
+/// timestamp, so transmission still dies exactly at lease expiry.
+#[test]
+fn cached_grants_never_served_or_honored_past_staleness_boundary() {
+    use cellfi::spectrum::cache::AvailabilityCache;
+    use cellfi::spectrum::faults::{PawsFailure, PawsTransport};
+    use cellfi::spectrum::paws::{
+        AvailSpectrumReq, AvailSpectrumResp, DeviceDescriptor, InitReq, InitResp, SpectrumUseNotify,
+    };
+
+    /// A transport that only replays cached responses — a stale-serving
+    /// worst case: the database is never consulted again.
+    struct CacheReplay {
+        cache: AvailabilityCache,
+    }
+    impl PawsTransport for CacheReplay {
+        fn init(&mut self, _req: &InitReq, _now: Instant) -> Result<InitResp, PawsFailure> {
+            Err(PawsFailure::Unreachable)
+        }
+        fn avail_spectrum(
+            &mut self,
+            req: &AvailSpectrumReq,
+            now: Instant,
+        ) -> Result<AvailSpectrumResp, PawsFailure> {
+            self.cache
+                .get(&req.location, now)
+                .ok_or(PawsFailure::Unreachable)
+        }
+        fn notify_use(
+            &mut self,
+            _notify: SpectrumUseNotify,
+            _now: Instant,
+        ) -> Result<(), PawsFailure> {
+            Ok(())
+        }
+    }
+
+    let validity = Duration::from_secs(10);
+    let mut db = SpectrumDatabase::new(ChannelPlan::Eu, vec![]).with_lease_validity(validity);
+    let loc = GeoLocation::gps(Point::ORIGIN);
+    let req = AvailSpectrumReq {
+        device: DeviceDescriptor::master_with_clients("cache-ap", 2),
+        location: loc,
+        request_time_us: 0,
+    };
+    let resp = PawsTransport::avail_spectrum(&mut db, &req, Instant::ZERO)
+        .expect("the in-process database transport is infallible");
+    let expiry = Instant::from_secs(10);
+
+    // Lease expiry binds when the TTL is longer: served up to the final
+    // microsecond, never AT expiry.
+    let mut long_ttl = AvailabilityCache::new(500.0, Duration::from_secs(60));
+    long_ttl.insert(&loc, resp.clone(), Instant::ZERO);
+    assert!(long_ttl
+        .get(&loc, expiry - Duration::from_micros(1))
+        .is_some());
+    assert!(
+        long_ttl.get(&loc, expiry).is_none(),
+        "served AT lease expiry"
+    );
+
+    // TTL binds when it is shorter, same exclusive convention.
+    let mut short_ttl = AvailabilityCache::new(500.0, Duration::from_secs(3));
+    short_ttl.insert(&loc, resp.clone(), Instant::ZERO);
+    let ttl_edge = Instant::from_secs(3);
+    assert!(short_ttl
+        .get(&loc, ttl_edge - Duration::from_micros(1))
+        .is_some());
+    assert!(
+        short_ttl.get(&loc, ttl_edge).is_none(),
+        "served AT cache TTL"
+    );
+
+    // End to end: a client fed only replayed responses anchors its
+    // clock at the response's original timestamp and still stops at
+    // lease expiry.
+    let mut cache = AvailabilityCache::new(500.0, Duration::from_secs(60));
+    cache.insert(&loc, resp, Instant::ZERO);
+    let mut replay = CacheReplay { cache };
+    let mut client = DatabaseClient::new("cache-ap", 2, loc);
+    let t = Instant::from_secs(9);
+    client
+        .refresh(&mut replay, t)
+        .expect("the cached response is still fresh at 9 s");
+    assert_eq!(
+        client.last_response_time(),
+        Some(Instant::ZERO),
+        "the compliance anchor is the response's birth, not the replay"
+    );
+    let ch = client.grants()[0].channel;
+    client
+        .start_operation(&mut replay, ch, 30.0, t)
+        .expect("channel comes from the replayed grant list");
+    assert!(client.may_transmit(expiry - Duration::from_micros(1)));
+    assert!(
+        !client.may_transmit(expiry),
+        "a replayed grant must die at its original expiry"
+    );
 }
 
 #[test]
@@ -366,5 +471,106 @@ proptest! {
         if stats.vacates > 0 {
             prop_assert!(stats.min_vacate_margin_us < u64::MAX);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The fleet tentpole property, multi-AP edition: N lifecycles
+    /// multiplexed over independently faulted database shards — through
+    /// sharded transports, response caches and desynchronized renewals —
+    /// still satisfy the single-AP regulatory contract AP by AP. Ground
+    /// truth is re-derived here, outside the fleet's own audit: every
+    /// transmitting AP's channel is checked against its shard's database
+    /// each tick, allowing only the ETSI one-minute window after an
+    /// unobserved withdrawal; zero vacate deadlines may be missed, and
+    /// the fleet's internal lease-gate counter must agree.
+    #[test]
+    fn multi_ap_fleet_compliant_under_per_shard_fault_schedules(
+        master in any::<u64>(),
+        n_aps in 6usize..16,
+        n_shards in 2usize..5,
+        intensity in 0.0..1.0f64,
+    ) {
+        use cellfi::types::rng::SeedSeq;
+        let horizon = Instant::from_secs(40);
+        let tick = Duration::from_millis(250);
+        let profile = RuleProfile::etsi().with_lease_validity(Duration::from_secs(15));
+        let lifecycle = LifecycleConfig {
+            poll: Duration::from_secs(2),
+            renew_fraction: 0.5,
+            backoff_base: Duration::from_millis(500),
+            backoff_max: Duration::from_secs(4),
+            jitter_frac: 0.25,
+            vacate_margin: Duration::from_millis(500),
+            ..LifecycleConfig::paper_default(36.0)
+        };
+        let config = FleetConfig {
+            n_shards,
+            cache_ttl: Duration::from_secs(2),
+            ..FleetConfig::new(profile, lifecycle)
+        };
+        let locations: Vec<GeoLocation> = (0..n_aps)
+            .map(|i| {
+                GeoLocation::gps(Point::new(
+                    100_000.0 + (i % 4) as f64 * 200.0,
+                    (i / 4) as f64 * 200.0,
+                ))
+            })
+            .collect();
+        let seeds = SeedSeq::new(master).child("fleet-compliance");
+        let plans: Vec<FaultPlan> = (0..n_shards)
+            .map(|s| {
+                FaultPlan::at_intensity(
+                    seeds.seed_indexed("shard-faults", s as u64),
+                    intensity,
+                    horizon,
+                )
+            })
+            .collect();
+        let mut fleet = SpectrumFleet::new(config, &locations, plans, &seeds);
+        let mut unavailable_since: Vec<Option<Instant>> = vec![None; n_aps];
+        let mut t = Instant::ZERO;
+        while t < horizon {
+            fleet.step(t);
+            for i in 0..n_aps {
+                let on_channel = match fleet.lifecycle(i).client().state() {
+                    ClientState::Operating { channel, .. } => Some(channel),
+                    ClientState::Vacating { channel, .. } => Some(channel),
+                    ClientState::Idle => None,
+                };
+                match (on_channel, fleet.may_transmit(i, t)) {
+                    (None, transmitting) => {
+                        prop_assert!(!transmitting, "AP {i} transmitting with no lease at {t:?}");
+                        unavailable_since[i] = None;
+                    }
+                    (Some(_), false) => unavailable_since[i] = None,
+                    (Some(ch), true) => {
+                        let shard = fleet.shard_of(i);
+                        let point = locations[i].point();
+                        if fleet.shard_database_mut(shard).is_available(ch, point, t) {
+                            unavailable_since[i] = None;
+                        } else {
+                            let since = *unavailable_since[i].get_or_insert(t);
+                            prop_assert!(
+                                t.duration_since(since) <= ETSI_VACATE_DEADLINE,
+                                "AP {i} on {ch} unavailable since {since:?} at {t:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            t += tick;
+        }
+        let stats = fleet.finish(horizon);
+        prop_assert!(
+            stats.lifecycles.missed_deadlines == 0,
+            "a fleet vacate missed its deadline"
+        );
+        prop_assert!(
+            stats.lease_gate_breaches == 0,
+            "the fleet's internal audit disagrees with ground truth"
+        );
     }
 }
